@@ -1,0 +1,142 @@
+//! Figure 4: mean ANN query latency at 90% recall@100 across all
+//! datasets, for three scenarios (§4.2.1):
+//!
+//! * **InMemory** — fully memory-resident IVF baseline (latency lower
+//!   bound);
+//! * **MicroNN-WarmCache** — disk-resident MicroNN with a warmed page
+//!   cache (the long-lived-application pattern);
+//! * **MicroNN-ColdStart** — every query starts with purged caches (the
+//!   application-bootstrap pattern).
+//!
+//! Each scenario runs under the Large and Small device profiles
+//! (buffer-pool budget + worker count). Expected shape (paper): cold
+//! start an order of magnitude slower; warm cache within small factors
+//! of InMemory.
+
+use micronn::{DeviceProfile, InMemoryIndex, SearchRequest};
+use micronn_bench::{
+    build_micronn, mean_std, sample_ground_truth, scaled_specs, tune_probes,
+};
+use micronn_datasets::{generate, recall};
+
+#[global_allocator]
+static ALLOC: micronn_bench::TrackingAlloc = micronn_bench::TrackingAlloc;
+
+const K: usize = 100;
+
+fn main() {
+    let specs = scaled_specs();
+    let nq = micronn_bench::bench_queries();
+    println!(
+        "Figure 4: query latency (ms) for 90% recall@{K} — scale {}\n",
+        micronn_bench::bench_scale()
+    );
+    for profile in [DeviceProfile::Large, DeviceProfile::Small] {
+        println!("== {profile:?} DUT ==");
+        let widths = [12usize, 7, 8, 12, 14, 14, 10];
+        micronn_bench::print_header(
+            &["dataset", "n", "probes", "InMemory", "Warm", "Cold", "recall"],
+            &widths,
+        );
+        for spec in &specs {
+            let dataset = generate(spec);
+            let gt = sample_ground_truth(&dataset, K, nq);
+
+            // --- InMemory baseline (Lloyd quantizer, all in RAM) -----
+            let ids: Vec<i64> = (0..dataset.len() as i64).collect();
+            let mem = InMemoryIndex::build(
+                ids,
+                dataset.vectors.clone(),
+                spec.dim,
+                spec.metric,
+                100,
+                spec.seed,
+            )
+            .expect("inmemory build");
+            // Tune probes for the baseline independently.
+            let mut mem_probes = 1usize;
+            loop {
+                let mut r = 0.0;
+                for qi in 0..gt.len() {
+                    let got = mem.search(dataset.query(qi), K, mem_probes).unwrap();
+                    let ids: Vec<i64> = got.iter().map(|x| x.asset_id).collect();
+                    r += recall(&ids, &gt[qi]);
+                }
+                r /= gt.len() as f64;
+                if r >= 0.9 || mem_probes >= mem.partitions() {
+                    break;
+                }
+                mem_probes = (mem_probes * 2).min(mem.partitions());
+            }
+            let mut mem_lat = Vec::new();
+            for qi in 0..gt.len() {
+                let (_, d) =
+                    micronn_bench::time(|| mem.search(dataset.query(qi), K, mem_probes).unwrap());
+                mem_lat.push(d.as_secs_f64() * 1e3);
+            }
+
+            // --- MicroNN disk-resident -------------------------------
+            let bench = build_micronn(&dataset, profile, 100);
+            let db = &bench.db;
+            let (probes, achieved) = tune_probes(db, &dataset, &gt, K, nq, 0.9);
+
+            // WarmCache: run the query set once to warm, then measure.
+            for qi in 0..gt.len() {
+                db.search_with(
+                    &SearchRequest::new(dataset.query(qi).to_vec(), K).with_probes(probes),
+                )
+                .unwrap();
+            }
+            let mut warm_lat = Vec::new();
+            for qi in 0..gt.len() {
+                let (_, d) = micronn_bench::time(|| {
+                    db.search_with(
+                        &SearchRequest::new(dataset.query(qi).to_vec(), K).with_probes(probes),
+                    )
+                    .unwrap()
+                });
+                warm_lat.push(d.as_secs_f64() * 1e3);
+            }
+
+            // ColdStart: purge all caches before each query; the paper
+            // samples fewer queries here (it measures one query per
+            // cold start).
+            db.checkpoint().ok();
+            let mut cold_lat = Vec::new();
+            for qi in 0..gt.len().min(10) {
+                db.purge_caches();
+                let (_, d) = micronn_bench::time(|| {
+                    db.search_with(
+                        &SearchRequest::new(dataset.query(qi).to_vec(), K).with_probes(probes),
+                    )
+                    .unwrap()
+                });
+                cold_lat.push(d.as_secs_f64() * 1e3);
+            }
+
+            let m_mem = micronn_bench::median(&mem_lat);
+            let m_warm = micronn_bench::median(&warm_lat);
+            let (_, s_warm) = mean_std(&warm_lat);
+            let m_cold = micronn_bench::median(&cold_lat);
+            micronn_bench::print_row(
+                &[
+                    spec.name.to_string(),
+                    dataset.len().to_string(),
+                    probes.to_string(),
+                    format!("{m_mem:.2}"),
+                    format!("{m_warm:.2}±{s_warm:.2}"),
+                    format!("{m_cold:.2}"),
+                    format!("{achieved:.2}"),
+                ],
+                &widths,
+            );
+            assert!(
+                m_cold >= m_warm * 0.8,
+                "{}: cold start should not beat warm cache",
+                spec.name
+            );
+        }
+        println!();
+    }
+    println!("expected shape (paper): Cold >> Warm ≈ small-factor of InMemory");
+}

@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks for the performance-critical primitives:
+//! distance kernels, the batched GEMM, top-k heaps, key codec, B+tree
+//! operations, and WAL commit throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use micronn_linalg::{batch_distances, dot, l2_sq, Metric, TopK};
+use micronn_rel::{encode_key, Value};
+use micronn_storage::{BTree, Store, StoreOptions, SyncMode};
+
+fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..dim)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance_kernels");
+    for dim in [96usize, 128, 512, 960] {
+        let a = pseudo_vec(1, dim);
+        let b = pseudo_vec(2, dim);
+        g.throughput(Throughput::Elements(dim as u64));
+        g.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bch, _| {
+            bch.iter(|| l2_sq(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bch, _| {
+            bch.iter(|| dot(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_distances");
+    let dim = 128;
+    let rows: Vec<f32> = (0..256).flat_map(|i| pseudo_vec(100 + i, dim)).collect();
+    for nq in [1usize, 8, 64] {
+        let queries: Vec<f32> = (0..nq).flat_map(|i| pseudo_vec(i as u64, dim)).collect();
+        let mut out = vec![0f32; nq * 256];
+        g.throughput(Throughput::Elements((nq * 256) as u64));
+        g.bench_with_input(BenchmarkId::new("q_x_256rows_128d", nq), &nq, |bch, _| {
+            bch.iter(|| {
+                batch_distances(
+                    Metric::L2,
+                    std::hint::black_box(&queries),
+                    nq,
+                    std::hint::black_box(&rows),
+                    256,
+                    dim,
+                    &mut out,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk_heap");
+    let dists: Vec<f32> = (0..100_000)
+        .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 1_000_000) as f32)
+        .collect();
+    for k in [10usize, 100] {
+        g.throughput(Throughput::Elements(dists.len() as u64));
+        g.bench_with_input(BenchmarkId::new("push_100k", k), &k, |bch, &k| {
+            bch.iter(|| {
+                let mut t = TopK::new(k);
+                for (i, &d) in dists.iter().enumerate() {
+                    t.push(i as u64, d);
+                }
+                t.into_sorted().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_key_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("key_codec");
+    let tuple = [Value::Integer(42), Value::Integer(1_000_000)];
+    g.bench_function("encode_partition_vid", |b| {
+        b.iter(|| encode_key(std::hint::black_box(&tuple)))
+    });
+    let text = [Value::text("tag0042"), Value::Integer(99)];
+    g.bench_function("encode_text_pk", |b| {
+        b.iter(|| encode_key(std::hint::black_box(&text)))
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    let dir = tempfile::tempdir().unwrap();
+    let store = Store::create(
+        dir.path().join("bench.db"),
+        StoreOptions {
+            sync: SyncMode::Off,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut txn = store.begin_write().unwrap();
+    let tree = BTree::create(&mut txn).unwrap();
+    let blob = vec![7u8; 512]; // a 128-d f32 vector
+    for i in 0..20_000u64 {
+        tree.insert(&mut txn, &i.to_be_bytes(), &blob).unwrap();
+    }
+    txn.commit().unwrap();
+
+    g.bench_function("point_get_20k", |b| {
+        let r = store.begin_read();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % 20_000;
+            tree.get(&r, &i.to_be_bytes()).unwrap().unwrap().len()
+        })
+    });
+    g.bench_function("scan_1k_range", |b| {
+        let r = store.begin_read();
+        b.iter(|| {
+            tree.scan_range(&r, &5000u64.to_be_bytes(), &6000u64.to_be_bytes())
+                .unwrap()
+                .count()
+        })
+    });
+    g.bench_function("insert_commit_100", |b| {
+        let mut next = 1_000_000u64;
+        b.iter(|| {
+            let mut txn = store.begin_write().unwrap();
+            for _ in 0..100 {
+                tree.insert(&mut txn, &next.to_be_bytes(), &blob).unwrap();
+                next += 1;
+            }
+            txn.commit().unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_wal_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    g.sample_size(20);
+    let dir = tempfile::tempdir().unwrap();
+    let store = Store::create(
+        dir.path().join("wal.db"),
+        StoreOptions {
+            sync: SyncMode::Off,
+            checkpoint_after_frames: 0, // keep the WAL growing
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    g.bench_function("commit_8_dirty_pages", |b| {
+        b.iter(|| {
+            let mut txn = store.begin_write().unwrap();
+            for _ in 0..8 {
+                let p = txn.allocate_page().unwrap();
+                txn.page_mut(p).unwrap()[100] = 1;
+            }
+            txn.commit().unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_kernels,
+    bench_batch_gemm,
+    bench_topk,
+    bench_key_codec,
+    bench_btree,
+    bench_wal_commit
+);
+criterion_main!(benches);

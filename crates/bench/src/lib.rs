@@ -1,0 +1,314 @@
+//! `micronn-bench`: the harness regenerating every table and figure of
+//! the MicroNN paper's evaluation (§4).
+//!
+//! Each bench target under `benches/` reproduces one experiment and
+//! prints the same rows/series the paper reports:
+//!
+//! | target                | paper artifact                               |
+//! |-----------------------|----------------------------------------------|
+//! | `tab1_capabilities`   | Table 1 (capability matrix + feature probes) |
+//! | `tab2_datasets`       | Table 2 (dataset inventory)                  |
+//! | `fig4_query_latency`  | Fig. 4 (latency @90% recall, 3 modes × 2 DUTs)|
+//! | `fig5_query_memory`   | Fig. 5 (memory during query processing)      |
+//! | `fig6_index_build`    | Fig. 6 (build time + memory, InMemory vs MicroNN) |
+//! | `fig7_hybrid_optimizer` | Fig. 7 (latency/recall vs selectivity)     |
+//! | `fig8_minibatch`      | Fig. 8 (mini-batch size vs recall/memory)    |
+//! | `fig9_batch_mqo`      | Fig. 9 (batch scaling + amortized latency)   |
+//! | `fig10_updates`       | Fig. 10 (full vs incremental rebuild)        |
+//! | `ablations`           | design-choice ablations (DESIGN.md §4)       |
+//! | `micro_kernels`       | criterion micro-benchmarks                   |
+//!
+//! Scale: `MICRONN_BENCH_SCALE` (fraction of the paper's row counts,
+//! default 0.01) or `FULL_SCALE=1` for paper-scale datasets.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use micronn::{Config, DeviceProfile, MicroNN, SearchRequest, VectorRecord};
+use micronn_datasets::{ground_truth, recall, Dataset};
+
+// ---------------------------------------------------------------------------
+// Tracking allocator: the "memory usage" axis of Figures 5, 6b and 8b.
+// ---------------------------------------------------------------------------
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A global allocator wrapper that tracks live and peak heap bytes —
+/// the measurement device behind every memory figure. Install with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: micronn_bench::TrackingAlloc = micronn_bench::TrackingAlloc;
+/// ```
+pub struct TrackingAlloc;
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+impl TrackingAlloc {
+    /// Currently live heap bytes.
+    pub fn live() -> usize {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// Peak live heap bytes since the last [`TrackingAlloc::reset_peak`].
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live size, so a measured region
+    /// reports its own high-water mark.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scale and environment
+// ---------------------------------------------------------------------------
+
+/// Dataset scale: fraction of the paper's row counts. Default `0.01`;
+/// `FULL_SCALE=1` restores paper scale; `MICRONN_BENCH_SCALE=<f>` sets
+/// an explicit fraction.
+pub fn bench_scale() -> f64 {
+    if std::env::var("FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+        return 1.0;
+    }
+    std::env::var("MICRONN_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01)
+}
+
+/// Number of evaluation queries per dataset (kept modest so the whole
+/// harness completes in minutes at the default scale).
+pub fn bench_queries() -> usize {
+    std::env::var("MICRONN_BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}
+
+/// The Table 2 dataset specs at bench scale, with per-dataset row
+/// counts additionally capped (`MICRONN_BENCH_MAX_N`, default 20,000)
+/// so the heavy datasets (DEEPImage 10M, GIST 960-d) stay laptop-sized
+/// unless `FULL_SCALE=1`.
+pub fn scaled_specs() -> Vec<micronn_datasets::DatasetSpec> {
+    let full = std::env::var("FULL_SCALE").map(|v| v == "1").unwrap_or(false);
+    let cap: usize = std::env::var("MICRONN_BENCH_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if full { usize::MAX } else { 20_000 });
+    let nq = bench_queries();
+    micronn_datasets::table2_specs(bench_scale())
+        .into_iter()
+        .map(|mut s| {
+            s.n_vectors = s.n_vectors.min(cap);
+            s.n_queries = s.n_queries.min(nq.max(10));
+            s
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Database construction helpers
+// ---------------------------------------------------------------------------
+
+/// A MicroNN database ingested from a dataset, plus its temp dir (kept
+/// alive for the measurement's duration).
+pub struct BenchDb {
+    pub db: MicroNN,
+    pub dir: tempfile::TempDir,
+}
+
+/// Creates, ingests and builds a MicroNN index over `dataset` with the
+/// given device profile. `target_partition_size` follows the paper's
+/// default of 100 unless overridden.
+pub fn build_micronn(
+    dataset: &Dataset,
+    profile: DeviceProfile,
+    target_partition_size: usize,
+) -> BenchDb {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let mut cfg = Config::new(dataset.spec.dim, dataset.spec.metric);
+    cfg.store = profile.store_options();
+    cfg.workers = profile.workers();
+    cfg.target_partition_size = target_partition_size;
+    let db = MicroNN::create(dir.path().join("bench.mnn"), cfg).expect("create");
+    ingest(&db, dataset);
+    db.rebuild().expect("rebuild");
+    BenchDb { db, dir }
+}
+
+/// Ingests a dataset in chunked batches.
+pub fn ingest(db: &MicroNN, dataset: &Dataset) {
+    let mut batch = Vec::with_capacity(2000);
+    for i in 0..dataset.len() {
+        batch.push(VectorRecord::new(i as i64, dataset.vector(i).to_vec()));
+        if batch.len() == 2000 {
+            db.upsert_batch(&batch).expect("upsert");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        db.upsert_batch(&batch).expect("upsert");
+    }
+}
+
+/// Finds the smallest probe count reaching `target` mean recall@k over
+/// the sample queries (the paper's "identify n ... to reach a recall of
+/// 90% or higher", §4.1.3). Returns `(probes, achieved recall)`.
+pub fn tune_probes(
+    db: &MicroNN,
+    dataset: &Dataset,
+    gt: &[Vec<i64>],
+    k: usize,
+    n_queries: usize,
+    target: f64,
+) -> (usize, f64) {
+    let max_probes = db.stats().expect("stats").partitions.max(1) as usize;
+    let mut probes = 1usize;
+    loop {
+        let r = mean_recall_at(db, dataset, gt, k, n_queries, probes);
+        if r >= target || probes >= max_probes {
+            return (probes, r);
+        }
+        probes = (probes * 2).min(max_probes);
+    }
+}
+
+/// Mean recall@k over the first `n_queries` dataset queries.
+pub fn mean_recall_at(
+    db: &MicroNN,
+    dataset: &Dataset,
+    gt: &[Vec<i64>],
+    k: usize,
+    n_queries: usize,
+    probes: usize,
+) -> f64 {
+    let n = n_queries.min(dataset.spec.n_queries);
+    let mut total = 0.0;
+    for qi in 0..n {
+        let got = db
+            .search_with(&SearchRequest::new(dataset.query(qi).to_vec(), k).with_probes(probes))
+            .expect("search");
+        let ids: Vec<i64> = got.results.iter().map(|r| r.asset_id).collect();
+        total += recall(&ids, &gt[qi]);
+    }
+    total / n as f64
+}
+
+/// Computes ground truth for the first `n_queries` queries only.
+pub fn sample_ground_truth(dataset: &Dataset, k: usize, n_queries: usize) -> Vec<Vec<i64>> {
+    let mut slim = dataset.clone();
+    slim.spec.n_queries = n_queries.min(dataset.spec.n_queries);
+    slim.queries
+        .truncate(slim.spec.n_queries * dataset.spec.dim);
+    ground_truth(&slim, k, 4)
+}
+
+// ---------------------------------------------------------------------------
+// Timing and reporting
+// ---------------------------------------------------------------------------
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+/// Median of a sample (robust to scheduler-induced outliers).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+/// Mean and standard deviation of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header + separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats bytes as MiB with one decimal.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a duration as milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_math() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn scale_defaults() {
+        let s = bench_scale();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(mib(1024 * 1024), "1.0");
+        assert_eq!(ms(Duration::from_millis(12)), "12.00");
+    }
+}

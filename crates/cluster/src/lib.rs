@@ -1,0 +1,18 @@
+//! `micronn-cluster`: vector quantization for the MicroNN IVF index.
+//!
+//! Implements the paper's Algorithm 1 — mini-batch k-means (Sculley
+//! [35]) with flexible balance constraints (Liu et al. [22]) over a
+//! streaming [`VectorSource`] so that index construction runs in
+//! `O(batch)` memory — plus full-memory Lloyd's k-means as the
+//! InMemory baseline quantizer used throughout the paper's evaluation
+//! (Figures 6 and 8).
+
+pub mod lloyd;
+pub mod minibatch;
+pub mod model;
+pub mod source;
+
+pub use lloyd::LloydConfig;
+pub use minibatch::{assign_all, size_cv, train, MiniBatchConfig};
+pub use model::Clustering;
+pub use source::{SliceSource, SourceError, VectorSource};

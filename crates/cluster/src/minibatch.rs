@@ -1,0 +1,373 @@
+//! Mini-batch k-means with flexible balance constraints — the paper's
+//! Algorithm 1.
+//!
+//! Two deviations from textbook k-means make the quantizer fit
+//! on-device constraints (§3.1):
+//!
+//! 1. **Mini-batches** (Sculley [35]): each iteration samples a small
+//!    uniform batch through the streaming [`VectorSource`], so memory
+//!    is `O(batch + k·dim)` instead of `O(n·dim)` — this is what
+//!    Figures 6b and 8b measure.
+//! 2. **Balance penalty** (Liu et al. [22]): the `NEAREST` step scales
+//!    each centroid's distance by a factor that grows with the
+//!    cluster's current size, so "vectors are spread out among nearby
+//!    clusters instead of creating a few 'mega' clusters".
+//!
+//! Centroids update with per-center learning rate `η = 1/v[c]`
+//! (Algorithm 1 lines 9–13); the final pass assigns every vector to a
+//! centroid, optionally re-applying the balance penalty.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use micronn_linalg::Metric;
+
+use crate::model::Clustering;
+use crate::source::{SourceError, VectorSource};
+
+/// Configuration for [`train`].
+#[derive(Debug, Clone)]
+pub struct MiniBatchConfig {
+    /// Target vectors per cluster `t`; `k = max(1, n/t)`. The paper
+    /// defaults to 100 vectors per cluster.
+    pub target_cluster_size: usize,
+    /// Mini-batch size `s`. Figure 8 sweeps this from 0.04% to 100% of
+    /// the collection.
+    pub batch_size: usize,
+    /// Number of iterations `n`; `0` picks enough iterations to touch
+    /// roughly five times the collection size in samples.
+    pub iterations: usize,
+    /// Balance penalty weight λ; `0` disables balancing.
+    pub balance_lambda: f32,
+    /// Whether the final full assignment pass also applies the balance
+    /// penalty (keeps partition sizes near the target).
+    pub balanced_assignment: bool,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Distance metric.
+    pub metric: Metric,
+}
+
+impl Default for MiniBatchConfig {
+    fn default() -> Self {
+        MiniBatchConfig {
+            target_cluster_size: 100,
+            batch_size: 1024,
+            iterations: 0,
+            balance_lambda: 0.5,
+            balanced_assignment: true,
+            seed: 0x5EED,
+            metric: Metric::L2,
+        }
+    }
+}
+
+/// `NEAREST(C, v, x)`: index of the centroid minimizing the
+/// size-penalized distance `d(x, c) · (1 + λ · v[c]/scale)`.
+fn nearest_penalized(
+    clustering: &Clustering,
+    counts: &[u64],
+    x: &[f32],
+    lambda: f32,
+    scale: f32,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f32::INFINITY;
+    for i in 0..clustering.k() {
+        let d = clustering.metric().distance(x, clustering.centroid(i));
+        // Cosine/dot distances can be negative or zero; shift into a
+        // positive range so the multiplicative penalty stays monotone.
+        let base = d - match clustering.metric() {
+            Metric::L2 => 0.0,
+            Metric::Cosine => -2.0,
+            Metric::Dot => f32::MIN_POSITIVE, // handled by additive path below
+        };
+        let score = if lambda > 0.0 {
+            match clustering.metric() {
+                Metric::Dot => d + lambda * (counts[i] as f32 / scale),
+                _ => base * (1.0 + lambda * counts[i] as f32 / scale),
+            }
+        } else {
+            d
+        };
+        if score < best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Trains a quantizer over `source` (Algorithm 1). Deterministic for a
+/// given seed.
+pub fn train<S: VectorSource + ?Sized>(
+    source: &S,
+    cfg: &MiniBatchConfig,
+) -> Result<Clustering, SourceError> {
+    let n = source.len();
+    let dim = source.dim();
+    if n == 0 {
+        return Err(SourceError::msg("cannot cluster an empty vector set"));
+    }
+    let k = (n / cfg.target_cluster_size.max(1)).max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Line 2: initialize each centroid with a random x ∈ X (distinct
+    // ids where possible).
+    let mut init_ids: Vec<usize> = Vec::with_capacity(k);
+    let mut seen = std::collections::HashSet::with_capacity(k);
+    while init_ids.len() < k {
+        let id = rng.gen_range(0..n);
+        if seen.insert(id) || seen.len() >= n {
+            init_ids.push(id);
+        }
+    }
+    let mut centroids = Vec::with_capacity(k * dim);
+    source.gather(&init_ids, &mut centroids)?;
+    let mut clustering = Clustering::new(centroids, dim, cfg.metric);
+
+    let batch = cfg.batch_size.clamp(1, n);
+    let iterations = if cfg.iterations > 0 {
+        cfg.iterations
+    } else {
+        // Enough iterations to sample ~5 × n points overall.
+        (5 * n).div_ceil(batch).clamp(10, 400)
+    };
+
+    let mut counts = vec![0u64; k];
+    let mut ids = vec![0usize; batch];
+    let mut buf: Vec<f32> = Vec::with_capacity(batch * dim);
+    let mut assigned = vec![0usize; batch];
+    for _iter in 0..iterations {
+        // Line 6: M ← s examples picked uniformly at random.
+        for id in ids.iter_mut() {
+            *id = rng.gen_range(0..n);
+        }
+        source.gather(&ids, &mut buf)?;
+        // Lines 7–8: cache the penalized nearest centroid per sample.
+        let total: u64 = counts.iter().sum();
+        let scale = (total as f32 / k as f32).max(1.0);
+        for (slot, x) in buf.chunks_exact(dim).enumerate() {
+            assigned[slot] =
+                nearest_penalized(&clustering, &counts, x, cfg.balance_lambda, scale);
+        }
+        // Lines 9–13: per-center learning-rate updates.
+        for (slot, x) in buf.chunks_exact(dim).enumerate() {
+            let c = assigned[slot];
+            counts[c] += 1;
+            let eta = 1.0 / counts[c] as f32;
+            let centroid = clustering.centroid_mut(c);
+            for (cv, xv) in centroid.iter_mut().zip(x) {
+                *cv = (1.0 - eta) * *cv + eta * xv;
+            }
+        }
+    }
+    Ok(clustering)
+}
+
+/// Final assignment pass (Algorithm 1 lines 14–16): streams the whole
+/// collection in chunks and maps each vector id to its partition.
+/// With `balanced` the running-count penalty of [22] is applied so
+/// partition sizes stay near `n/k`.
+pub fn assign_all<S: VectorSource + ?Sized>(
+    source: &S,
+    clustering: &Clustering,
+    lambda: f32,
+    chunk: usize,
+) -> Result<Vec<u32>, SourceError> {
+    let n = source.len();
+    let dim = source.dim();
+    let k = clustering.k();
+    let mut out = Vec::with_capacity(n);
+    let mut counts = vec![0u64; k];
+    let target = (n as f32 / k as f32).max(1.0);
+    let chunk = chunk.max(1);
+    let mut buf: Vec<f32> = Vec::with_capacity(chunk * dim);
+    let mut ids: Vec<usize> = Vec::with_capacity(chunk);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        ids.clear();
+        ids.extend(start..end);
+        source.gather(&ids, &mut buf)?;
+        for x in buf.chunks_exact(dim) {
+            let c = if lambda > 0.0 {
+                nearest_penalized(clustering, &counts, x, lambda, target)
+            } else {
+                clustering.nearest(x).0
+            };
+            counts[c] += 1;
+            out.push(c as u32);
+        }
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Coefficient of variation of partition sizes (std/mean) — the
+/// imbalance measure the balance constraint is meant to minimize.
+pub fn size_cv(assignments: &[u32], k: usize) -> f64 {
+    if assignments.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0f64; k];
+    for &a in assignments {
+        counts[a as usize] += 1.0;
+    }
+    let mean = assignments.len() as f64 / k as f64;
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / k as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SliceSource;
+
+    /// Gaussian-ish blobs around `centers` using a cheap LCG.
+    fn blobs(centers: &[(f32, f32)], per: usize, spread: f32, skew: Option<&[usize]>) -> Vec<f32> {
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let mut data = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            let count = skew.map_or(per, |s| s[ci]);
+            for _ in 0..count {
+                data.push(cx + spread * next());
+                data.push(cy + spread * next());
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let centers = [(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)];
+        let data = blobs(&centers, 250, 2.0, None);
+        let src = SliceSource::new(&data, 2);
+        let cfg = MiniBatchConfig {
+            target_cluster_size: 250,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let c = train(&src, &cfg).unwrap();
+        assert_eq!(c.k(), 4);
+        // Every true center has a trained centroid nearby.
+        for &(cx, cy) in &centers {
+            let (_, d) = c.nearest(&[cx, cy]);
+            assert!(d < 25.0, "no centroid near ({cx},{cy}): d²={d}");
+        }
+        // Points assign to consistent clusters with high purity.
+        let assignments = assign_all(&src, &c, 0.0, 128).unwrap();
+        for blob in 0..4 {
+            let slice = &assignments[blob * 250..(blob + 1) * 250];
+            let mut hist = [0usize; 4];
+            for &a in slice {
+                hist[a as usize] += 1;
+            }
+            let purity = *hist.iter().max().unwrap() as f64 / 250.0;
+            assert!(purity > 0.9, "blob {blob} purity {purity}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 10.0)], 200, 1.0, None);
+        let src = SliceSource::new(&data, 2);
+        let cfg = MiniBatchConfig {
+            target_cluster_size: 100,
+            batch_size: 32,
+            iterations: 30,
+            ..Default::default()
+        };
+        let a = train(&src, &cfg).unwrap();
+        let b = train(&src, &cfg).unwrap();
+        assert_eq!(a, b);
+        let c = train(
+            &src,
+            &MiniBatchConfig {
+                seed: 999,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c, "different seed, different init");
+    }
+
+    #[test]
+    fn balance_penalty_reduces_size_variance_on_skewed_data() {
+        // One huge blob + two small ones: unbalanced k-means makes a
+        // mega-cluster; the penalty spreads it across centroids.
+        let data = blobs(
+            &[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0)],
+            0,
+            4.0,
+            Some(&[1600, 200, 200]),
+        );
+        let src = SliceSource::new(&data, 2);
+        let base = MiniBatchConfig {
+            target_cluster_size: 200, // k = 10
+            batch_size: 128,
+            iterations: 60,
+            ..Default::default()
+        };
+        let unbalanced_cfg = MiniBatchConfig {
+            balance_lambda: 0.0,
+            balanced_assignment: false,
+            ..base.clone()
+        };
+        let balanced_cfg = MiniBatchConfig {
+            balance_lambda: 1.0,
+            ..base
+        };
+        let cu = train(&src, &unbalanced_cfg).unwrap();
+        let cb = train(&src, &balanced_cfg).unwrap();
+        let au = assign_all(&src, &cu, 0.0, 256).unwrap();
+        let ab = assign_all(&src, &cb, 1.0, 256).unwrap();
+        let cv_u = size_cv(&au, cu.k());
+        let cv_b = size_cv(&ab, cb.k());
+        assert!(
+            cv_b < cv_u,
+            "balance constraint must reduce size variation: {cv_b:.3} vs {cv_u:.3}"
+        );
+        // Balancing is "flexible" (soft) in [22]: it spreads mega
+        // clusters across nearby centroids but does not force global
+        // equality across distant blobs.
+        assert!(cv_b < 0.9, "balanced CV should be moderate: {cv_b:.3}");
+    }
+
+    #[test]
+    fn k_derived_from_target_size() {
+        let data = blobs(&[(0.0, 0.0)], 1000, 1.0, None);
+        let src = SliceSource::new(&data, 2);
+        let cfg = MiniBatchConfig {
+            target_cluster_size: 100,
+            batch_size: 64,
+            iterations: 10,
+            ..Default::default()
+        };
+        let c = train(&src, &cfg).unwrap();
+        assert_eq!(c.k(), 10);
+        // Tiny collection: k clamps to 1.
+        let tiny = blobs(&[(0.0, 0.0)], 5, 1.0, None);
+        let tiny_src = SliceSource::new(&tiny, 2);
+        let c = train(&tiny_src, &cfg).unwrap();
+        assert_eq!(c.k(), 1);
+    }
+
+    #[test]
+    fn empty_source_is_an_error() {
+        let src = SliceSource::new(&[], 4);
+        assert!(train(&src, &MiniBatchConfig::default()).is_err());
+    }
+
+    #[test]
+    fn size_cv_measures_imbalance() {
+        assert_eq!(size_cv(&[0, 0, 1, 1], 2), 0.0);
+        let skewed = size_cv(&[0, 0, 0, 1], 2);
+        assert!(skewed > 0.4);
+        assert_eq!(size_cv(&[], 4), 0.0);
+    }
+}

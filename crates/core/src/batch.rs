@@ -1,0 +1,269 @@
+//! Batch query processing with multi-query optimization (§3.4).
+//!
+//! Given a batch of queries, MicroNN "first identifies the set of
+//! clusters that each query needs to access, and groups queries per
+//! partition. Then, instead of scanning a partition multiple times for
+//! each query, distances between queries and the vectors in the
+//! partition is calculated via a single matrix multiplication." Each
+//! partition is therefore read from disk **once** for the whole batch
+//! (the I/O amortization of Figure 9), and per-(partition, query)
+//! results merge through the usual heap machinery.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use micronn_linalg::{batch_distances, merge_all, TopK};
+use micronn_rel::{RowDecoder, Value};
+use micronn_storage::ReadTxn;
+
+use crate::db::{Inner, MicroNN, DELTA_PARTITION};
+use crate::error::{Error, Result};
+use crate::search::SearchResult;
+
+/// Results of a batch search plus aggregate execution counters.
+#[derive(Debug, Clone)]
+pub struct BatchResponse {
+    /// Per-query result lists, aligned with the input batch.
+    pub results: Vec<Vec<SearchResult>>,
+    /// Distinct partitions scanned for the whole batch (each exactly
+    /// once — the MQO property).
+    pub partitions_scanned: usize,
+    /// Total `(query, vector)` distance computations.
+    pub distance_computations: usize,
+}
+
+/// Rows per matrix-multiplication block while scanning a partition.
+const BATCH_ROW_CHUNK: usize = 1024;
+
+impl MicroNN {
+    /// Executes a batch of ANN queries with multi-query optimization.
+    pub fn batch_search(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        probes: Option<usize>,
+    ) -> Result<BatchResponse> {
+        let inner = &*self.inner;
+        if queries.is_empty() {
+            return Ok(BatchResponse {
+                results: vec![],
+                partitions_scanned: 0,
+                distance_computations: 0,
+            });
+        }
+        for q in queries {
+            if q.len() != inner.dim {
+                return Err(Error::DimensionMismatch {
+                    expected: inner.dim,
+                    got: q.len(),
+                });
+            }
+        }
+        let r = inner.db.begin_read();
+        let probes = probes.unwrap_or(inner.cfg.default_probes);
+        let nq = queries.len();
+        let dim = inner.dim;
+        let mut queries_flat = Vec::with_capacity(nq * dim);
+        for q in queries {
+            queries_flat.extend_from_slice(q);
+        }
+
+        // Phase 1: probe selection for all queries via one GEMM against
+        // the centroid matrix.
+        let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
+        if let Some(index) = inner.clustering(&r)? {
+            let (clustering, partition_ids) = (&index.clustering, &index.partitions);
+            let kc = clustering.k();
+            let mut cd = vec![0f32; nq * kc];
+            batch_distances(
+                inner.metric,
+                &queries_flat,
+                nq,
+                clustering.centroids(),
+                kc,
+                dim,
+                &mut cd,
+            );
+            for qi in 0..nq {
+                let mut top = TopK::new(probes.min(kc));
+                for ci in 0..kc {
+                    top.push(ci as u64, cd[qi * kc + ci]);
+                }
+                for n in top.into_sorted() {
+                    groups
+                        .entry(partition_ids[n.id as usize])
+                        .or_default()
+                        .push(qi as u32);
+                }
+            }
+        }
+        // The delta store serves every query.
+        groups.insert(DELTA_PARTITION, (0..nq as u32).collect());
+
+        let mut partitions: Vec<i64> = groups.keys().copied().collect();
+        partitions.sort_unstable();
+
+        // Phase 2: scan each partition once; per-partition GEMM against
+        // its query group.
+        let next = AtomicUsize::new(0);
+        let partials: Mutex<Vec<(u32, TopK)>> = Mutex::new(Vec::new());
+        let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
+        let distance_computations = AtomicUsize::new(0);
+        let workers = inner.scan_pool.workers().min(partitions.len()).max(1);
+        let jobs: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let partials = &partials;
+                let errors = &errors;
+                let groups = &groups;
+                let partitions = &partitions;
+                let queries_flat = &queries_flat;
+                let distance_computations = &distance_computations;
+                let r = &r;
+                move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&pid) = partitions.get(idx) else {
+                        return;
+                    };
+                    let group = &groups[&pid];
+                    match scan_partition_for_group(inner, r, pid, group, queries_flat, dim, k) {
+                        Ok(done) => {
+                            distance_computations.fetch_add(done.1, Ordering::Relaxed);
+                            partials.lock().extend(done.0);
+                        }
+                        Err(e) => {
+                            errors.lock().push(e);
+                            return;
+                        }
+                    }
+                }
+            })
+            .collect();
+        inner.scan_pool.run_scoped(jobs);
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+
+        // Phase 3: merge per-partition heaps per query, then sort.
+        let mut per_query: Vec<Vec<TopK>> = (0..nq).map(|_| Vec::new()).collect();
+        for (qi, top) in partials.into_inner() {
+            per_query[qi as usize].push(top);
+        }
+        let results = per_query
+            .into_iter()
+            .map(|heaps| {
+                merge_all(heaps, k)
+                    .into_iter()
+                    .map(|n| SearchResult {
+                        asset_id: n.id as i64,
+                        distance: n.distance,
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(BatchResponse {
+            results,
+            partitions_scanned: partitions.len(),
+            distance_computations: distance_computations.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Naive baseline: the same batch processed one query at a time
+    /// (used by the Figure 9 comparison).
+    pub fn batch_search_sequential(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        probes: Option<usize>,
+    ) -> Result<Vec<Vec<SearchResult>>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            let mut req = crate::hybrid::SearchRequest::new(q.clone(), k);
+            req.probes = probes;
+            out.push(self.search_with(&req)?.results);
+        }
+        Ok(out)
+    }
+}
+
+/// Scans one partition once, computing distances for every query in
+/// `group` by blocked matrix multiplication. Returns the per-query
+/// local heaps and the number of distance computations.
+fn scan_partition_for_group(
+    inner: &Inner,
+    r: &ReadTxn,
+    partition: i64,
+    group: &[u32],
+    queries_flat: &[f32],
+    dim: usize,
+    k: usize,
+) -> Result<(Vec<(u32, TopK)>, usize)> {
+    // Gather the group's query vectors into a contiguous sub-matrix.
+    let gq = group.len();
+    let mut sub = Vec::with_capacity(gq * dim);
+    for &qi in group {
+        let qi = qi as usize;
+        sub.extend_from_slice(&queries_flat[qi * dim..(qi + 1) * dim]);
+    }
+    let mut heaps: Vec<TopK> = group.iter().map(|_| TopK::new(k)).collect();
+    let mut ids: Vec<i64> = Vec::with_capacity(BATCH_ROW_CHUNK);
+    let mut rows: Vec<f32> = Vec::with_capacity(BATCH_ROW_CHUNK * dim);
+    let mut out: Vec<f32> = Vec::new();
+    let mut computations = 0usize;
+    let mut flush = |ids: &mut Vec<i64>, rows: &mut Vec<f32>, heaps: &mut [TopK]| {
+        let nr = ids.len();
+        if nr == 0 {
+            return;
+        }
+        out.clear();
+        out.resize(gq * nr, 0.0);
+        batch_distances(inner.metric, &sub, gq, rows, nr, dim, &mut out);
+        computations += gq * nr;
+        for (local_q, heap) in heaps.iter_mut().enumerate() {
+            let base = local_q * nr;
+            for (j, &id) in ids.iter().enumerate() {
+                heap.push(id as u64, out[base + j]);
+            }
+        }
+        ids.clear();
+        rows.clear();
+    };
+    for kv in inner
+        .tables
+        .vectors
+        .scan_pk_prefix_raw(r, &[Value::Integer(partition)])?
+    {
+        let (_, row_bytes) = kv?;
+        let mut dec = RowDecoder::new(&row_bytes)?;
+        dec.skip()?;
+        dec.skip()?;
+        let asset = dec
+            .next_value()?
+            .as_integer()
+            .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
+        let blob = dec.next_blob()?;
+        if blob.len() != dim * 4 {
+            return Err(Error::Config(format!(
+                "stored vector has {} bytes, expected {}",
+                blob.len(),
+                dim * 4
+            )));
+        }
+        ids.push(asset);
+        rows.extend(
+            blob.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+        if ids.len() == BATCH_ROW_CHUNK {
+            flush(&mut ids, &mut rows, &mut heaps);
+        }
+    }
+    flush(&mut ids, &mut rows, &mut heaps);
+    drop(flush);
+    Ok((
+        group.iter().copied().zip(heaps).collect(),
+        computations,
+    ))
+}

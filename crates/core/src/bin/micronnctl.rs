@@ -1,0 +1,380 @@
+//! `micronnctl` — command-line administration for MicroNN databases.
+//!
+//! ```text
+//! micronnctl create  <db> --dim <D> [--metric l2|cosine|dot] [--attr name:type[:indexed][:fts]]...
+//! micronnctl import  <db> <csv>            # rows: asset_id,v1,...,vD[,name=value...]
+//! micronnctl search  <db> --query "v1,..,vD" [-k N] [--probes N] [--filter EXPR] [--exact]
+//! micronnctl stats   <db>
+//! micronnctl rebuild <db>
+//! micronnctl flush   <db>
+//! micronnctl analyze <db>
+//! micronnctl backup  <db> <dest>
+//! micronnctl checkpoint <db>
+//! ```
+//!
+//! Filter expressions are single comparisons: `col=value`, `col!=v`,
+//! `col<v`, `col<=v`, `col>v`, `col>=v`, or `col~"full text query"`;
+//! combine with ` AND ` / ` OR `.
+
+use std::process::ExitCode;
+
+use micronn::{
+    AttributeDef, Config, Expr, Metric, MicroNN, SearchRequest, Value, ValueType, VectorRecord,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: micronnctl <create|import|search|stats|rebuild|flush|analyze|backup|checkpoint> ...".into());
+    };
+    match cmd.as_str() {
+        "create" => cmd_create(&args[1..]),
+        "import" => cmd_import(&args[1..]),
+        "search" => cmd_search(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "rebuild" => cmd_simple(&args[1..], |db| {
+            let r = db.rebuild().map_err(stringify)?;
+            println!(
+                "rebuilt: {} vectors -> {} partitions ({} rows moved) in {:?}",
+                r.vectors, r.partitions, r.moved_rows, r.total_time
+            );
+            Ok(())
+        }),
+        "flush" => cmd_simple(&args[1..], |db| {
+            let r = db.flush_delta().map_err(stringify)?;
+            println!(
+                "flushed {} delta vectors into {} partitions in {:?}",
+                r.flushed, r.partitions_touched, r.total_time
+            );
+            Ok(())
+        }),
+        "analyze" => cmd_simple(&args[1..], |db| {
+            db.analyze().map_err(stringify)?;
+            println!("statistics refreshed");
+            Ok(())
+        }),
+        "checkpoint" => cmd_simple(&args[1..], |db| {
+            let done = db.checkpoint().map_err(stringify)?;
+            println!(
+                "{}",
+                if done {
+                    "checkpoint complete"
+                } else {
+                    "checkpoint skipped (pinned readers or empty WAL)"
+                }
+            );
+            Ok(())
+        }),
+        "backup" => {
+            let (db_path, rest) = take_path(&args[1..])?;
+            let dest = rest
+                .first()
+                .ok_or("backup: missing destination path")?;
+            let db = open(&db_path)?;
+            db.backup_to(dest).map_err(stringify)?;
+            println!("backup written to {dest}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn stringify(e: micronn::Error) -> String {
+    e.to_string()
+}
+
+fn take_path(args: &[String]) -> Result<(String, &[String]), String> {
+    let path = args.first().ok_or("missing database path")?.clone();
+    Ok((path, &args[1..]))
+}
+
+fn open(path: &str) -> Result<MicroNN, String> {
+    MicroNN::open(path, Config::default()).map_err(stringify)
+}
+
+fn cmd_simple(
+    args: &[String],
+    f: impl FnOnce(&MicroNN) -> Result<(), String>,
+) -> Result<(), String> {
+    let (path, _) = take_path(args)?;
+    f(&open(&path)?)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (path, _) = take_path(args)?;
+    let db = open(&path)?;
+    let s = db.stats().map_err(stringify)?;
+    println!("path:                {path}");
+    println!("dimension:           {}", db.dim());
+    println!("metric:              {}", db.metric());
+    println!("total vectors:       {}", s.total_vectors);
+    println!("delta vectors:       {}", s.delta_vectors);
+    println!("partitions:          {}", s.partitions);
+    println!("avg partition size:  {:.1}", s.avg_partition_size);
+    println!("baseline size:       {:.1}", s.baseline_partition_size);
+    println!("index epoch:         {}", s.epoch);
+    println!("pool resident:       {} KiB", s.resident_bytes / 1024);
+    println!(
+        "maintenance status:  {:?}",
+        db.maintenance_status().map_err(stringify)?
+    );
+    Ok(())
+}
+
+fn cmd_create(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let dim: usize = flag_value(rest, "--dim")
+        .ok_or("create: --dim is required")?
+        .parse()
+        .map_err(|_| "create: --dim must be a number")?;
+    let metric = match flag_value(rest, "--metric") {
+        None => Metric::L2,
+        Some(m) => Metric::parse(m).ok_or(format!("unknown metric {m}"))?,
+    };
+    let mut config = Config::new(dim, metric);
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--attr" {
+            let spec = rest
+                .get(i + 1)
+                .ok_or("create: --attr needs name:type[:indexed][:fts]")?;
+            config.attributes.push(parse_attr(spec)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    MicroNN::create(&path, config).map_err(stringify)?;
+    println!("created {path} ({dim}-d, {metric})");
+    Ok(())
+}
+
+fn parse_attr(spec: &str) -> Result<AttributeDef, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 2 {
+        return Err(format!("bad attribute spec {spec}"));
+    }
+    let ty = match parts[1] {
+        "int" | "integer" => ValueType::Integer,
+        "real" | "float" => ValueType::Real,
+        "text" | "string" => ValueType::Text,
+        t => return Err(format!("unknown attribute type {t}")),
+    };
+    let mut def = AttributeDef::new(parts[0], ty);
+    for p in &parts[2..] {
+        match *p {
+            "indexed" => def.indexed = true,
+            "fts" => def.fts = true,
+            other => return Err(format!("unknown attribute modifier {other}")),
+        }
+    }
+    Ok(def)
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let csv = rest.first().ok_or("import: missing csv path")?;
+    let db = open(&path)?;
+    let dim = db.dim();
+    let content = std::fs::read_to_string(csv).map_err(|e| format!("read {csv}: {e}"))?;
+    let mut batch = Vec::with_capacity(1024);
+    let mut imported = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 1 + dim {
+            return Err(format!("line {}: expected id + {dim} floats", lineno + 1));
+        }
+        let asset_id: i64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad asset id {}", lineno + 1, fields[0]))?;
+        let mut vector = Vec::with_capacity(dim);
+        for f in &fields[1..=dim] {
+            vector.push(
+                f.trim()
+                    .parse::<f32>()
+                    .map_err(|_| format!("line {}: bad float {f}", lineno + 1))?,
+            );
+        }
+        let mut rec = VectorRecord::new(asset_id, vector);
+        // Optional trailing name=value attribute pairs.
+        for extra in &fields[1 + dim..] {
+            let (name, value) = extra
+                .split_once('=')
+                .ok_or(format!("line {}: bad attribute {extra}", lineno + 1))?;
+            rec = rec.with_attr(name.trim(), parse_value(value.trim()));
+        }
+        batch.push(rec);
+        if batch.len() == 1024 {
+            db.upsert_batch(&batch).map_err(stringify)?;
+            imported += batch.len();
+            batch.clear();
+        }
+    }
+    db.upsert_batch(&batch).map_err(stringify)?;
+    imported += batch.len();
+    println!("imported {imported} vectors into {path} (staged in the delta store; run `micronnctl rebuild` to index)");
+    Ok(())
+}
+
+fn parse_value(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Integer(i);
+    }
+    if let Ok(r) = s.parse::<f64>() {
+        return Value::Real(r);
+    }
+    Value::text(s)
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let db = open(&path)?;
+    let query_str = flag_value(rest, "--query").ok_or("search: --query is required")?;
+    let query: Vec<f32> = query_str
+        .split(',')
+        .map(|t| t.trim().parse::<f32>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| "search: --query must be comma-separated floats")?;
+    let k: usize = flag_value(rest, "-k").unwrap_or("10").parse().map_err(|_| "bad -k")?;
+    let exact = rest.iter().any(|a| a == "--exact");
+    let mut req = SearchRequest::new(query.clone(), k);
+    if let Some(p) = flag_value(rest, "--probes") {
+        req = req.with_probes(p.parse().map_err(|_| "bad --probes")?);
+    }
+    let filter = match flag_value(rest, "--filter") {
+        Some(f) => Some(parse_filter(f)?),
+        None => None,
+    };
+    let t = std::time::Instant::now();
+    let resp = if exact {
+        db.exact(&query, k, filter.as_ref()).map_err(stringify)?
+    } else {
+        if let Some(f) = filter {
+            req = req.with_filter(f);
+        }
+        db.search_with(&req).map_err(stringify)?
+    };
+    let elapsed = t.elapsed();
+    println!(
+        "plan={} partitions={} vectors_scanned={} time={elapsed:?}",
+        resp.info.plan, resp.info.partitions_scanned, resp.info.vectors_scanned
+    );
+    for r in &resp.results {
+        println!("{:>20}  {:.6}", r.asset_id, r.distance);
+    }
+    Ok(())
+}
+
+/// Parses `col=v`, `col!=v`, `col<(=)v`, `col>(=)v`, `col~"text"`,
+/// combined with ` AND ` / ` OR ` (left-associative, AND binds first
+/// within each OR arm because we split on OR first).
+fn parse_filter(s: &str) -> Result<Expr, String> {
+    let or_arms: Vec<&str> = s.split(" OR ").collect();
+    let mut or_expr: Option<Expr> = None;
+    for arm in or_arms {
+        let mut and_expr: Option<Expr> = None;
+        for leaf in arm.split(" AND ") {
+            let e = parse_leaf(leaf.trim())?;
+            and_expr = Some(match and_expr {
+                None => e,
+                Some(prev) => prev.and(e),
+            });
+        }
+        let arm_expr = and_expr.ok_or("empty filter arm")?;
+        or_expr = Some(match or_expr {
+            None => arm_expr,
+            Some(prev) => prev.or(arm_expr),
+        });
+    }
+    or_expr.ok_or_else(|| "empty filter".into())
+}
+
+fn parse_leaf(leaf: &str) -> Result<Expr, String> {
+    for (op_str, build) in [
+        ("!=", Expr::ne as fn(String, Value) -> Expr),
+        ("<=", Expr::le as fn(String, Value) -> Expr),
+        (">=", Expr::ge as fn(String, Value) -> Expr),
+        ("=", Expr::eq as fn(String, Value) -> Expr),
+        ("<", Expr::lt as fn(String, Value) -> Expr),
+        (">", Expr::gt as fn(String, Value) -> Expr),
+    ] {
+        if let Some((col, val)) = leaf.split_once(op_str) {
+            // Ensure we didn't split `<=` at `<` etc.: the longer
+            // operators are tried first, so a remaining exact match is
+            // safe unless the value starts with '=' (e.g. "<=").
+            if op_str.len() == 1 && val.starts_with('=') {
+                continue;
+            }
+            return Ok(build(
+                col.trim().to_string(),
+                parse_value(val.trim().trim_matches('"')),
+            ));
+        }
+    }
+    if let Some((col, q)) = leaf.split_once('~') {
+        return Ok(Expr::matches(col.trim(), q.trim().trim_matches('"')));
+    }
+    Err(format!("cannot parse filter leaf {leaf:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing() {
+        assert_eq!(
+            parse_filter("location=Seattle").unwrap(),
+            Expr::eq("location", "Seattle")
+        );
+        assert_eq!(
+            parse_filter("n<=5 AND tag~\"black cat\"").unwrap(),
+            Expr::le("n", Value::Integer(5)).and(Expr::matches("tag", "black cat"))
+        );
+        assert_eq!(
+            parse_filter("a=1 OR b!=x").unwrap(),
+            Expr::eq("a", Value::Integer(1)).or(Expr::ne("b", "x"))
+        );
+        assert!(parse_filter("garbage").is_err());
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("42"), Value::Integer(42));
+        assert_eq!(parse_value("4.5"), Value::Real(4.5));
+        assert_eq!(parse_value("hello"), Value::text("hello"));
+    }
+
+    #[test]
+    fn attr_spec_parsing() {
+        let a = parse_attr("location:text:indexed").unwrap();
+        assert!(a.indexed && !a.fts);
+        assert_eq!(a.ty, ValueType::Text);
+        let a = parse_attr("caption:text:fts").unwrap();
+        assert!(a.fts);
+        assert!(parse_attr("bad").is_err());
+        assert!(parse_attr("x:unknown").is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Full index construction (§3.1).
+//!
+//! Building streams the vector collection through mini-batch k-means
+//! (Algorithm 1) — never buffering more than one mini-batch of vectors
+//! — then rewrites each row's `partition` component of the clustered
+//! primary key so partitions become contiguous on disk. The whole
+//! rebuild is **one write transaction**: concurrent readers keep their
+//! snapshots of the old index and flip atomically to the new one at
+//! commit (the consistency requirement of §2.1). Transactions larger
+//! than memory spill dirty pages to the WAL.
+
+use std::time::Instant;
+
+use micronn_cluster::{MiniBatchConfig, SourceError, VectorSource};
+use micronn_rel::{analyze_table, blob_into_f32, f32_to_blob, RowDecoder, Table, Value};
+use micronn_storage::PageRead;
+
+use crate::db::{
+    meta_int, set_meta_int, Inner, MicroNN, M_BASELINE_AVG, M_DELTA_COUNT,
+    M_EPOCH, M_PARTITIONS,
+};
+use crate::error::{Error, Result};
+
+/// Outcome of a full index build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebuildReport {
+    /// Vectors clustered.
+    pub vectors: usize,
+    /// Partitions created.
+    pub partitions: usize,
+    /// Rows whose partition assignment changed (and were rewritten).
+    pub moved_rows: usize,
+    /// Wall-clock spent training the quantizer.
+    pub train_time: std::time::Duration,
+    /// Total wall-clock of the rebuild.
+    pub total_time: std::time::Duration,
+}
+
+/// A [`VectorSource`] streaming vectors out of the clustered vector
+/// table by `(partition, vid)` key — the bridge between the relational
+/// store and the clustering crate.
+pub(crate) struct TableVectorSource<'a, R: PageRead + ?Sized> {
+    pub table: &'a Table,
+    pub reader: &'a R,
+    pub keys: &'a [(i64, i64)],
+    pub dim: usize,
+}
+
+impl<R: PageRead + ?Sized> VectorSource for TableVectorSource<'_, R> {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn gather(&self, ids: &[usize], out: &mut Vec<f32>) -> std::result::Result<(), SourceError> {
+        out.clear();
+        out.reserve(ids.len() * self.dim);
+        let mut tmp: Vec<f32> = Vec::with_capacity(self.dim);
+        for &id in ids {
+            let (partition, vid) = *self
+                .keys
+                .get(id)
+                .ok_or_else(|| SourceError::msg(format!("vector index {id} out of range")))?;
+            let row = self
+                .table
+                .get_raw(
+                    self.reader,
+                    &[Value::Integer(partition), Value::Integer(vid)],
+                )
+                .map_err(SourceError::new)?
+                .ok_or_else(|| {
+                    SourceError::msg(format!("vector ({partition},{vid}) vanished mid-build"))
+                })?;
+            let mut dec = RowDecoder::new(&row).map_err(SourceError::new)?;
+            dec.skip().map_err(SourceError::new)?; // partition
+            dec.skip().map_err(SourceError::new)?; // vid
+            dec.skip().map_err(SourceError::new)?; // asset
+            let blob = dec.next_blob().map_err(SourceError::new)?;
+            blob_into_f32(blob, &mut tmp).map_err(SourceError::new)?;
+            if tmp.len() != self.dim {
+                return Err(SourceError::msg(format!(
+                    "vector ({partition},{vid}) has dim {}, expected {}",
+                    tmp.len(),
+                    self.dim
+                )));
+            }
+            out.extend_from_slice(&tmp);
+        }
+        Ok(())
+    }
+}
+
+/// Per-rebuild overrides of the clustering parameters (the Figure 8
+/// mini-batch sweep rebuilds one index under many batch sizes).
+#[derive(Debug, Clone, Default)]
+pub struct RebuildOptions {
+    /// Mini-batch size; `None` = the index config's value.
+    pub batch_size: Option<usize>,
+    /// Iterations; `None` = the index config's value.
+    pub iterations: Option<usize>,
+    /// Train the quantizer with full-memory Lloyd's k-means instead of
+    /// mini-batch: buffers the *entire* collection in RAM (the memory
+    /// cost the paper's Figure 8b shows for a "100% batch"), in
+    /// exchange for classic k-means quality.
+    pub full_kmeans: bool,
+}
+
+impl MicroNN {
+    /// Builds (or fully rebuilds) the IVF index from the current vector
+    /// collection, folding the delta store in. Runs as one atomic write
+    /// transaction; readers are never blocked.
+    pub fn rebuild(&self) -> Result<RebuildReport> {
+        self.rebuild_with(&RebuildOptions::default())
+    }
+
+    /// [`MicroNN::rebuild`] with clustering-parameter overrides.
+    pub fn rebuild_with(&self, opts: &RebuildOptions) -> Result<RebuildReport> {
+        let start = Instant::now();
+        let inner: &Inner = &self.inner;
+        let mut txn = inner.db.begin_write()?;
+
+        // Collect the key list (partition, vid) — metadata only, the
+        // vectors themselves stay on disk.
+        let mut keys: Vec<(i64, i64)> = Vec::new();
+        for kv in inner.tables.vectors.scan(&txn)? {
+            let row = kv?;
+            keys.push((
+                row[0].as_integer().unwrap_or(0),
+                row[1].as_integer().unwrap_or(0),
+            ));
+        }
+        if keys.is_empty() {
+            txn.rollback();
+            return Ok(RebuildReport {
+                vectors: 0,
+                partitions: 0,
+                moved_rows: 0,
+                train_time: std::time::Duration::ZERO,
+                total_time: start.elapsed(),
+            });
+        }
+
+        // Train the quantizer (Algorithm 1) over the streaming source.
+        let mb = MiniBatchConfig {
+            target_cluster_size: inner.cfg.target_partition_size,
+            batch_size: opts.batch_size.unwrap_or(inner.cfg.clustering_batch_size),
+            iterations: opts.iterations.unwrap_or(inner.cfg.clustering_iterations),
+            balance_lambda: inner.cfg.balance_lambda,
+            balanced_assignment: true,
+            seed: inner.cfg.seed,
+            metric: inner.metric,
+        };
+        let train_start = Instant::now();
+        let (clustering, assignments) = {
+            let source = TableVectorSource {
+                table: &inner.tables.vectors,
+                reader: &txn,
+                keys: &keys,
+                dim: inner.dim,
+            };
+            if opts.full_kmeans {
+                // Regular k-means: buffer the whole collection (the
+                // memory cost the streaming path exists to avoid).
+                let all: Vec<usize> = (0..keys.len()).collect();
+                let mut data = Vec::with_capacity(keys.len() * inner.dim);
+                source.gather(&all, &mut data)?;
+                let clustering = micronn_cluster::lloyd::train(
+                    &data,
+                    inner.dim,
+                    &micronn_cluster::LloydConfig {
+                        target_cluster_size: inner.cfg.target_partition_size,
+                        seed: inner.cfg.seed,
+                        metric: inner.metric,
+                        ..Default::default()
+                    },
+                );
+                let assignments = micronn_cluster::lloyd::assign_all(&data, inner.dim, &clustering);
+                (clustering, assignments)
+            } else {
+                let clustering = micronn_cluster::train(&source, &mb)?;
+                // Assignment streams in chunks sized to ~2 MiB of
+                // vectors, keeping construction memory near the
+                // mini-batch bound the paper claims (Figure 6b).
+                let chunk = (2 * 1024 * 1024 / (inner.dim * 4)).clamp(64, 4096);
+                let assignments = micronn_cluster::assign_all(
+                    &source,
+                    &clustering,
+                    if mb.balanced_assignment {
+                        mb.balance_lambda
+                    } else {
+                        0.0
+                    },
+                    chunk,
+                )?;
+                (clustering, assignments)
+            }
+        };
+        let train_time = train_start.elapsed();
+        let k = clustering.k();
+
+        // Replace the centroid table.
+        let old_pids: Vec<i64> = inner
+            .tables
+            .centroids
+            .scan(&txn)?
+            .map(|row| Ok(row?[0].as_integer().unwrap_or(0)))
+            .collect::<Result<_>>()?;
+        for pid in old_pids {
+            inner.tables.centroids.delete(&mut txn, &[Value::Integer(pid)])?;
+        }
+        let mut sizes = vec![0i64; k];
+        for &a in &assignments {
+            sizes[a as usize] += 1;
+        }
+        for c in 0..k {
+            inner.tables.centroids.upsert(
+                &mut txn,
+                vec![
+                    Value::Integer(c as i64 + 1),
+                    Value::Blob(f32_to_blob(clustering.centroid(c))),
+                    Value::Integer(sizes[c]),
+                ],
+            )?;
+        }
+
+        // Rewrite rows whose partition changed: the clustered key moves
+        // the row into its partition's contiguous key range.
+        let mut moved = 0usize;
+        for (i, &(old_p, vid)) in keys.iter().enumerate() {
+            let new_p = assignments[i] as i64 + 1;
+            if old_p == new_p {
+                continue;
+            }
+            let row = inner
+                .tables
+                .vectors
+                .delete(&mut txn, &[Value::Integer(old_p), Value::Integer(vid)])?
+                .ok_or_else(|| Error::Config("row vanished during rebuild".into()))?;
+            let asset = row[2].clone();
+            let blob = row[3].clone();
+            inner.tables.vectors.upsert(
+                &mut txn,
+                vec![Value::Integer(new_p), Value::Integer(vid), asset.clone(), blob],
+            )?;
+            inner.tables.assets.upsert(
+                &mut txn,
+                vec![asset, Value::Integer(new_p), Value::Integer(vid)],
+            )?;
+            moved += 1;
+            inner
+                .row_changes
+                .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        }
+
+        // Refresh statistics for the hybrid optimizer and bump the
+        // index epoch (invalidates centroid/stats caches).
+        analyze_table(&mut txn, &inner.tables.attrs)?;
+        let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_PARTITIONS, k as i64)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, 0)?;
+        // Baseline average partition size, scaled ×1000 for integer
+        // storage (the growth trigger compares ratios).
+        let avg_x1000 = (keys.len() as f64 / k as f64 * 1000.0) as i64;
+        set_meta_int(&mut txn, &inner.tables.meta, M_BASELINE_AVG, avg_x1000)?;
+        txn.commit()?;
+
+        Ok(RebuildReport {
+            vectors: keys.len(),
+            partitions: k,
+            moved_rows: moved,
+            train_time,
+            total_time: start.elapsed(),
+        })
+    }
+}

@@ -1,0 +1,278 @@
+//! Configuration: index parameters, attribute schema, and device
+//! profiles.
+
+use micronn_linalg::Metric;
+use micronn_rel::ValueType;
+use micronn_storage::{StoreOptions, SyncMode};
+
+/// A client-defined filterable attribute (§3.5): a typed column in the
+/// attributes table, optionally b-tree indexed and/or full-text
+/// indexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    pub name: String,
+    pub ty: ValueType,
+    /// Create a secondary b-tree index over this attribute.
+    pub indexed: bool,
+    /// Create a full-text index over this attribute (TEXT only).
+    pub fts: bool,
+}
+
+impl AttributeDef {
+    /// A plain (unindexed) attribute.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> AttributeDef {
+        AttributeDef {
+            name: name.into(),
+            ty,
+            indexed: false,
+            fts: false,
+        }
+    }
+
+    /// A b-tree indexed attribute.
+    pub fn indexed(name: impl Into<String>, ty: ValueType) -> AttributeDef {
+        AttributeDef {
+            name: name.into(),
+            ty,
+            indexed: true,
+            fts: false,
+        }
+    }
+
+    /// A full-text indexed TEXT attribute.
+    pub fn full_text(name: impl Into<String>) -> AttributeDef {
+        AttributeDef {
+            name: name.into(),
+            ty: ValueType::Text,
+            indexed: false,
+            fts: true,
+        }
+    }
+}
+
+/// Configuration for creating a MicroNN index.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Vector dimensionality (fixed at creation).
+    pub dim: usize,
+    /// Distance metric (fixed at creation).
+    pub metric: Metric,
+    /// Target vectors per IVF partition `t` (paper default: 100).
+    pub target_partition_size: usize,
+    /// Default number of partitions probed per ANN query `n`.
+    pub default_probes: usize,
+    /// Worker threads for parallel partition scans; `0` = one per
+    /// available core (capped at 8, an on-device-friendly bound).
+    pub workers: usize,
+    /// Flush the delta store into the IVF index once it holds this many
+    /// vectors (`maybe_maintain`).
+    pub delta_flush_threshold: usize,
+    /// Trigger a full rebuild when the average partition size exceeds
+    /// this multiple of its post-build baseline (paper: 1.5 = +50%).
+    pub growth_limit: f64,
+    /// Mini-batch size for index-construction clustering.
+    pub clustering_batch_size: usize,
+    /// Clustering iterations; `0` = auto.
+    pub clustering_iterations: usize,
+    /// Balance-constraint weight λ of Algorithm 1.
+    pub balance_lambda: f32,
+    /// RNG seed for clustering.
+    pub seed: u64,
+    /// Build a two-level index over the centroids once the partition
+    /// count reaches this threshold (§3.2's "the centroid table itself
+    /// could also be indexed"); probe selection then costs `O(√k)`
+    /// instead of `O(k)` centroid distances.
+    pub centroid_index_threshold: usize,
+    /// Client-defined filterable attributes.
+    pub attributes: Vec<AttributeDef>,
+    /// Storage engine tuning (buffer-pool bytes, sync mode, ...).
+    pub store: StoreOptions,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            dim: 0,
+            metric: Metric::L2,
+            target_partition_size: 100,
+            default_probes: 8,
+            workers: 0,
+            delta_flush_threshold: 1024,
+            growth_limit: 1.5,
+            clustering_batch_size: 1024,
+            clustering_iterations: 0,
+            balance_lambda: 0.5,
+            seed: 0x5EED,
+            centroid_index_threshold: 2048,
+            attributes: Vec::new(),
+            store: StoreOptions::default(),
+        }
+    }
+}
+
+impl Config {
+    /// A config with the required fields set.
+    pub fn new(dim: usize, metric: Metric) -> Config {
+        Config {
+            dim,
+            metric,
+            ..Default::default()
+        }
+    }
+
+    /// Validates creation-time invariants.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        if self.dim == 0 {
+            return Err(crate::error::Error::Config("dim must be positive".into()));
+        }
+        if self.target_partition_size == 0 {
+            return Err(crate::error::Error::Config(
+                "target_partition_size must be positive".into(),
+            ));
+        }
+        if self.growth_limit <= 1.0 {
+            return Err(crate::error::Error::Config(
+                "growth_limit must exceed 1.0".into(),
+            ));
+        }
+        let mut names = std::collections::HashSet::new();
+        for a in &self.attributes {
+            if !names.insert(a.name.as_str()) {
+                return Err(crate::error::Error::Config(format!(
+                    "duplicate attribute {}",
+                    a.name
+                )));
+            }
+            if a.fts && a.ty != ValueType::Text {
+                return Err(crate::error::Error::Config(format!(
+                    "attribute {}: fts requires TEXT",
+                    a.name
+                )));
+            }
+            if a.name == "asset" {
+                return Err(crate::error::Error::Config(
+                    "attribute name 'asset' is reserved".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective worker-thread count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2)
+                .min(8)
+        }
+    }
+}
+
+/// Device profiles used throughout the evaluation: the paper's "Small
+/// DUT" (single-digit GiB of RAM) and "Large DUT" (tens of GiB) differ,
+/// for our purposes, in how much page cache the store may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceProfile {
+    /// Memory-constrained device: 4 MiB page cache, 2 workers.
+    Small,
+    /// Roomier device: 32 MiB page cache, 4 workers.
+    Large,
+}
+
+impl DeviceProfile {
+    /// Store options for this profile (sync off: benchmarks measure
+    /// compute + cache behaviour, not fsync latency).
+    pub fn store_options(self) -> StoreOptions {
+        match self {
+            DeviceProfile::Small => StoreOptions {
+                pool_bytes: 4 * 1024 * 1024,
+                sync: SyncMode::Off,
+                // Spill write transactions early: 2 MiB of dirty pages.
+                spill_after_pages: 512,
+                ..Default::default()
+            },
+            DeviceProfile::Large => StoreOptions {
+                pool_bytes: 32 * 1024 * 1024,
+                sync: SyncMode::Off,
+                spill_after_pages: 2048,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Worker threads for this profile.
+    pub fn workers(self) -> usize {
+        match self {
+            DeviceProfile::Small => 2,
+            DeviceProfile::Large => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates_with_dim() {
+        assert!(Config::new(128, Metric::L2).validate().is_ok());
+        assert!(Config::default().validate().is_err(), "dim 0 rejected");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = Config::new(8, Metric::L2);
+        c.target_partition_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::new(8, Metric::L2);
+        c.growth_limit = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::new(8, Metric::L2);
+        c.attributes = vec![
+            AttributeDef::new("a", ValueType::Integer),
+            AttributeDef::new("a", ValueType::Text),
+        ];
+        assert!(c.validate().is_err(), "duplicate attr");
+        let mut c = Config::new(8, Metric::L2);
+        c.attributes = vec![AttributeDef {
+            name: "x".into(),
+            ty: ValueType::Integer,
+            indexed: false,
+            fts: true,
+        }];
+        assert!(c.validate().is_err(), "fts on non-text");
+        let mut c = Config::new(8, Metric::L2);
+        c.attributes = vec![AttributeDef::new("asset", ValueType::Integer)];
+        assert!(c.validate().is_err(), "reserved name");
+    }
+
+    #[test]
+    fn attribute_constructors() {
+        let a = AttributeDef::indexed("loc", ValueType::Text);
+        assert!(a.indexed && !a.fts);
+        let a = AttributeDef::full_text("tags");
+        assert!(a.fts && a.ty == ValueType::Text);
+    }
+
+    #[test]
+    fn workers_defaulting() {
+        let c = Config::new(4, Metric::L2);
+        assert!(c.effective_workers() >= 1);
+        let c = Config {
+            workers: 3,
+            ..Config::new(4, Metric::L2)
+        };
+        assert_eq!(c.effective_workers(), 3);
+    }
+
+    #[test]
+    fn device_profiles_differ() {
+        let s = DeviceProfile::Small.store_options();
+        let l = DeviceProfile::Large.store_options();
+        assert!(s.pool_bytes < l.pool_bytes);
+        assert!(DeviceProfile::Small.workers() <= DeviceProfile::Large.workers());
+    }
+}

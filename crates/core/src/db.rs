@@ -1,0 +1,803 @@
+//! The MicroNN database handle: schema management, streaming updates,
+//! and shared caches.
+//!
+//! Storage schema (mirrors Figure 2 of the paper):
+//!
+//! | table       | primary key         | columns                         |
+//! |-------------|---------------------|---------------------------------|
+//! | `vectors`   | `(partition, vid)`  | `asset`, `vec` (f32 blob)       |
+//! | `assets`    | `(asset)`           | `partition`, `vid`              |
+//! | `centroids` | `(partition)`       | `centroid` (f32 blob), `size`   |
+//! | `attrs`     | `(asset)`           | client-defined attribute columns|
+//! | `meta`      | `(key)`             | `ival`, `tval`                  |
+//!
+//! The `vectors` table is clustered on `(partition, vid)`, so each IVF
+//! partition is a contiguous key range on disk (§3.2). The delta store
+//! is the reserved partition `0` (§3.6): upserts land there and are
+//! folded into the index by [`crate::maintain`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use micronn_cluster::Clustering;
+use micronn_linalg::Metric;
+use micronn_rel::{
+    blob_to_f32, f32_to_blob, ColumnDef, Database, RelError, Table, TableSchema, TableStats,
+    Value, ValueType,
+};
+use micronn_storage::{PageRead, WriteTxn};
+
+use crate::config::{AttributeDef, Config};
+use crate::error::{Error, Result};
+
+/// The reserved partition id of the delta store (§3.6).
+pub const DELTA_PARTITION: i64 = 0;
+
+// Meta keys (crate-visible: build/maintain modules read and write them).
+const M_DIM: &str = "dim";
+const M_METRIC: &str = "metric";
+pub(crate) const M_NEXT_VID: &str = "next_vid";
+pub(crate) const M_EPOCH: &str = "epoch";
+pub(crate) const M_PARTITIONS: &str = "k";
+pub(crate) const M_DELTA_COUNT: &str = "delta_count";
+pub(crate) const M_BASELINE_AVG: &str = "baseline_avg";
+pub(crate) const M_TARGET: &str = "target_partition_size";
+
+/// One vector record: the unit of ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorRecord {
+    /// Client-assigned asset identifier (upsert key).
+    pub asset_id: i64,
+    /// The embedding; must match the index dimension.
+    pub vector: Vec<f32>,
+    /// Attribute values by name; attributes omitted here are NULL.
+    pub attributes: Vec<(String, Value)>,
+}
+
+impl VectorRecord {
+    /// A record with no attributes.
+    pub fn new(asset_id: i64, vector: Vec<f32>) -> VectorRecord {
+        VectorRecord {
+            asset_id,
+            vector,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute value.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> VectorRecord {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+}
+
+pub(crate) struct Tables {
+    pub vectors: Table,
+    pub assets: Table,
+    pub centroids: Table,
+    pub attrs: Table,
+    pub meta: Table,
+}
+
+/// The loaded IVF quantizer: centroids, their partition ids, and (for
+/// large `k`) the two-level centroid index of §3.2's extension.
+#[derive(Clone)]
+pub(crate) struct LoadedIndex {
+    pub clustering: Arc<Clustering>,
+    /// Partition id per centroid index.
+    pub partitions: Arc<Vec<i64>>,
+    pub super_index: Option<Arc<crate::centroid_index::CentroidIndex>>,
+}
+
+impl LoadedIndex {
+    /// The `n` nearest partitions to `x` (ascending by centroid
+    /// distance), through the hierarchy when one exists.
+    pub fn nearest_partitions(&self, x: &[f32], n: usize) -> Vec<i64> {
+        let ranked = match &self.super_index {
+            Some(idx) => idx.nearest_n(&self.clustering, x, n),
+            None => self.clustering.nearest_n(x, n),
+        };
+        ranked
+            .into_iter()
+            .map(|(ci, _)| self.partitions[ci])
+            .collect()
+    }
+}
+
+pub(crate) struct CentroidCache {
+    pub epoch: i64,
+    pub index: LoadedIndex,
+}
+
+pub(crate) struct Inner {
+    pub db: Database,
+    pub tables: Tables,
+    pub dim: usize,
+    pub metric: Metric,
+    pub cfg: Config,
+    pub centroid_cache: RwLock<Option<CentroidCache>>,
+    pub stats_cache: RwLock<Option<(i64, Arc<TableStats>)>>,
+    /// Persistent worker pool for parallel partition scans (Figure 3).
+    pub scan_pool: crate::pool::ScanPool,
+    /// Total row-level DB mutations (Figure 10d's "No. of DB row
+    /// changes").
+    pub row_changes: AtomicU64,
+}
+
+/// An embedded, disk-resident, updatable vector database (the paper's
+/// MicroNN). Cheap to clone; safe to share across threads (one writer
+/// at a time, any number of snapshot-isolated readers).
+#[derive(Clone)]
+pub struct MicroNN {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl MicroNN {
+    /// Creates a new index at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>, config: Config) -> Result<MicroNN> {
+        config.validate()?;
+        let db = Database::create(path, config.store.clone())?;
+        let mut txn = db.begin_write()?;
+
+        let meta = db.create_table(
+            &mut txn,
+            TableSchema::new(
+                "meta",
+                vec![
+                    ColumnDef::new("key", ValueType::Text),
+                    ColumnDef::nullable("ival", ValueType::Integer),
+                    ColumnDef::nullable("tval", ValueType::Text),
+                ],
+                &["key"],
+            )
+            .map_err(Error::Rel)?,
+        )?;
+        let vectors = db.create_table(
+            &mut txn,
+            TableSchema::new(
+                "vectors",
+                vec![
+                    ColumnDef::new("partition", ValueType::Integer),
+                    ColumnDef::new("vid", ValueType::Integer),
+                    ColumnDef::new("asset", ValueType::Integer),
+                    ColumnDef::new("vec", ValueType::Blob),
+                ],
+                &["partition", "vid"],
+            )
+            .map_err(Error::Rel)?,
+        )?;
+        let assets = db.create_table(
+            &mut txn,
+            TableSchema::new(
+                "assets",
+                vec![
+                    ColumnDef::new("asset", ValueType::Integer),
+                    ColumnDef::new("partition", ValueType::Integer),
+                    ColumnDef::new("vid", ValueType::Integer),
+                ],
+                &["asset"],
+            )
+            .map_err(Error::Rel)?,
+        )?;
+        let centroids = db.create_table(
+            &mut txn,
+            TableSchema::new(
+                "centroids",
+                vec![
+                    ColumnDef::new("partition", ValueType::Integer),
+                    ColumnDef::new("centroid", ValueType::Blob),
+                    ColumnDef::new("size", ValueType::Integer),
+                ],
+                &["partition"],
+            )
+            .map_err(Error::Rel)?,
+        )?;
+        // Attributes table: asset pk + client-defined columns (all
+        // nullable: a record may omit any attribute).
+        let mut attr_cols = vec![ColumnDef::new("asset", ValueType::Integer)];
+        for a in &config.attributes {
+            attr_cols.push(ColumnDef::nullable(a.name.clone(), a.ty));
+        }
+        let mut attrs = db.create_table(
+            &mut txn,
+            TableSchema::new("attrs", attr_cols, &["asset"]).map_err(Error::Rel)?,
+        )?;
+        for a in &config.attributes {
+            if a.indexed {
+                attrs = db.create_index(&mut txn, &attrs, &format!("by_{}", a.name), &[&a.name])?;
+            }
+            if a.fts {
+                attrs = db.create_fts_index(&mut txn, &attrs, &a.name)?;
+            }
+        }
+
+        // Persist immutable index parameters.
+        let set =
+            |txn: &mut WriteTxn, t: &Table, key: &str, ival: Option<i64>, tval: Option<&str>| {
+                t.upsert(
+                    txn,
+                    vec![
+                        Value::text(key),
+                        ival.map(Value::Integer).unwrap_or(Value::Null),
+                        tval.map(Value::text).unwrap_or(Value::Null),
+                    ],
+                )
+                .map(|_| ())
+            };
+        set(&mut txn, &meta, M_DIM, Some(config.dim as i64), None)?;
+        set(&mut txn, &meta, M_METRIC, None, Some(&config.metric.to_string()))?;
+        set(&mut txn, &meta, M_NEXT_VID, Some(1), None)?;
+        set(&mut txn, &meta, M_EPOCH, Some(0), None)?;
+        set(&mut txn, &meta, M_PARTITIONS, Some(0), None)?;
+        set(&mut txn, &meta, M_DELTA_COUNT, Some(0), None)?;
+        set(&mut txn, &meta, M_BASELINE_AVG, Some(0), None)?;
+        set(
+            &mut txn,
+            &meta,
+            M_TARGET,
+            Some(config.target_partition_size as i64),
+            None,
+        )?;
+        txn.commit()?;
+
+        Ok(MicroNN {
+            inner: Arc::new(Inner {
+                tables: Tables {
+                    vectors,
+                    assets,
+                    centroids,
+                    attrs,
+                    meta,
+                },
+                dim: config.dim,
+                metric: config.metric,
+                scan_pool: crate::pool::ScanPool::new(config.effective_workers()),
+                cfg: config,
+                db,
+                centroid_cache: RwLock::new(None),
+                stats_cache: RwLock::new(None),
+                row_changes: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Opens an existing index. Persisted parameters (dimension,
+    /// metric, attribute schema) are loaded from the database; `config`
+    /// supplies runtime knobs (probes, workers, thresholds, store
+    /// options). A non-zero `config.dim` is validated against the file.
+    pub fn open(path: impl AsRef<std::path::Path>, mut config: Config) -> Result<MicroNN> {
+        let db = Database::open(path, config.store.clone())?;
+        let r = db.begin_read();
+        let meta = db.open_table(&r, "meta")?;
+        let get_int = |key: &str| -> Result<i64> {
+            meta.get(&r, &[Value::text(key)])?
+                .and_then(|row| row[1].as_integer())
+                .ok_or_else(|| Error::Config(format!("meta key {key} missing")))
+        };
+        let dim = get_int(M_DIM)? as usize;
+        let metric_name = meta
+            .get(&r, &[Value::text(M_METRIC)])?
+            .and_then(|row| row[2].as_text().map(str::to_owned))
+            .ok_or_else(|| Error::Config("meta key metric missing".into()))?;
+        let metric = Metric::parse(&metric_name)
+            .ok_or_else(|| Error::Config(format!("unknown metric {metric_name}")))?;
+        if config.dim != 0 && config.dim != dim {
+            return Err(Error::DimensionMismatch {
+                expected: dim,
+                got: config.dim,
+            });
+        }
+        let target = get_int(M_TARGET)? as usize;
+        config.dim = dim;
+        config.metric = metric;
+        config.target_partition_size = target;
+        // Reconstruct the attribute definitions from the stored schema.
+        let attrs = db.open_table(&r, "attrs")?;
+        config.attributes = attrs
+            .schema()
+            .columns
+            .iter()
+            .skip(1)
+            .map(|c| {
+                let idx = attrs.schema().column_index(&c.name).expect("own column");
+                AttributeDef {
+                    name: c.name.clone(),
+                    ty: c.ty,
+                    indexed: attrs.index_on(&[idx]).is_some(),
+                    fts: attrs.fts_on(idx).is_some(),
+                }
+            })
+            .collect();
+
+        let tables = Tables {
+            vectors: db.open_table(&r, "vectors")?,
+            assets: db.open_table(&r, "assets")?,
+            centroids: db.open_table(&r, "centroids")?,
+            attrs,
+            meta,
+        };
+        drop(r);
+        Ok(MicroNN {
+            inner: Arc::new(Inner {
+                tables,
+                dim,
+                metric,
+                scan_pool: crate::pool::ScanPool::new(config.effective_workers()),
+                cfg: config,
+                db,
+                centroid_cache: RwLock::new(None),
+                stats_cache: RwLock::new(None),
+                row_changes: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Opens `path`, creating it first if missing.
+    pub fn open_or_create(path: impl AsRef<std::path::Path>, config: Config) -> Result<MicroNN> {
+        if path.as_ref().exists() {
+            MicroNN::open(path, config)
+        } else {
+            MicroNN::create(path, config)
+        }
+    }
+
+    /// Index dimensionality.
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// Index metric.
+    pub fn metric(&self) -> Metric {
+        self.inner.metric
+    }
+
+    /// The underlying relational database (diagnostics, raw access).
+    pub fn database(&self) -> &Database {
+        &self.inner.db
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming updates (§3.6)
+    // ------------------------------------------------------------------
+
+    /// Inserts or replaces one record (upsert semantics on `asset_id`).
+    pub fn upsert(&self, record: VectorRecord) -> Result<()> {
+        self.upsert_batch(std::slice::from_ref(&record))
+    }
+
+    /// Inserts or replaces a batch of records in one transaction. New
+    /// vectors land in the delta store, immediately visible to every
+    /// subsequent search (Algorithm 2 always scans the delta
+    /// partition).
+    pub fn upsert_batch(&self, records: &[VectorRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let inner = &*self.inner;
+        let mut txn = inner.db.begin_write()?;
+        let mut next_vid = meta_int(&txn, &inner.tables.meta, M_NEXT_VID)?;
+        let mut delta = meta_int(&txn, &inner.tables.meta, M_DELTA_COUNT)?;
+        for rec in records {
+            if rec.vector.len() != inner.dim {
+                return Err(Error::DimensionMismatch {
+                    expected: inner.dim,
+                    got: rec.vector.len(),
+                });
+            }
+            // Replace: remove the previous vector row wherever it lives.
+            if let Some(prev) = inner.tables.assets.get(&txn, &[Value::Integer(rec.asset_id)])? {
+                let (p, v) = (prev[1].clone(), prev[2].clone());
+                if p.as_integer() == Some(DELTA_PARTITION) {
+                    delta -= 1;
+                }
+                inner.tables.vectors.delete(&mut txn, &[p, v])?;
+                inner.row_changes.fetch_add(1, Ordering::Relaxed);
+            }
+            let vid = next_vid;
+            next_vid += 1;
+            inner.tables.vectors.upsert(
+                &mut txn,
+                vec![
+                    Value::Integer(DELTA_PARTITION),
+                    Value::Integer(vid),
+                    Value::Integer(rec.asset_id),
+                    Value::Blob(f32_to_blob(&rec.vector)),
+                ],
+            )?;
+            delta += 1;
+            inner.tables.assets.upsert(
+                &mut txn,
+                vec![
+                    Value::Integer(rec.asset_id),
+                    Value::Integer(DELTA_PARTITION),
+                    Value::Integer(vid),
+                ],
+            )?;
+            let attr_row = self.build_attr_row(rec)?;
+            inner.tables.attrs.upsert(&mut txn, attr_row)?;
+            inner.row_changes.fetch_add(3, Ordering::Relaxed);
+        }
+        set_meta_int(&mut txn, &inner.tables.meta, M_NEXT_VID, next_vid)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, delta)?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Deletes a single asset. Returns `true` if it existed.
+    pub fn delete(&self, asset_id: i64) -> Result<bool> {
+        Ok(self.delete_batch(&[asset_id])? == 1)
+    }
+
+    /// Deletes a batch of assets in one transaction; returns how many
+    /// existed.
+    pub fn delete_batch(&self, asset_ids: &[i64]) -> Result<usize> {
+        if asset_ids.is_empty() {
+            return Ok(0);
+        }
+        let inner = &*self.inner;
+        let mut txn = inner.db.begin_write()?;
+        let mut delta = meta_int(&txn, &inner.tables.meta, M_DELTA_COUNT)?;
+        let mut removed = 0usize;
+        for &asset in asset_ids {
+            let Some(prev) = inner.tables.assets.delete(&mut txn, &[Value::Integer(asset)])?
+            else {
+                continue;
+            };
+            let (p, v) = (prev[1].clone(), prev[2].clone());
+            if p.as_integer() == Some(DELTA_PARTITION) {
+                delta -= 1;
+            }
+            inner.tables.vectors.delete(&mut txn, &[p, v])?;
+            inner.tables.attrs.delete(&mut txn, &[Value::Integer(asset)])?;
+            inner.row_changes.fetch_add(3, Ordering::Relaxed);
+            removed += 1;
+        }
+        set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, delta)?;
+        txn.commit()?;
+        Ok(removed)
+    }
+
+    /// Fetches the stored vector of an asset.
+    pub fn get_vector(&self, asset_id: i64) -> Result<Option<Vec<f32>>> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let Some(loc) = inner.tables.assets.get(&r, &[Value::Integer(asset_id)])? else {
+            return Ok(None);
+        };
+        let row = inner
+            .tables
+            .vectors
+            .get(&r, &[loc[1].clone(), loc[2].clone()])?
+            .ok_or_else(|| {
+                Error::Rel(RelError::Codec(format!(
+                    "asset {asset_id}: dangling vector reference"
+                )))
+            })?;
+        let blob = row[3].as_blob().ok_or_else(|| {
+            Error::Rel(RelError::Codec("vector column is not a blob".into()))
+        })?;
+        Ok(Some(blob_to_f32(blob).map_err(Error::Rel)?))
+    }
+
+    /// Fetches the attributes of an asset as `(name, value)` pairs
+    /// (NULLs omitted).
+    pub fn get_attributes(&self, asset_id: i64) -> Result<Option<Vec<(String, Value)>>> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let Some(row) = inner.tables.attrs.get(&r, &[Value::Integer(asset_id)])? else {
+            return Ok(None);
+        };
+        let schema = inner.tables.attrs.schema();
+        Ok(Some(
+            row.into_iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(_, v)| !v.is_null())
+                .map(|(i, v)| (schema.columns[i].name.clone(), v))
+                .collect(),
+        ))
+    }
+
+    /// True if the asset exists.
+    pub fn contains(&self, asset_id: i64) -> Result<bool> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        Ok(inner.tables.assets.contains(&r, &[Value::Integer(asset_id)])?)
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> Result<u64> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        Ok(inner.tables.vectors.row_count(&r)?)
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Vectors currently staged in the delta store.
+    pub fn delta_len(&self) -> Result<u64> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        Ok(meta_int(&r, &inner.tables.meta, M_DELTA_COUNT)? as u64)
+    }
+
+    /// Drops all in-process and page caches: the paper's ColdStart
+    /// scenario (§4.1.4).
+    pub fn purge_caches(&self) {
+        self.inner.db.store().purge_cache();
+        *self.inner.centroid_cache.write() = None;
+        *self.inner.stats_cache.write() = None;
+    }
+
+    /// Checkpoints the WAL into the main database file.
+    pub fn checkpoint(&self) -> Result<bool> {
+        Ok(self.inner.db.store().checkpoint()?)
+    }
+
+    /// Online backup: checkpoints, then copies the main database file
+    /// (plus the WAL if a pinned reader kept the checkpoint partial) to
+    /// `dest`/`dest`-wal. The copy is taken under the writer lock via a
+    /// brief write transaction, so it is a transactionally consistent
+    /// snapshot; readers are never blocked.
+    pub fn backup_to(&self, dest: impl AsRef<std::path::Path>) -> Result<()> {
+        let dest = dest.as_ref();
+        let store = self.inner.db.store();
+        let _ = store.checkpoint()?;
+        // Hold the writer lock (empty txn) while copying so no commit
+        // lands mid-copy.
+        let txn = self.inner.db.begin_write()?;
+        std::fs::copy(store.path(), dest).map_err(|e| Error::Config(format!(
+            "backup copy failed: {e}"
+        )))?;
+        let wal_src = {
+            let mut os = store.path().as_os_str().to_owned();
+            os.push("-wal");
+            std::path::PathBuf::from(os)
+        };
+        let wal_dest = {
+            let mut os = dest.as_os_str().to_owned();
+            os.push("-wal");
+            std::path::PathBuf::from(os)
+        };
+        if wal_src.exists() {
+            std::fs::copy(&wal_src, &wal_dest)
+                .map_err(|e| Error::Config(format!("backup wal copy failed: {e}")))?;
+        } else {
+            let _ = std::fs::remove_file(&wal_dest);
+        }
+        txn.rollback();
+        Ok(())
+    }
+
+    fn build_attr_row(&self, rec: &VectorRecord) -> Result<Vec<Value>> {
+        let schema = self.inner.tables.attrs.schema();
+        let mut row = vec![Value::Null; schema.arity()];
+        row[0] = Value::Integer(rec.asset_id);
+        for (name, value) in &rec.attributes {
+            let idx = schema
+                .column_index(name)
+                .map_err(|_| Error::Config(format!("unknown attribute {name}")))?;
+            row[idx] = value.clone();
+        }
+        Ok(row)
+    }
+}
+
+impl std::fmt::Debug for MicroNN {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroNN")
+            .field("dim", &self.inner.dim)
+            .field("metric", &self.inner.metric)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared internal helpers
+// ---------------------------------------------------------------------------
+
+/// Reads an integer meta value (0 when NULL).
+pub(crate) fn meta_int<R: PageRead + ?Sized>(r: &R, meta: &Table, key: &str) -> Result<i64> {
+    Ok(meta
+        .get(r, &[Value::text(key)])?
+        .and_then(|row| row[1].as_integer())
+        .unwrap_or(0))
+}
+
+/// Writes an integer meta value.
+pub(crate) fn set_meta_int(txn: &mut WriteTxn, meta: &Table, key: &str, v: i64) -> Result<()> {
+    meta.upsert(txn, vec![Value::text(key), Value::Integer(v), Value::Null])?;
+    Ok(())
+}
+
+impl Inner {
+    /// Loads (or returns the cached) IVF quantizer: the centroid matrix
+    /// plus the partition id per centroid, and — once `k` crosses the
+    /// configured threshold — the two-level centroid index. `None`
+    /// before the first index build.
+    pub(crate) fn clustering<R: PageRead + ?Sized>(
+        &self,
+        r: &R,
+    ) -> Result<Option<LoadedIndex>> {
+        let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
+        if let Some(cache) = self.centroid_cache.read().as_ref() {
+            if cache.epoch == epoch {
+                return Ok(Some(cache.index.clone()));
+            }
+        }
+        let mut partitions = Vec::new();
+        let mut flat: Vec<f32> = Vec::new();
+        for row in self.tables.centroids.scan(r)? {
+            let row = row?;
+            let pid = row[0].as_integer().unwrap_or(0);
+            let blob = row[1]
+                .as_blob()
+                .ok_or_else(|| RelError::Codec("centroid column is not a blob".into()))?;
+            let v = blob_to_f32(blob)?;
+            if v.len() != self.dim {
+                return Err(Error::Config(format!(
+                    "centroid for partition {pid} has dim {}, index is {}",
+                    v.len(),
+                    self.dim
+                )));
+            }
+            partitions.push(pid);
+            flat.extend_from_slice(&v);
+        }
+        if partitions.is_empty() {
+            return Ok(None);
+        }
+        let clustering = Arc::new(Clustering::new(flat, self.dim, self.metric));
+        let super_index = if partitions.len() >= self.cfg.centroid_index_threshold {
+            Some(Arc::new(crate::centroid_index::CentroidIndex::build(
+                &clustering,
+                self.cfg.seed,
+            )))
+        } else {
+            None
+        };
+        let index = LoadedIndex {
+            clustering,
+            partitions: Arc::new(partitions),
+            super_index,
+        };
+        *self.centroid_cache.write() = Some(CentroidCache {
+            epoch,
+            index: index.clone(),
+        });
+        Ok(Some(index))
+    }
+
+    /// Loads (or returns the cached) attribute statistics.
+    pub(crate) fn table_stats<R: PageRead + ?Sized>(&self, r: &R) -> Result<Arc<TableStats>> {
+        let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
+        if let Some((e, stats)) = self.stats_cache.read().as_ref() {
+            if *e == epoch {
+                return Ok(stats.clone());
+            }
+        }
+        let stats = Arc::new(TableStats::load(r, &self.tables.attrs)?);
+        *self.stats_cache.write() = Some((epoch, stats.clone()));
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micronn_storage::SyncMode;
+
+    fn test_config(dim: usize) -> Config {
+        let mut c = Config::new(dim, Metric::L2);
+        c.store.sync = SyncMode::Off;
+        c.attributes = vec![
+            AttributeDef::indexed("location", ValueType::Text),
+            AttributeDef::new("taken_at", ValueType::Integer),
+            AttributeDef::full_text("tags"),
+        ];
+        c
+    }
+
+    fn vecf(seed: u64, dim: usize) -> Vec<f32> {
+        (0..dim).map(|i| ((seed * 31 + i as u64) % 97) as f32 / 97.0).collect()
+    }
+
+    #[test]
+    fn create_upsert_get_delete() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(16)).unwrap();
+        assert!(db.is_empty().unwrap());
+        db.upsert(
+            VectorRecord::new(1, vecf(1, 16))
+                .with_attr("location", "Seattle")
+                .with_attr("tags", "black cat"),
+        )
+        .unwrap();
+        db.upsert(VectorRecord::new(2, vecf(2, 16))).unwrap();
+        assert_eq!(db.len().unwrap(), 2);
+        assert_eq!(db.delta_len().unwrap(), 2);
+        assert!(db.contains(1).unwrap());
+        assert_eq!(db.get_vector(1).unwrap().unwrap(), vecf(1, 16));
+        let attrs = db.get_attributes(1).unwrap().unwrap();
+        assert!(attrs.contains(&("location".into(), Value::text("Seattle"))));
+        assert_eq!(db.get_attributes(2).unwrap().unwrap(), vec![]);
+
+        // Upsert replaces.
+        db.upsert(VectorRecord::new(1, vecf(9, 16))).unwrap();
+        assert_eq!(db.len().unwrap(), 2);
+        assert_eq!(db.get_vector(1).unwrap().unwrap(), vecf(9, 16));
+
+        assert!(db.delete(1).unwrap());
+        assert!(!db.delete(1).unwrap());
+        assert_eq!(db.len().unwrap(), 1);
+        assert!(db.get_vector(1).unwrap().is_none());
+        assert_eq!(db.delta_len().unwrap(), 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(16)).unwrap();
+        let err = db.upsert(VectorRecord::new(1, vecf(1, 8))).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { expected: 16, got: 8 }));
+        assert!(db.is_empty().unwrap(), "failed upsert leaves no residue");
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(8)).unwrap();
+        let err = db
+            .upsert(VectorRecord::new(1, vecf(1, 8)).with_attr("nope", 1i64))
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn reopen_restores_schema_and_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.mnn");
+        {
+            let db = MicroNN::create(&path, test_config(16)).unwrap();
+            db.upsert(
+                VectorRecord::new(7, vecf(7, 16)).with_attr("location", "NYC"),
+            )
+            .unwrap();
+        }
+        let mut cfg = Config::default();
+        cfg.store.sync = SyncMode::Off;
+        let db = MicroNN::open(&path, cfg).unwrap();
+        assert_eq!(db.dim(), 16);
+        assert_eq!(db.metric(), Metric::L2);
+        assert_eq!(db.len().unwrap(), 1);
+        assert_eq!(db.get_vector(7).unwrap().unwrap(), vecf(7, 16));
+        // Attribute schema (incl. index flags) reconstructed.
+        let attrs = &db.inner.cfg.attributes;
+        assert_eq!(attrs.len(), 3);
+        assert!(attrs.iter().any(|a| a.name == "location" && a.indexed));
+        assert!(attrs.iter().any(|a| a.name == "tags" && a.fts));
+        // Wrong-dim open is rejected.
+        let mut bad = Config::default();
+        bad.dim = 99;
+        bad.store.sync = SyncMode::Off;
+        assert!(MicroNN::open(&path, bad).is_err());
+    }
+
+    #[test]
+    fn batch_upsert_is_atomic_per_batch() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(8)).unwrap();
+        let records: Vec<VectorRecord> =
+            (0..100).map(|i| VectorRecord::new(i, vecf(i as u64, 8))).collect();
+        db.upsert_batch(&records).unwrap();
+        assert_eq!(db.len().unwrap(), 100);
+        assert_eq!(db.delta_len().unwrap(), 100);
+        assert_eq!(db.delete_batch(&[5, 6, 7, 999]).unwrap(), 3);
+        assert_eq!(db.len().unwrap(), 97);
+    }
+}

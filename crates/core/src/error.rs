@@ -1,0 +1,86 @@
+//! Error types for the MicroNN vector database.
+
+use std::fmt;
+
+use micronn_cluster::SourceError;
+use micronn_rel::RelError;
+use micronn_storage::StorageError;
+
+/// Convenience alias used across the core crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the MicroNN vector database.
+#[derive(Debug)]
+pub enum Error {
+    /// The relational layer failed.
+    Rel(RelError),
+    /// Clustering failed (usually a storage error surfaced through the
+    /// streaming vector source).
+    Cluster(SourceError),
+    /// Invalid configuration (bad dimension, unknown attribute, ...).
+    Config(String),
+    /// A query or record vector did not match the index dimension.
+    DimensionMismatch { expected: usize, got: usize },
+    /// The referenced asset does not exist.
+    AssetNotFound(i64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Rel(e) => write!(f, "relational error: {e}"),
+            Error::Cluster(e) => write!(f, "clustering error: {e}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "vector dimension mismatch: index is {expected}-d, got {got}-d")
+            }
+            Error::AssetNotFound(id) => write!(f, "asset {id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Rel(e) => Some(e),
+            Error::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for Error {
+    fn from(e: RelError) -> Self {
+        Error::Rel(e)
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Rel(RelError::Storage(e))
+    }
+}
+
+impl From<SourceError> for Error {
+    fn from(e: SourceError) -> Self {
+        Error::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = RelError::NotFound("vectors".into()).into();
+        assert!(e.to_string().contains("vectors"));
+        let e: Error = StorageError::TxnClosed.into();
+        assert!(matches!(e, Error::Rel(_)));
+        let e = Error::DimensionMismatch { expected: 128, got: 64 };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("64"));
+        let e: Error = SourceError::msg("gather failed").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

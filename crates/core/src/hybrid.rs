@@ -1,0 +1,342 @@
+//! Hybrid queries: vector similarity search with structured attribute
+//! filters (§3.5), and the selectivity-based query optimizer (§3.5.1).
+//!
+//! Two physical plans exist:
+//!
+//! * **Pre-filtering** evaluates the predicate first (through attribute
+//!   b-tree indexes / the FTS index when possible) and brute-forces the
+//!   qualifying vectors — 100% recall, latency proportional to the
+//!   qualifying set.
+//! * **Post-filtering** runs the ANN scan with the predicate applied
+//!   during partition scans — fast, but recall suffers when the
+//!   predicate is highly selective.
+//!
+//! The optimizer compares the estimated filter selectivity `F̂_filters`
+//! (Eq. 3, from per-column histograms and FTS document frequencies)
+//! against the IVF scan's own "selectivity" `F̂_IVF = n·t/|R|` (Eq. 2)
+//! and picks pre-filtering iff `F̂_filters < F̂_IVF`.
+
+use micronn_linalg::TopK;
+use micronn_rel::{estimate_selectivity, CmpOp, Expr, RowDecoder, Value};
+use micronn_storage::ReadTxn;
+
+use crate::db::{Inner, MicroNN};
+use crate::error::{Error, Result};
+use crate::search::{ann_search, exact_search, FilterCtx, SearchResponse, SearchResult};
+use crate::stats::{PlanUsed, QueryInfo};
+
+/// Plan preference for hybrid queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanPreference {
+    /// Let the optimizer choose (the paper's default behaviour).
+    #[default]
+    Auto,
+    /// Always pre-filter.
+    ForcePreFilter,
+    /// Always post-filter.
+    ForcePostFilter,
+}
+
+/// A full search request.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// The query embedding.
+    pub query: Vec<f32>,
+    /// Number of neighbours to return.
+    pub k: usize,
+    /// Partitions to probe (`None` = the index default).
+    pub probes: Option<usize>,
+    /// Optional attribute filter.
+    pub filter: Option<Expr>,
+    /// Plan preference (benchmarks force plans; applications use Auto).
+    pub plan: PlanPreference,
+}
+
+impl SearchRequest {
+    /// A plain ANN request.
+    pub fn new(query: Vec<f32>, k: usize) -> SearchRequest {
+        SearchRequest {
+            query,
+            k,
+            probes: None,
+            filter: None,
+            plan: PlanPreference::Auto,
+        }
+    }
+
+    /// Sets the number of partitions to probe.
+    pub fn with_probes(mut self, probes: usize) -> SearchRequest {
+        self.probes = Some(probes);
+        self
+    }
+
+    /// Adds an attribute filter.
+    pub fn with_filter(mut self, filter: Expr) -> SearchRequest {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Forces a plan.
+    pub fn with_plan(mut self, plan: PlanPreference) -> SearchRequest {
+        self.plan = plan;
+        self
+    }
+}
+
+impl MicroNN {
+    /// Top-`k` approximate nearest neighbours with default parameters.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<SearchResponse> {
+        self.search_with(&SearchRequest::new(query.to_vec(), k))
+    }
+
+    /// Executes a full [`SearchRequest`] (ANN, hybrid, plan control).
+    pub fn search_with(&self, req: &SearchRequest) -> Result<SearchResponse> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let probes = req.probes.unwrap_or(inner.cfg.default_probes);
+        match &req.filter {
+            None => ann_search(inner, &r, &req.query, req.k, probes, None, PlanUsed::Ann),
+            Some(expr) => {
+                let plan = match req.plan {
+                    PlanPreference::ForcePreFilter => PlanUsed::PreFilter,
+                    PlanPreference::ForcePostFilter => PlanUsed::PostFilter,
+                    PlanPreference::Auto => choose_plan(inner, &r, expr, probes)?,
+                };
+                match plan {
+                    PlanUsed::PreFilter => pre_filter_search(inner, &r, req, expr),
+                    _ => {
+                        let compiled = expr
+                            .compile(inner.tables.attrs.schema())
+                            .map_err(Error::Rel)?;
+                        let ctx = FilterCtx {
+                            attrs: &inner.tables.attrs,
+                            compiled,
+                        };
+                        ann_search(
+                            inner,
+                            &r,
+                            &req.query,
+                            req.k,
+                            probes,
+                            Some(&ctx),
+                            PlanUsed::PostFilter,
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact (exhaustive) K-nearest-neighbour search, optionally
+    /// filtered.
+    pub fn exact(&self, query: &[f32], k: usize, filter: Option<&Expr>) -> Result<SearchResponse> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        match filter {
+            None => exact_search(inner, &r, query, k, None),
+            Some(expr) => {
+                let compiled = expr
+                    .compile(inner.tables.attrs.schema())
+                    .map_err(Error::Rel)?;
+                let ctx = FilterCtx {
+                    attrs: &inner.tables.attrs,
+                    compiled,
+                };
+                exact_search(inner, &r, query, k, Some(&ctx))
+            }
+        }
+    }
+
+    /// The plan the optimizer would choose for `filter` at `probes`
+    /// partitions (exposed for inspection and benchmarks).
+    pub fn explain_plan(&self, filter: &Expr, probes: Option<usize>) -> Result<PlanUsed> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        choose_plan(
+            inner,
+            &r,
+            filter,
+            probes.unwrap_or(inner.cfg.default_probes),
+        )
+    }
+
+    /// The optimizer's current selectivity estimate for `filter`
+    /// (Eq. 3).
+    pub fn estimate_filter_selectivity(&self, filter: &Expr) -> Result<f64> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let stats = inner.table_stats(&r)?;
+        Ok(estimate_selectivity(
+            &r,
+            &inner.tables.attrs,
+            &stats,
+            filter,
+        ))
+    }
+}
+
+/// The optimizer of §3.5.1.
+fn choose_plan(inner: &Inner, r: &ReadTxn, expr: &Expr, probes: usize) -> Result<PlanUsed> {
+    let total = inner.tables.vectors.row_count(r)? as f64;
+    if total <= 0.0 {
+        return Ok(PlanUsed::PostFilter);
+    }
+    // Eq. 2: the IVF scan itself qualifies roughly n·t rows.
+    let f_ivf = (probes as f64 * inner.cfg.target_partition_size as f64 / total).min(1.0);
+    // Eq. 3: histogram/FTS estimate of the attribute filter.
+    let stats = inner.table_stats(r)?;
+    let f_filters = estimate_selectivity(r, &inner.tables.attrs, &stats, expr);
+    Ok(if f_filters < f_ivf {
+        PlanUsed::PreFilter
+    } else {
+        PlanUsed::PostFilter
+    })
+}
+
+/// Pre-filtering plan: evaluate the predicate, then brute-force the
+/// qualifying vectors. Guarantees 100% recall within the filter.
+fn pre_filter_search(
+    inner: &Inner,
+    r: &ReadTxn,
+    req: &SearchRequest,
+    expr: &Expr,
+) -> Result<SearchResponse> {
+    if req.query.len() != inner.dim {
+        return Err(Error::DimensionMismatch {
+            expected: inner.dim,
+            got: req.query.len(),
+        });
+    }
+    let attrs = &inner.tables.attrs;
+    let compiled = expr.compile(attrs.schema()).map_err(Error::Rel)?;
+    let mut info = QueryInfo::new(PlanUsed::PreFilter);
+
+    // Access path: an index-backed candidate list when one exists,
+    // otherwise a full attribute-table scan. Candidates still go
+    // through the full (residual) predicate.
+    let candidates = index_candidates(inner, r, expr)?;
+    let mut qualifying: Vec<i64> = Vec::new();
+    match candidates {
+        Some(assets) => {
+            info.candidates = assets.len();
+            for asset in assets {
+                let Some(row) = attrs.get(r, &[Value::Integer(asset)])? else {
+                    continue;
+                };
+                if compiled.eval(&row) {
+                    qualifying.push(asset);
+                }
+            }
+        }
+        None => {
+            for row in attrs.scan(r)? {
+                let row = row?;
+                info.candidates += 1;
+                if compiled.eval(&row) {
+                    qualifying.push(row[0].as_integer().unwrap_or(0));
+                }
+            }
+        }
+    }
+
+    // Brute-force NN over the qualifying set.
+    let mut top = TopK::new(req.k);
+    for asset in qualifying {
+        let Some(loc) = inner.tables.assets.get(r, &[Value::Integer(asset)])? else {
+            continue; // attribute row without a vector
+        };
+        let Some(raw) = inner
+            .tables
+            .vectors
+            .get_raw(r, &[loc[1].clone(), loc[2].clone()])?
+        else {
+            continue;
+        };
+        let mut dec = RowDecoder::new(&raw)?;
+        dec.skip()?;
+        dec.skip()?;
+        dec.skip()?;
+        let blob = dec.next_blob()?;
+        let mut v = Vec::with_capacity(inner.dim);
+        micronn_rel::blob_into_f32(blob, &mut v)?;
+        let d = inner.metric.distance(&req.query, &v);
+        top.push(asset as u64, d);
+        info.vectors_scanned += 1;
+    }
+    Ok(SearchResponse {
+        results: top
+            .into_sorted()
+            .into_iter()
+            .map(|n| SearchResult {
+                asset_id: n.id as i64,
+                distance: n.distance,
+            })
+            .collect(),
+        info,
+    })
+}
+
+/// Collects candidate asset ids from indexed access paths, or `None`
+/// when the predicate has no usable index. Conjunctions pick their most
+/// selective indexed side; disjunctions union both sides (both must be
+/// indexable).
+fn index_candidates(inner: &Inner, r: &ReadTxn, expr: &Expr) -> Result<Option<Vec<i64>>> {
+    let attrs = &inner.tables.attrs;
+    match expr {
+        Expr::Cmp { column, op, value } => {
+            let Ok(col) = attrs.schema().column_index(column) else {
+                return Ok(None);
+            };
+            let Some(index) = attrs.index_on(&[col]) else {
+                return Ok(None);
+            };
+            let pks = match op {
+                CmpOp::Eq => index.lookup_eq(r, std::slice::from_ref(value))?,
+                CmpOp::Lt => index.lookup_range(r, None, Some(value), false, true)?,
+                CmpOp::Le => index.lookup_range(r, None, Some(value), false, false)?,
+                CmpOp::Gt => index.lookup_range(r, Some(value), None, true, false)?,
+                CmpOp::Ge => index.lookup_range(r, Some(value), None, false, false)?,
+                CmpOp::Ne => return Ok(None),
+            };
+            Ok(Some(pks_to_assets(pks)))
+        }
+        Expr::Match { column, query } => {
+            let Ok(col) = attrs.schema().column_index(column) else {
+                return Ok(None);
+            };
+            let Some(fts) = attrs.fts_on(col) else {
+                return Ok(None);
+            };
+            Ok(Some(pks_to_assets(fts.match_pks(r, query)?)))
+        }
+        Expr::And(a, b) => {
+            // Prefer the side the estimator believes is rarer.
+            let stats = inner.table_stats(r)?;
+            let sa = estimate_selectivity(r, attrs, &stats, a);
+            let sb = estimate_selectivity(r, attrs, &stats, b);
+            let (first, second) = if sa <= sb { (a, b) } else { (b, a) };
+            if let Some(c) = index_candidates(inner, r, first)? {
+                return Ok(Some(c));
+            }
+            index_candidates(inner, r, second)
+        }
+        Expr::Or(a, b) => {
+            let (Some(ca), Some(cb)) = (
+                index_candidates(inner, r, a)?,
+                index_candidates(inner, r, b)?,
+            ) else {
+                return Ok(None);
+            };
+            let mut set: std::collections::HashSet<i64> = ca.into_iter().collect();
+            set.extend(cb);
+            Ok(Some(set.into_iter().collect()))
+        }
+        Expr::True | Expr::Not(_) => Ok(None),
+    }
+}
+
+fn pks_to_assets(pks: Vec<Vec<Value>>) -> Vec<i64> {
+    pks.into_iter()
+        .filter_map(|pk| pk.first().and_then(|v| v.as_integer()))
+        .collect()
+}

@@ -1,0 +1,268 @@
+//! The InMemory baseline (§4.1.4): "a completely memory resident
+//! variation of the MicroNN IVF index. This baseline gives a
+//! lower-bound on latency for our IVF implementation, while
+//! illustrating the memory requirements to achieve this latency."
+//!
+//! Same two-level IVF algorithm, same heap machinery — but every
+//! vector lives in RAM, and the quantizer is full-memory Lloyd's
+//! k-means (so Figures 4–6 and 8 compare like with like).
+
+use micronn_cluster::{lloyd, Clustering, LloydConfig};
+use micronn_linalg::{distances_one_to_many, Metric, TopK};
+
+use crate::error::{Error, Result};
+use crate::search::SearchResult;
+
+/// A fully memory-resident IVF index.
+pub struct InMemoryIndex {
+    dim: usize,
+    metric: Metric,
+    /// Flat vector matrix (owns all vectors — the memory cost the
+    /// paper's Figure 5 illustrates).
+    data: Vec<f32>,
+    asset_ids: Vec<i64>,
+    clustering: Clustering,
+    /// Vector indexes per partition.
+    partitions: Vec<Vec<u32>>,
+    /// Delta: vectors inserted after the build, always scanned.
+    delta_data: Vec<f32>,
+    delta_ids: Vec<i64>,
+}
+
+impl InMemoryIndex {
+    /// Builds the index over `(asset_ids, vectors)` with full k-means.
+    pub fn build(
+        asset_ids: Vec<i64>,
+        data: Vec<f32>,
+        dim: usize,
+        metric: Metric,
+        target_partition_size: usize,
+        seed: u64,
+    ) -> Result<InMemoryIndex> {
+        if dim == 0 || data.len() % dim != 0 {
+            return Err(Error::Config("bad matrix shape".into()));
+        }
+        let n = data.len() / dim;
+        if n != asset_ids.len() {
+            return Err(Error::Config("ids/vectors length mismatch".into()));
+        }
+        if n == 0 {
+            return Err(Error::Config("cannot build over an empty set".into()));
+        }
+        let clustering = lloyd::train(
+            &data,
+            dim,
+            &LloydConfig {
+                target_cluster_size: target_partition_size,
+                seed,
+                metric,
+                ..Default::default()
+            },
+        );
+        let assignments = lloyd::assign_all(&data, dim, &clustering);
+        let mut partitions = vec![Vec::new(); clustering.k()];
+        for (i, &a) in assignments.iter().enumerate() {
+            partitions[a as usize].push(i as u32);
+        }
+        Ok(InMemoryIndex {
+            dim,
+            metric,
+            data,
+            asset_ids,
+            clustering,
+            partitions,
+            delta_data: Vec::new(),
+            delta_ids: Vec::new(),
+        })
+    }
+
+    /// Number of indexed vectors (including delta).
+    pub fn len(&self) -> usize {
+        self.asset_ids.len() + self.delta_ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Approximate resident bytes of the index payload (the quantity
+    /// Figure 5 contrasts with MicroNN's pool budget).
+    pub fn resident_bytes(&self) -> usize {
+        (self.data.len() + self.delta_data.len() + self.clustering.centroids().len()) * 4
+            + (self.asset_ids.len() + self.delta_ids.len()) * 8
+    }
+
+    /// Inserts a vector into the in-memory delta.
+    pub fn insert(&mut self, asset_id: i64, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        self.delta_ids.push(asset_id);
+        self.delta_data.extend_from_slice(vector);
+        Ok(())
+    }
+
+    /// Top-`k` ANN search probing `probes` partitions (plus the delta).
+    pub fn search(&self, query: &[f32], k: usize, probes: usize) -> Result<Vec<SearchResult>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        let mut top = TopK::new(k);
+        let mut dists = Vec::new();
+        for (ci, _) in self.clustering.nearest_n(query, probes) {
+            // Partition members are gathered into a contiguous strip so
+            // the batched kernel applies, mirroring the disk path.
+            let members = &self.partitions[ci];
+            let mut strip = Vec::with_capacity(members.len() * self.dim);
+            for &m in members {
+                let m = m as usize;
+                strip.extend_from_slice(&self.data[m * self.dim..(m + 1) * self.dim]);
+            }
+            dists.clear();
+            distances_one_to_many(self.metric, query, &strip, self.dim, &mut dists);
+            for (j, &d) in dists.iter().enumerate() {
+                top.push(self.asset_ids[members[j] as usize] as u64, d);
+            }
+        }
+        // Delta scan.
+        dists.clear();
+        distances_one_to_many(self.metric, query, &self.delta_data, self.dim, &mut dists);
+        for (j, &d) in dists.iter().enumerate() {
+            top.push(self.delta_ids[j] as u64, d);
+        }
+        Ok(top
+            .into_sorted()
+            .into_iter()
+            .map(|n| SearchResult {
+                asset_id: n.id as i64,
+                distance: n.distance,
+            })
+            .collect())
+    }
+
+    /// Exact top-`k` by exhaustive scan (ground truth helper).
+    pub fn exact(&self, query: &[f32], k: usize) -> Result<Vec<SearchResult>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        let mut top = TopK::new(k);
+        let mut dists = Vec::new();
+        distances_one_to_many(self.metric, query, &self.data, self.dim, &mut dists);
+        for (j, &d) in dists.iter().enumerate() {
+            top.push(self.asset_ids[j] as u64, d);
+        }
+        dists.clear();
+        distances_one_to_many(self.metric, query, &self.delta_data, self.dim, &mut dists);
+        for (j, &d) in dists.iter().enumerate() {
+            top.push(self.delta_ids[j] as u64, d);
+        }
+        Ok(top
+            .into_sorted()
+            .into_iter()
+            .map(|n| SearchResult {
+                asset_id: n.id as i64,
+                distance: n.distance,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(n: usize, dim: usize) -> (Vec<i64>, Vec<f32>) {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let center = (i % 4) as f32 * 20.0;
+            for _ in 0..dim {
+                data.push(center + next());
+            }
+        }
+        ((0..n as i64).collect(), data)
+    }
+
+    #[test]
+    fn build_and_search_recovers_neighbors() {
+        let (ids, data) = blob_data(400, 8);
+        let idx = InMemoryIndex::build(ids, data.clone(), 8, Metric::L2, 50, 7).unwrap();
+        assert!(idx.partitions() >= 4);
+        // Query at a known point: its exact nearest must surface with
+        // enough probes.
+        let q = &data[0..8];
+        let exact = idx.exact(q, 10).unwrap();
+        let approx = idx.search(q, 10, idx.partitions()).unwrap();
+        assert_eq!(exact.len(), 10);
+        assert_eq!(approx, exact, "all-probe ANN equals exact");
+        assert_eq!(approx[0].asset_id, 0);
+        assert_eq!(approx[0].distance, 0.0);
+    }
+
+    #[test]
+    fn fewer_probes_trade_recall() {
+        let (ids, data) = blob_data(800, 8);
+        let idx = InMemoryIndex::build(ids, data.clone(), 8, Metric::L2, 50, 7).unwrap();
+        let q = &data[8..16];
+        let exact: Vec<i64> = idx.exact(q, 20).unwrap().iter().map(|r| r.asset_id).collect();
+        let few: Vec<i64> = idx.search(q, 20, 1).unwrap().iter().map(|r| r.asset_id).collect();
+        let many: Vec<i64> = idx
+            .search(q, 20, idx.partitions())
+            .unwrap()
+            .iter()
+            .map(|r| r.asset_id)
+            .collect();
+        let recall = |got: &[i64]| {
+            got.iter().filter(|id| exact.contains(id)).count() as f64 / exact.len() as f64
+        };
+        assert_eq!(recall(&many), 1.0);
+        assert!(recall(&few) <= recall(&many));
+    }
+
+    #[test]
+    fn delta_inserts_visible_immediately() {
+        let (ids, data) = blob_data(200, 8);
+        let mut idx = InMemoryIndex::build(ids, data, 8, Metric::L2, 50, 7).unwrap();
+        let special = vec![999.0f32; 8];
+        idx.insert(4242, &special).unwrap();
+        let hits = idx.search(&special, 1, 1).unwrap();
+        assert_eq!(hits[0].asset_id, 4242);
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(idx.len(), 201);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let (ids, data) = blob_data(10, 8);
+        assert!(InMemoryIndex::build(ids.clone(), data.clone(), 7, Metric::L2, 5, 0).is_err());
+        let mut idx = InMemoryIndex::build(ids, data, 8, Metric::L2, 5, 0).unwrap();
+        assert!(idx.insert(1, &[0.0; 4]).is_err());
+        assert!(idx.search(&[0.0; 4], 5, 1).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_reflect_data() {
+        let (ids, data) = blob_data(100, 16);
+        let idx = InMemoryIndex::build(ids, data, 16, Metric::L2, 20, 0).unwrap();
+        assert!(idx.resident_bytes() >= 100 * 16 * 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! # MicroNN — an on-device, disk-resident, updatable vector database
+//!
+//! A from-scratch reproduction of *"MicroNN: An On-device Disk-resident
+//! Updatable Vector Database"* (Pound et al., SIGMOD 2025). MicroNN is
+//! an embedded nearest-neighbour search engine for memory-constrained
+//! environments:
+//!
+//! * **Disk-resident IVF index** over relational storage: vectors live
+//!   in a table clustered on `(partition, vid)` so each partition is
+//!   contiguous on disk; queries run in bounded memory through a page
+//!   cache (§3.1–3.3).
+//! * **Streaming updates** with upsert/delete semantics through a delta
+//!   store that every query scans, plus incremental maintenance and a
+//!   growth-triggered full rebuild (§3.6).
+//! * **ACID semantics**: single serialized writer, snapshot-isolated
+//!   readers, WAL crash recovery — provided by the bundled storage
+//!   engine (the paper uses SQLite).
+//! * **Hybrid queries**: attribute filters (comparisons + full-text
+//!   `MATCH`) combined with vector search, with a selectivity-based
+//!   optimizer choosing pre- vs post-filtering (§3.5).
+//! * **Batch multi-query optimization**: partition scans shared across
+//!   a query batch via blocked matrix multiplication (§3.4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use micronn::{AttributeDef, Config, Expr, MicroNN, Metric, Value, ValueType, VectorRecord};
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let mut config = Config::new(4, Metric::L2);
+//! config.attributes = vec![AttributeDef::indexed("location", ValueType::Text)];
+//! let db = MicroNN::create(dir.path().join("photos.mnn"), config).unwrap();
+//!
+//! // Ingest (upserts land in the delta store, searchable immediately).
+//! for i in 0..500i64 {
+//!     let v = vec![i as f32, (i % 7) as f32, 0.0, 1.0];
+//!     let loc = if i % 10 == 0 { "Seattle" } else { "NYC" };
+//!     db.upsert(VectorRecord::new(i, v).with_attr("location", loc)).unwrap();
+//! }
+//! // Build the IVF index (atomic; readers never block).
+//! db.rebuild().unwrap();
+//!
+//! // Plain ANN.
+//! let hits = db.search(&[42.0, 0.0, 0.0, 1.0], 5).unwrap();
+//! assert_eq!(hits.results.len(), 5);
+//!
+//! // Hybrid: nearest neighbours in Seattle (optimizer picks the plan).
+//! let req = micronn::SearchRequest::new(vec![42.0, 0.0, 0.0, 1.0], 5)
+//!     .with_filter(Expr::eq("location", "Seattle"));
+//! let hits = db.search_with(&req).unwrap();
+//! assert!(!hits.results.is_empty());
+//! # let _ = Value::Null;
+//! ```
+
+pub mod batch;
+pub mod build;
+mod centroid_index;
+pub mod config;
+pub mod db;
+pub mod error;
+pub mod hybrid;
+pub mod inmemory;
+pub mod maintain;
+mod pool;
+pub mod search;
+pub mod stats;
+
+pub use batch::BatchResponse;
+pub use build::{RebuildOptions, RebuildReport};
+pub use config::{AttributeDef, Config, DeviceProfile};
+pub use db::{MicroNN, VectorRecord, DELTA_PARTITION};
+pub use error::{Error, Result};
+pub use hybrid::{PlanPreference, SearchRequest};
+pub use inmemory::InMemoryIndex;
+pub use maintain::{FlushReport, MaintenanceAction, MaintenanceStatus};
+pub use search::{SearchResponse, SearchResult};
+pub use stats::{DbStats, PlanUsed, QueryInfo};
+
+// Re-export the vocabulary types callers need from the substrates.
+pub use micronn_linalg::Metric;
+pub use micronn_rel::{Expr, Value, ValueType};
+pub use micronn_storage::{StoreOptions, SyncMode};

@@ -1,0 +1,248 @@
+//! Incremental index maintenance and the index monitor (§3.6).
+//!
+//! The delta store is scanned by every query, so "query latency can
+//! grow if the delta-store grows too large". [`MicroNN::flush_delta`]
+//! implements the paper's "simplified form of incremental index
+//! maintenance that flushes vectors from the delta-store by assigning
+//! them to the IVF index partition with the closest centroid and
+//! updates the centroids to reflect the partition content" (a running
+//! mean, after [1] / VLAD). Flushing touches only the delta rows plus
+//! the centroid table — the tiny I/O footprint Figure 10d plots against
+//! a full rebuild.
+//!
+//! The [`IndexMonitor`] half: partition sizes grow as deltas are folded
+//! in, so [`MicroNN::maintenance_status`] tracks average partition
+//! growth and requests a **full rebuild** once it exceeds the
+//! configured limit (paper: +50%), exactly the trigger of Figure 10.
+
+use micronn_rel::{blob_to_f32, f32_to_blob, RowDecoder, Value};
+
+use crate::db::{
+    meta_int, set_meta_int, MicroNN, DELTA_PARTITION, M_BASELINE_AVG, M_DELTA_COUNT, M_EPOCH,
+    M_PARTITIONS,
+};
+use crate::error::{Error, Result};
+use crate::RebuildReport;
+
+/// What the index monitor thinks should happen next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceStatus {
+    /// Index is healthy.
+    Healthy,
+    /// The index has never been built and holds vectors.
+    NeedsBuild,
+    /// The delta store exceeds the flush threshold.
+    NeedsFlush,
+    /// Average partition size grew past `growth_limit ×` its post-build
+    /// baseline: a full rebuild is due.
+    NeedsRebuild,
+}
+
+/// What [`MicroNN::maybe_maintain`] did.
+#[derive(Debug, Clone)]
+pub enum MaintenanceAction {
+    None,
+    Flushed(FlushReport),
+    Rebuilt(RebuildReport),
+}
+
+/// Outcome of one delta flush.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlushReport {
+    /// Vectors moved out of the delta store.
+    pub flushed: usize,
+    /// Distinct partitions that received vectors (their centroids were
+    /// updated).
+    pub partitions_touched: usize,
+    /// Wall-clock time.
+    pub total_time: std::time::Duration,
+}
+
+impl MicroNN {
+    /// Folds the delta store into the IVF index: each staged vector
+    /// moves to the partition with the nearest centroid, whose centroid
+    /// shifts by the running-mean update. One atomic transaction.
+    pub fn flush_delta(&self) -> Result<FlushReport> {
+        let start = std::time::Instant::now();
+        let inner = &*self.inner;
+        let mut txn = inner.db.begin_write()?;
+        let Some(index) = inner.clustering(&txn)? else {
+            return Err(Error::Config(
+                "cannot flush delta: index has never been built".into(),
+            ));
+        };
+        let partitions = index.partitions.clone();
+        let mut clustering = (*index.clustering).clone();
+
+        // Load current partition sizes.
+        let mut sizes = vec![0i64; clustering.k()];
+        for (ci, &pid) in partitions.iter().enumerate() {
+            if let Some(row) = inner.tables.centroids.get(&txn, &[Value::Integer(pid)])? {
+                sizes[ci] = row[2].as_integer().unwrap_or(0);
+            }
+        }
+
+        // Materialize the (small) delta store.
+        let mut staged: Vec<(i64, i64, Vec<f32>)> = Vec::new(); // (vid, asset, vec)
+        for kv in inner
+            .tables
+            .vectors
+            .scan_pk_prefix_raw(&txn, &[Value::Integer(DELTA_PARTITION)])?
+        {
+            let (_, row) = kv?;
+            let mut dec = RowDecoder::new(&row)?;
+            dec.skip()?;
+            let vid = dec
+                .next_value()?
+                .as_integer()
+                .ok_or_else(|| Error::Config("vid column is not an integer".into()))?;
+            let asset = dec
+                .next_value()?
+                .as_integer()
+                .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
+            let vec = blob_to_f32(dec.next_blob()?)?;
+            staged.push((vid, asset, vec));
+        }
+
+        let mut touched = std::collections::HashSet::new();
+        for (vid, asset, vec) in &staged {
+            let (ci, _) = clustering.nearest(vec);
+            let pid = partitions[ci];
+            inner
+                .tables
+                .vectors
+                .delete(&mut txn, &[Value::Integer(DELTA_PARTITION), Value::Integer(*vid)])?;
+            inner.tables.vectors.upsert(
+                &mut txn,
+                vec![
+                    Value::Integer(pid),
+                    Value::Integer(*vid),
+                    Value::Integer(*asset),
+                    Value::Blob(f32_to_blob(vec)),
+                ],
+            )?;
+            inner.tables.assets.upsert(
+                &mut txn,
+                vec![
+                    Value::Integer(*asset),
+                    Value::Integer(pid),
+                    Value::Integer(*vid),
+                ],
+            )?;
+            inner
+                .row_changes
+                .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+            // Running-mean centroid update [1]: c ← c + (x − c)/(m+1).
+            let m = sizes[ci];
+            let centroid = clustering.centroid_mut(ci);
+            let eta = 1.0 / (m as f32 + 1.0);
+            for (cv, xv) in centroid.iter_mut().zip(vec) {
+                *cv += eta * (xv - *cv);
+            }
+            sizes[ci] = m + 1;
+            touched.insert(ci);
+        }
+
+        // Persist the moved centroids and sizes.
+        for &ci in &touched {
+            inner.tables.centroids.upsert(
+                &mut txn,
+                vec![
+                    Value::Integer(partitions[ci]),
+                    Value::Blob(f32_to_blob(clustering.centroid(ci))),
+                    Value::Integer(sizes[ci]),
+                ],
+            )?;
+            inner
+                .row_changes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, 0)?;
+        let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
+        txn.commit()?;
+
+        Ok(FlushReport {
+            flushed: staged.len(),
+            partitions_touched: touched.len(),
+            total_time: start.elapsed(),
+        })
+    }
+
+    /// The index monitor's verdict on the current index state.
+    pub fn maintenance_status(&self) -> Result<MaintenanceStatus> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let k = meta_int(&r, &inner.tables.meta, M_PARTITIONS)?;
+        let delta = meta_int(&r, &inner.tables.meta, M_DELTA_COUNT)? as u64;
+        let total = inner.tables.vectors.row_count(&r)?;
+        if k == 0 {
+            return Ok(if total > 0 {
+                MaintenanceStatus::NeedsBuild
+            } else {
+                MaintenanceStatus::Healthy
+            });
+        }
+        let baseline = meta_int(&r, &inner.tables.meta, M_BASELINE_AVG)? as f64 / 1000.0;
+        let current_avg = (total - delta.min(total)) as f64 / k as f64;
+        if baseline > 0.0 && current_avg >= inner.cfg.growth_limit * baseline {
+            return Ok(MaintenanceStatus::NeedsRebuild);
+        }
+        if delta as usize >= inner.cfg.delta_flush_threshold {
+            return Ok(MaintenanceStatus::NeedsFlush);
+        }
+        Ok(MaintenanceStatus::Healthy)
+    }
+
+    /// Runs whatever maintenance the monitor requests: nothing, a delta
+    /// flush, or a full rebuild.
+    pub fn maybe_maintain(&self) -> Result<MaintenanceAction> {
+        Ok(match self.maintenance_status()? {
+            MaintenanceStatus::Healthy => MaintenanceAction::None,
+            MaintenanceStatus::NeedsBuild | MaintenanceStatus::NeedsRebuild => {
+                MaintenanceAction::Rebuilt(self.rebuild()?)
+            }
+            MaintenanceStatus::NeedsFlush => MaintenanceAction::Flushed(self.flush_delta()?),
+        })
+    }
+
+    /// Rebuilds attribute statistics (`ANALYZE`) for the hybrid query
+    /// optimizer without touching the index.
+    pub fn analyze(&self) -> Result<()> {
+        let inner = &*self.inner;
+        let mut txn = inner.db.begin_write()?;
+        micronn_rel::analyze_table(&mut txn, &inner.tables.attrs)?;
+        let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Point-in-time statistics of the index.
+    pub fn stats(&self) -> Result<crate::stats::DbStats> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let total = inner.tables.vectors.row_count(&r)?;
+        let delta = meta_int(&r, &inner.tables.meta, M_DELTA_COUNT)? as u64;
+        let k = meta_int(&r, &inner.tables.meta, M_PARTITIONS)? as u64;
+        let epoch = meta_int(&r, &inner.tables.meta, M_EPOCH)?;
+        let baseline = meta_int(&r, &inner.tables.meta, M_BASELINE_AVG)? as f64 / 1000.0;
+        Ok(crate::stats::DbStats {
+            total_vectors: total,
+            delta_vectors: delta,
+            partitions: k,
+            avg_partition_size: if k > 0 {
+                (total - delta.min(total)) as f64 / k as f64
+            } else {
+                0.0
+            },
+            baseline_partition_size: baseline,
+            epoch,
+            row_changes: inner
+                .row_changes
+                .load(std::sync::atomic::Ordering::Relaxed),
+            store: inner.db.store().stats(),
+            resident_bytes: inner.db.store().resident_bytes(),
+        })
+    }
+}

@@ -1,0 +1,257 @@
+//! ANN and exact KNN search — the paper's Algorithm 2.
+//!
+//! A search (1) scans the centroid table for the `n` nearest
+//! partitions, (2) always adds the delta partition, (3) scans the
+//! selected partitions in parallel worker threads — each worker keeps a
+//! private bounded [`TopK`] heap and computes distances over batched
+//! row chunks with the SIMD-friendly kernels — and (4) merges the
+//! per-thread heaps and sorts ("Parallel Sort" in Figure 3).
+//!
+//! The post-filtering join of §3.5 happens *inside* the scan: rows
+//! whose attributes fail the predicate are dropped before any distance
+//! computation, exactly as the paper describes ("vectors in the
+//! requested partitions that don't satisfy the predicate filter are
+//! therefore filtered before being considered in the top-K").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use micronn_linalg::{distances_one_to_many, merge_all, Neighbor, TopK};
+use micronn_rel::{Compiled, RowDecoder, Table, Value};
+use micronn_storage::ReadTxn;
+
+use crate::db::{Inner, DELTA_PARTITION};
+use crate::error::{Error, Result};
+use crate::stats::{PlanUsed, QueryInfo};
+
+/// One search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// Client asset id.
+    pub asset_id: i64,
+    /// Distance to the query under the index metric.
+    pub distance: f32,
+}
+
+/// A search's results plus its execution statistics.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    pub results: Vec<SearchResult>,
+    pub info: QueryInfo,
+}
+
+/// Attribute-filter context applied during partition scans.
+pub(crate) struct FilterCtx<'a> {
+    pub attrs: &'a Table,
+    pub compiled: Compiled,
+}
+
+#[derive(Default)]
+pub(crate) struct ScanCounters {
+    pub vectors_scanned: AtomicUsize,
+    pub filtered_out: AtomicUsize,
+}
+
+/// Scans `partitions` in parallel at snapshot `r`, returning the global
+/// top-k (Algorithm 2 lines 3–11).
+pub(crate) fn scan_partitions(
+    inner: &Inner,
+    r: &ReadTxn,
+    partitions: &[i64],
+    query: &[f32],
+    k: usize,
+    filter: Option<&FilterCtx<'_>>,
+    counters: &ScanCounters,
+) -> Result<Vec<Neighbor>> {
+    let workers = inner.scan_pool.workers().min(partitions.len()).max(1);
+    if workers <= 1 || partitions.len() <= 1 {
+        // Single-threaded fast path (also used by tiny probe sets).
+        let mut top = TopK::new(k);
+        for &p in partitions {
+            scan_one_partition(inner, r, p, query, &mut top, filter, counters)?;
+        }
+        return Ok(top.into_sorted());
+    }
+    // Fan out over the persistent pool: workers pull partition indexes
+    // from a shared counter and keep private heaps (Algorithm 2).
+    let next = AtomicUsize::new(0);
+    let heaps: parking_lot::Mutex<Vec<Result<TopK>>> =
+        parking_lot::Mutex::new(Vec::with_capacity(workers));
+    let jobs: Vec<_> = (0..workers)
+        .map(|_| {
+            let next = &next;
+            let heaps = &heaps;
+            move || {
+                let mut top = TopK::new(k);
+                let outcome = loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&p) = partitions.get(idx) else {
+                        break Ok(());
+                    };
+                    if let Err(e) =
+                        scan_one_partition(inner, r, p, query, &mut top, filter, counters)
+                    {
+                        break Err(e);
+                    }
+                };
+                heaps.lock().push(outcome.map(|()| top));
+            }
+        })
+        .collect();
+    inner.scan_pool.run_scoped(jobs);
+    let mut collected = Vec::with_capacity(workers);
+    for h in heaps.into_inner() {
+        collected.push(h?);
+    }
+    Ok(merge_all(collected, k))
+}
+
+/// Rows per batched distance computation.
+const SCAN_CHUNK: usize = 256;
+
+fn scan_one_partition(
+    inner: &Inner,
+    r: &ReadTxn,
+    partition: i64,
+    query: &[f32],
+    top: &mut TopK,
+    filter: Option<&FilterCtx<'_>>,
+    counters: &ScanCounters,
+) -> Result<()> {
+    let dim = inner.dim;
+    let mut ids: Vec<i64> = Vec::with_capacity(SCAN_CHUNK);
+    let mut flat: Vec<f32> = Vec::with_capacity(SCAN_CHUNK * dim);
+    let mut dists: Vec<f32> = Vec::with_capacity(SCAN_CHUNK);
+    let mut flush = |ids: &mut Vec<i64>, flat: &mut Vec<f32>, top: &mut TopK| {
+        dists.clear();
+        distances_one_to_many(inner.metric, query, flat, dim, &mut dists);
+        for (i, &d) in dists.iter().enumerate() {
+            top.push(ids[i] as u64, d);
+        }
+        ids.clear();
+        flat.clear();
+    };
+    for kv in inner
+        .tables
+        .vectors
+        .scan_pk_prefix_raw(r, &[Value::Integer(partition)])?
+    {
+        let (_, row_bytes) = kv?;
+        let mut dec = RowDecoder::new(&row_bytes)?;
+        dec.skip()?; // partition
+        dec.skip()?; // vid
+        let asset = dec
+            .next_value()?
+            .as_integer()
+            .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
+        // Post-filter join: evaluate the predicate before the vector is
+        // even decoded, skipping disqualified rows entirely.
+        if let Some(f) = filter {
+            let row = f.attrs.get(r, &[Value::Integer(asset)])?;
+            let matches = match &row {
+                Some(attr_row) => f.compiled.eval(attr_row),
+                None => false,
+            };
+            if !matches {
+                counters.filtered_out.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let blob = dec.next_blob()?;
+        if blob.len() != dim * 4 {
+            return Err(Error::Config(format!(
+                "stored vector has {} bytes, expected {}",
+                blob.len(),
+                dim * 4
+            )));
+        }
+        ids.push(asset);
+        flat.extend(
+            blob.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+        counters.vectors_scanned.fetch_add(1, Ordering::Relaxed);
+        if ids.len() == SCAN_CHUNK {
+            flush(&mut ids, &mut flat, top);
+        }
+    }
+    if !ids.is_empty() {
+        flush(&mut ids, &mut flat, top);
+    }
+    Ok(())
+}
+
+/// ANN search (Algorithm 2): probe the `n` nearest partitions plus the
+/// delta store.
+pub(crate) fn ann_search(
+    inner: &Inner,
+    r: &ReadTxn,
+    query: &[f32],
+    k: usize,
+    probes: usize,
+    filter: Option<&FilterCtx<'_>>,
+    plan: PlanUsed,
+) -> Result<SearchResponse> {
+    if query.len() != inner.dim {
+        return Err(Error::DimensionMismatch {
+            expected: inner.dim,
+            got: query.len(),
+        });
+    }
+    let mut partitions: Vec<i64> = match inner.clustering(r)? {
+        Some(index) => index.nearest_partitions(query, probes),
+        // Unbuilt index: everything lives in the delta store.
+        None => Vec::new(),
+    };
+    partitions.push(DELTA_PARTITION);
+    run_scan(inner, r, &partitions, query, k, filter, plan)
+}
+
+/// Exact KNN: exhaustive scan over every partition (§3.3 "trivial but
+/// resource intensive").
+pub(crate) fn exact_search(
+    inner: &Inner,
+    r: &ReadTxn,
+    query: &[f32],
+    k: usize,
+    filter: Option<&FilterCtx<'_>>,
+) -> Result<SearchResponse> {
+    if query.len() != inner.dim {
+        return Err(Error::DimensionMismatch {
+            expected: inner.dim,
+            got: query.len(),
+        });
+    }
+    let mut partitions: Vec<i64> = match inner.clustering(r)? {
+        Some(index) => index.partitions.as_ref().clone(),
+        None => Vec::new(),
+    };
+    partitions.push(DELTA_PARTITION);
+    run_scan(inner, r, &partitions, query, k, filter, PlanUsed::Exact)
+}
+
+fn run_scan(
+    inner: &Inner,
+    r: &ReadTxn,
+    partitions: &[i64],
+    query: &[f32],
+    k: usize,
+    filter: Option<&FilterCtx<'_>>,
+    plan: PlanUsed,
+) -> Result<SearchResponse> {
+    let counters = ScanCounters::default();
+    let neighbors = scan_partitions(inner, r, partitions, query, k, filter, &counters)?;
+    let mut info = QueryInfo::new(plan);
+    info.partitions_scanned = partitions.len();
+    info.vectors_scanned = counters.vectors_scanned.load(Ordering::Relaxed);
+    info.filtered_out = counters.filtered_out.load(Ordering::Relaxed);
+    Ok(SearchResponse {
+        results: neighbors
+            .into_iter()
+            .map(|n| SearchResult {
+                asset_id: n.id as i64,
+                distance: n.distance,
+            })
+            .collect(),
+        info,
+    })
+}

@@ -1,0 +1,103 @@
+//! Database and query statistics.
+//!
+//! Figure 10d of the paper plots the number of database row changes of
+//! incremental vs full rebuilds; Figures 5/6b plot memory; the
+//! microbenchmarks rely on partition/vector scan counts. These types
+//! expose all of that.
+
+use micronn_storage::StoreStats;
+
+/// Which hybrid-query plan executed (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanUsed {
+    /// Plain ANN scan (no attribute filter).
+    Ann,
+    /// Exhaustive exact scan.
+    Exact,
+    /// Predicate evaluated first; brute-force search over qualifying
+    /// vectors (100% recall).
+    PreFilter,
+    /// ANN scan with the predicate applied during partition scans.
+    PostFilter,
+}
+
+impl std::fmt::Display for PlanUsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PlanUsed::Ann => "ann",
+            PlanUsed::Exact => "exact",
+            PlanUsed::PreFilter => "pre-filter",
+            PlanUsed::PostFilter => "post-filter",
+        })
+    }
+}
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryInfo {
+    /// The plan that executed.
+    pub plan: PlanUsed,
+    /// Partitions scanned (including the delta store).
+    pub partitions_scanned: usize,
+    /// Vectors whose distance was computed.
+    pub vectors_scanned: usize,
+    /// Vectors skipped by the attribute filter before distance
+    /// computation (post-filtering path).
+    pub filtered_out: usize,
+    /// Candidate set size evaluated by a pre-filtering plan.
+    pub candidates: usize,
+}
+
+impl QueryInfo {
+    pub(crate) fn new(plan: PlanUsed) -> QueryInfo {
+        QueryInfo {
+            plan,
+            partitions_scanned: 0,
+            vectors_scanned: 0,
+            filtered_out: 0,
+            candidates: 0,
+        }
+    }
+}
+
+/// Point-in-time state of a MicroNN index.
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Total stored vectors (main index + delta).
+    pub total_vectors: u64,
+    /// Vectors in the delta store.
+    pub delta_vectors: u64,
+    /// IVF partitions (0 before the first build).
+    pub partitions: u64,
+    /// Mean vectors per main-index partition.
+    pub avg_partition_size: f64,
+    /// Mean partition size recorded right after the last full rebuild.
+    pub baseline_partition_size: f64,
+    /// Index epoch (bumped by rebuilds, flushes, analyze).
+    pub epoch: i64,
+    /// Cumulative row-level mutations performed by this handle
+    /// (Figure 10d).
+    pub row_changes: u64,
+    /// Storage-engine counters.
+    pub store: StoreStats,
+    /// Bytes of page images resident in the buffer pool.
+    pub resident_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_display() {
+        assert_eq!(PlanUsed::PreFilter.to_string(), "pre-filter");
+        assert_eq!(PlanUsed::Ann.to_string(), "ann");
+    }
+
+    #[test]
+    fn query_info_starts_zeroed() {
+        let q = QueryInfo::new(PlanUsed::Exact);
+        assert_eq!(q.vectors_scanned, 0);
+        assert_eq!(q.plan, PlanUsed::Exact);
+    }
+}

@@ -1,0 +1,246 @@
+//! Robustness and edge-case behaviour of the public API: degenerate
+//! parameters, empty states, oversized requests, and backup/restore.
+
+use micronn::{
+    AttributeDef, Config, Expr, Metric, MicroNN, PlanPreference, SearchRequest, SyncMode,
+    ValueType, VectorRecord,
+};
+
+fn cfg(dim: usize) -> Config {
+    let mut c = Config::new(dim, Metric::L2);
+    c.store.sync = SyncMode::Off;
+    c.target_partition_size = 16;
+    c.attributes = vec![AttributeDef::indexed("tag", ValueType::Text)];
+    c
+}
+
+fn seeded(db: &MicroNN, n: i64, dim: usize) {
+    let recs: Vec<VectorRecord> = (0..n)
+        .map(|i| {
+            VectorRecord::new(i, vec![(i % 13) as f32; dim])
+                .with_attr("tag", if i % 2 == 0 { "even" } else { "odd" })
+        })
+        .collect();
+    db.upsert_batch(&recs).unwrap();
+}
+
+#[test]
+fn search_empty_database() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("e.mnn"), cfg(4)).unwrap();
+    let got = db.search(&[0.0; 4], 10).unwrap();
+    assert!(got.results.is_empty());
+    let got = db.exact(&[0.0; 4], 10, None).unwrap();
+    assert!(got.results.is_empty());
+    let got = db.batch_search(&[vec![0.0; 4]], 10, None).unwrap();
+    assert_eq!(got.results.len(), 1);
+    assert!(got.results[0].is_empty());
+    // Rebuild of an empty collection is a no-op, not an error.
+    let report = db.rebuild().unwrap();
+    assert_eq!(report.vectors, 0);
+}
+
+#[test]
+fn k_larger_than_collection() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("k.mnn"), cfg(4)).unwrap();
+    seeded(&db, 5, 4);
+    db.rebuild().unwrap();
+    let got = db.search(&[1.0; 4], 100).unwrap();
+    assert_eq!(got.results.len(), 5, "returns everything, no padding");
+    let got = db.exact(&[1.0; 4], 100, None).unwrap();
+    assert_eq!(got.results.len(), 5);
+}
+
+#[test]
+fn k_zero_returns_empty() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("k0.mnn"), cfg(4)).unwrap();
+    seeded(&db, 10, 4);
+    let got = db.search(&[1.0; 4], 0).unwrap();
+    assert!(got.results.is_empty());
+}
+
+#[test]
+fn probes_exceeding_partition_count_clamp() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("p.mnn"), cfg(4)).unwrap();
+    seeded(&db, 100, 4);
+    db.rebuild().unwrap();
+    let got = db
+        .search_with(&SearchRequest::new(vec![1.0; 4], 10).with_probes(10_000))
+        .unwrap();
+    assert_eq!(got.results.len(), 10);
+    // Clamped probes == exhaustive: equals exact.
+    let exact = db.exact(&[1.0; 4], 10, None).unwrap();
+    let a: Vec<i64> = got.results.iter().map(|r| r.asset_id).collect();
+    let b: Vec<i64> = exact.results.iter().map(|r| r.asset_id).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn filter_matching_nothing() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("f.mnn"), cfg(4)).unwrap();
+    seeded(&db, 50, 4);
+    db.rebuild().unwrap();
+    for plan in [PlanPreference::ForcePreFilter, PlanPreference::ForcePostFilter] {
+        let got = db
+            .search_with(
+                &SearchRequest::new(vec![1.0; 4], 10)
+                    .with_filter(Expr::eq("tag", "nonexistent"))
+                    .with_plan(plan),
+            )
+            .unwrap();
+        assert!(got.results.is_empty(), "{plan:?} must return empty");
+    }
+}
+
+#[test]
+fn duplicate_vectors_and_ties() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("d.mnn"), cfg(4)).unwrap();
+    // 20 identical vectors: results must be deterministic (id order on
+    // ties) and include exactly k of them.
+    let recs: Vec<VectorRecord> = (0..20)
+        .map(|i| VectorRecord::new(i, vec![5.0; 4]))
+        .collect();
+    db.upsert_batch(&recs).unwrap();
+    db.rebuild().unwrap();
+    let a = db.exact(&[5.0; 4], 7, None).unwrap();
+    let b = db.exact(&[5.0; 4], 7, None).unwrap();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.results.len(), 7);
+    assert!(a.results.iter().all(|r| r.distance == 0.0));
+    let ids: Vec<i64> = a.results.iter().map(|r| r.asset_id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6], "ties break by id");
+}
+
+#[test]
+fn nan_and_extreme_vectors_do_not_poison_results() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("n.mnn"), cfg(4)).unwrap();
+    db.upsert(VectorRecord::new(1, vec![1.0; 4])).unwrap();
+    db.upsert(VectorRecord::new(2, vec![f32::MAX / 2.0; 4])).unwrap();
+    db.upsert(VectorRecord::new(3, vec![f32::NAN; 4])).unwrap();
+    let got = db.search(&[1.0; 4], 3).unwrap();
+    assert_eq!(got.results[0].asset_id, 1);
+    // NaN distances sort last; the finite vectors come first.
+    assert_eq!(got.results.len(), 3);
+    assert!(!got.results[0].distance.is_nan());
+}
+
+#[test]
+fn negative_and_large_asset_ids() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("ids.mnn"), cfg(4)).unwrap();
+    for id in [i64::MIN, -1, 0, i64::MAX] {
+        db.upsert(VectorRecord::new(id, vec![id as f32 % 100.0; 4]))
+            .unwrap();
+    }
+    assert_eq!(db.len().unwrap(), 4);
+    for id in [i64::MIN, -1, 0, i64::MAX] {
+        assert!(db.contains(id).unwrap(), "id {id}");
+        assert!(db.get_vector(id).unwrap().is_some());
+    }
+    let got = db.search(&[i64::MAX as f32 % 100.0; 4], 1).unwrap();
+    assert!(!got.results.is_empty());
+    db.delete(i64::MIN).unwrap();
+    assert!(!db.contains(i64::MIN).unwrap());
+}
+
+#[test]
+fn rebuild_twice_is_stable() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("r.mnn"), cfg(8)).unwrap();
+    seeded(&db, 300, 8);
+    db.rebuild().unwrap();
+    let s1 = db.stats().unwrap();
+    db.rebuild().unwrap();
+    let s2 = db.stats().unwrap();
+    assert_eq!(s1.total_vectors, s2.total_vectors);
+    assert_eq!(s1.partitions, s2.partitions, "same data, same k");
+    // Same query, same results.
+    let a = db.exact(&[3.0; 8], 10, None).unwrap();
+    db.rebuild().unwrap();
+    let b = db.exact(&[3.0; 8], 10, None).unwrap();
+    assert_eq!(
+        a.results.iter().map(|r| r.asset_id).collect::<Vec<_>>(),
+        b.results.iter().map(|r| r.asset_id).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn flush_empty_delta_is_a_noop() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("fl.mnn"), cfg(4)).unwrap();
+    seeded(&db, 50, 4);
+    db.rebuild().unwrap();
+    let report = db.flush_delta().unwrap();
+    assert_eq!(report.flushed, 0);
+    assert_eq!(report.partitions_touched, 0);
+}
+
+#[test]
+fn backup_is_a_consistent_snapshot() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("src.mnn"), cfg(8)).unwrap();
+    seeded(&db, 200, 8);
+    db.rebuild().unwrap();
+    let backup_path = dir.path().join("backup.mnn");
+    db.backup_to(&backup_path).unwrap();
+    // Mutate the original after the backup.
+    db.delete_batch(&(0..100).collect::<Vec<i64>>()).unwrap();
+    assert_eq!(db.len().unwrap(), 100);
+
+    // The backup opens independently with the pre-mutation state.
+    let mut open_cfg = Config::default();
+    open_cfg.store.sync = SyncMode::Off;
+    let restored = MicroNN::open(&backup_path, open_cfg).unwrap();
+    assert_eq!(restored.len().unwrap(), 200);
+    let got = restored.search(&[3.0; 8], 5).unwrap();
+    assert!(!got.results.is_empty());
+    // Hybrid machinery (indexes, stats) survived the copy.
+    let got = restored
+        .search_with(
+            &SearchRequest::new(vec![3.0; 8], 5).with_filter(Expr::eq("tag", "even")),
+        )
+        .unwrap();
+    assert!(got.results.iter().all(|r| r.asset_id % 2 == 0));
+}
+
+#[test]
+fn create_on_existing_path_fails_cleanly() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("dup.mnn");
+    let _db = MicroNN::create(&path, cfg(4)).unwrap();
+    assert!(MicroNN::create(&path, cfg(4)).is_err());
+}
+
+#[test]
+fn concurrent_batch_and_single_searches() {
+    let dir = tempfile::tempdir().unwrap();
+    let db = MicroNN::create(dir.path().join("c.mnn"), cfg(8)).unwrap();
+    seeded(&db, 500, 8);
+    db.rebuild().unwrap();
+    // Batch and single searches share the worker pool; run them from
+    // several threads at once to shake out pool deadlocks.
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let db = db.clone();
+            s.spawn(move || {
+                for i in 0..20 {
+                    let q = vec![((t * 20 + i) % 13) as f32; 8];
+                    if i % 2 == 0 {
+                        let r = db.search(&q, 5).unwrap();
+                        assert!(r.results.len() <= 5);
+                    } else {
+                        let qs = vec![q.clone(), q];
+                        let r = db.batch_search(&qs, 5, None).unwrap();
+                        assert_eq!(r.results.len(), 2);
+                    }
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,161 @@
+//! Exact ground truth and recall computation.
+//!
+//! Every recall number in the paper is "the percentage of vectors in
+//! the approximate top-K present in the exact top-K vectors" (§3.3).
+//! Ground truth is computed by parallel brute force over the base
+//! vectors.
+
+use micronn_linalg::{distances_one_to_many, merge_all, Metric, TopK};
+
+use crate::synthetic::Dataset;
+
+/// Exact top-`k` ids for one query over a flat row-major matrix.
+pub fn exact_topk(metric: Metric, query: &[f32], data: &[f32], dim: usize, k: usize) -> Vec<i64> {
+    let mut top = TopK::new(k);
+    let mut dists = Vec::with_capacity(data.len() / dim.max(1));
+    distances_one_to_many(metric, query, data, dim, &mut dists);
+    for (i, &d) in dists.iter().enumerate() {
+        top.push(i as u64, d);
+    }
+    top.into_sorted().into_iter().map(|n| n.id as i64).collect()
+}
+
+/// Exact top-`k` ids for every dataset query, brute-forced in parallel
+/// across `workers` threads (each worker owns a strip of the base
+/// matrix; per-query strips merge through the heap machinery).
+pub fn ground_truth(dataset: &Dataset, k: usize, workers: usize) -> Vec<Vec<i64>> {
+    let dim = dataset.spec.dim;
+    let n = dataset.len();
+    let nq = dataset.spec.n_queries;
+    let metric = dataset.spec.metric;
+    let workers = workers.max(1).min(nq.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Vec<i64>> = vec![Vec::new(); nq];
+    let results: Vec<(usize, Vec<i64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let qi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if qi >= nq {
+                            return local;
+                        }
+                        let q = dataset.query(qi);
+                        // Strip the scan into chunks to bound the
+                        // distance buffer.
+                        let mut top = TopK::new(k);
+                        let chunk = 8192;
+                        let mut dists = Vec::with_capacity(chunk);
+                        let mut start = 0usize;
+                        while start < n {
+                            let end = (start + chunk).min(n);
+                            dists.clear();
+                            distances_one_to_many(
+                                metric,
+                                q,
+                                &dataset.vectors[start * dim..end * dim],
+                                dim,
+                                &mut dists,
+                            );
+                            for (j, &d) in dists.iter().enumerate() {
+                                top.push((start + j) as u64, d);
+                            }
+                            start = end;
+                        }
+                        local.push((
+                            qi,
+                            merge_all(vec![top], k)
+                                .into_iter()
+                                .map(|nb| nb.id as i64)
+                                .collect(),
+                        ));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("ground-truth worker panicked"))
+            .collect()
+    });
+    for (qi, ids) in results {
+        out[qi] = ids;
+    }
+    out
+}
+
+/// `recall@k`: fraction of the exact top-k found in the approximate
+/// result.
+pub fn recall(approx: &[i64], exact: &[i64]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let truth: std::collections::HashSet<i64> = exact.iter().copied().collect();
+    approx.iter().filter(|id| truth.contains(id)).count() as f64 / exact.len() as f64
+}
+
+/// Mean recall over aligned query results.
+pub fn mean_recall(approx: &[Vec<i64>], exact: &[Vec<i64>]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    approx
+        .iter()
+        .zip(exact)
+        .map(|(a, e)| recall(a, e))
+        .sum::<f64>()
+        / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, DatasetSpec};
+
+    fn tiny() -> Dataset {
+        generate(&DatasetSpec {
+            name: "tiny",
+            dim: 8,
+            n_vectors: 300,
+            n_queries: 12,
+            metric: Metric::L2,
+            clusters: 3,
+            spread: 0.1,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn parallel_ground_truth_matches_single_query_scan() {
+        let d = tiny();
+        let gt = ground_truth(&d, 10, 4);
+        assert_eq!(gt.len(), 12);
+        for (qi, ids) in gt.iter().enumerate() {
+            let direct = exact_topk(Metric::L2, d.query(qi), &d.vectors, 8, 10);
+            assert_eq!(ids, &direct, "query {qi}");
+            assert_eq!(ids.len(), 10);
+        }
+    }
+
+    #[test]
+    fn recall_math() {
+        assert_eq!(recall(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(recall(&[1, 9, 8], &[1, 2, 3]), 1.0 / 3.0);
+        assert_eq!(recall(&[], &[1, 2]), 0.0);
+        assert_eq!(recall(&[1], &[]), 1.0);
+        let m = mean_recall(&[vec![1, 2], vec![5, 6]], &[vec![1, 2], vec![7, 8]]);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_query_is_own_nearest() {
+        let d = tiny();
+        // Use base vectors as queries: each must rank itself first.
+        for i in [0, 17, 250] {
+            let ids = exact_topk(Metric::L2, d.vector(i), &d.vectors, 8, 3);
+            assert_eq!(ids[0], i as i64);
+        }
+    }
+}

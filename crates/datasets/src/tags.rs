@@ -1,0 +1,310 @@
+//! The filtered-search workload behind Figure 7.
+//!
+//! The paper evaluates its hybrid optimizer on the Big-ANN Filtered
+//! Search track: 10M CLIP embeddings of Flickr images, each with a bag
+//! of tags; a query is an embedding plus tags that results must all
+//! carry. The workload's relevant structure is (a) a heavy-tailed
+//! (Zipfian) tag frequency distribution, which produces query
+//! selectivities spanning many orders of magnitude, and (b) correlation
+//! between tags and vector position (a "cat" photo embeds near other
+//! cat photos). This generator reproduces both: each asset's anchor tag
+//! picks its mixture component, queries combine 1–3 tags, and true
+//! selectivities are *measured* (not estimated) so queries can be
+//! binned by selectivity decade exactly as §4.3.1 does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use micronn_linalg::{normalize, Metric};
+
+use crate::synthetic::gaussian;
+
+/// One asset: a vector and its whitespace-joined tag bag (the paper
+/// encodes tags "as a whitespace separated string" in one column).
+#[derive(Debug, Clone)]
+pub struct TaggedAsset {
+    pub asset_id: i64,
+    pub vector: Vec<f32>,
+    pub tags: String,
+}
+
+/// One hybrid query: an embedding plus a tag conjunction, with its
+/// *measured* selectivity factor.
+#[derive(Debug, Clone)]
+pub struct TagQuery {
+    pub vector: Vec<f32>,
+    /// Query tags (results must carry all of them).
+    pub tags: Vec<String>,
+    /// True selectivity factor `F` (qualifying fraction), measured over
+    /// the generated corpus.
+    pub selectivity: f64,
+}
+
+/// The generated workload.
+#[derive(Debug, Clone)]
+pub struct TagWorkload {
+    pub dim: usize,
+    pub metric: Metric,
+    pub assets: Vec<TaggedAsset>,
+    /// Queries grouped by selectivity decade: `bins[d]` holds queries
+    /// with `10^-(d+1) <= F < 10^-d`... i.e. index 0 = [1e-1, 1), 1 =
+    /// [1e-2, 1e-1), etc.
+    pub bins: Vec<Vec<TagQuery>>,
+}
+
+/// Tag-universe token for tag index `i`.
+fn tag_name(i: usize) -> String {
+    format!("tag{i:04}")
+}
+
+/// Generates the workload: `n` assets of dimension `dim`, a Zipfian
+/// universe of `n_tags` tags, queries binned by measured selectivity
+/// decade with up to `per_bin` queries per decade (paper: 10).
+pub fn filtered_tags(
+    n: usize,
+    dim: usize,
+    n_tags: usize,
+    per_bin: usize,
+    max_decades: usize,
+    seed: u64,
+) -> TagWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metric = Metric::Cosine;
+
+    // Zipf weights over the tag universe.
+    let weights: Vec<f64> = (1..=n_tags).map(|r| 1.0 / (r as f64)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let sample_tag = |rng: &mut StdRng| -> usize {
+        let mut t = rng.gen_range(0.0..total_w);
+        for (i, w) in weights.iter().enumerate() {
+            if t < *w {
+                return i;
+            }
+            t -= w;
+        }
+        n_tags - 1
+    };
+
+    // Each tag anchors a direction in vector space: tag/vector
+    // correlation. (The paper's CLIP embeddings cluster by content,
+    // and tags describe content.)
+    let mut anchors = vec![0f32; n_tags * dim];
+    for a in anchors.iter_mut() {
+        *a = rng.gen_range(-1.0f32..1.0);
+    }
+
+    // Assets: an anchor tag (drives the vector) + a few extra tags.
+    let mut assets = Vec::with_capacity(n);
+    let mut tag_members: Vec<Vec<u32>> = vec![Vec::new(); n_tags];
+    for i in 0..n {
+        let anchor = sample_tag(&mut rng);
+        let mut tag_ids = vec![anchor];
+        let extra = rng.gen_range(2..6);
+        for _ in 0..extra {
+            let t = sample_tag(&mut rng);
+            if !tag_ids.contains(&t) {
+                tag_ids.push(t);
+            }
+        }
+        let mut vector = Vec::with_capacity(dim);
+        let base = &anchors[anchor * dim..(anchor + 1) * dim];
+        for &b in base {
+            vector.push(b + 0.25 * gaussian(&mut rng));
+        }
+        normalize(&mut vector);
+        for &t in &tag_ids {
+            tag_members[t].push(i as u32);
+        }
+        let tags = tag_ids
+            .iter()
+            .map(|&t| tag_name(t))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assets.push(TaggedAsset {
+            asset_id: i as i64,
+            vector,
+            tags,
+        });
+    }
+
+    // Candidate queries: single tags and conjunctions of 2–3 tags whose
+    // measured selectivity lands across the decades. Selectivity of a
+    // conjunction is measured exactly by intersecting member lists.
+    let mut bins: Vec<Vec<TagQuery>> = vec![Vec::new(); max_decades];
+    let try_add = |tag_ids: &[usize], rng: &mut StdRng, bins: &mut Vec<Vec<TagQuery>>| {
+        let mut members: Option<Vec<u32>> = None;
+        for &t in tag_ids {
+            let list = &tag_members[t];
+            members = Some(match members {
+                None => list.clone(),
+                Some(prev) => {
+                    let set: std::collections::HashSet<u32> = list.iter().copied().collect();
+                    prev.into_iter().filter(|m| set.contains(m)).collect()
+                }
+            });
+        }
+        let members = members.unwrap_or_default();
+        if members.is_empty() {
+            return;
+        }
+        let f = members.len() as f64 / n as f64;
+        // Decade bin: [1e-1, 1) -> 0, [1e-2, 1e-1) -> 1, ... An exact
+        // power of ten (F = 0.01) belongs to the bin it lower-bounds.
+        let decade = (-f.log10() - 1e-9).floor().max(0.0) as usize;
+        if decade >= bins.len() || bins[decade].len() >= per_bin {
+            return;
+        }
+        // Query vector: near a random qualifying member (queries with
+        // the tag look like assets with the tag).
+        let m = members[rng.gen_range(0..members.len())] as usize;
+        let mut vector = assets[m].vector.clone();
+        for v in vector.iter_mut() {
+            *v += 0.05 * gaussian(rng);
+        }
+        normalize(&mut vector);
+        bins[decade].push(TagQuery {
+            vector,
+            tags: tag_ids.iter().map(|&t| tag_name(t)).collect(),
+            selectivity: f,
+        });
+    };
+
+    // Sweep the tag universe head-to-tail for singles, then random
+    // conjunctions until bins stop filling.
+    for t in 0..n_tags {
+        try_add(&[t], &mut rng, &mut bins);
+    }
+    for _ in 0..(per_bin * max_decades * 200) {
+        let a = sample_tag(&mut rng);
+        let b = rng.gen_range(0..n_tags);
+        if a == b {
+            continue;
+        }
+        if rng.gen_bool(0.3) {
+            let c = rng.gen_range(0..n_tags);
+            try_add(&[a, b, c], &mut rng, &mut bins);
+        } else {
+            try_add(&[a, b], &mut rng, &mut bins);
+        }
+        if bins.iter().all(|b| b.len() >= per_bin) {
+            break;
+        }
+    }
+
+    TagWorkload {
+        dim,
+        metric,
+        assets,
+        bins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> TagWorkload {
+        filtered_tags(5000, 16, 200, 5, 4, 99)
+    }
+
+    #[test]
+    fn assets_shaped_and_tagged() {
+        let w = workload();
+        assert_eq!(w.assets.len(), 5000);
+        for a in w.assets.iter().take(50) {
+            assert_eq!(a.vector.len(), 16);
+            assert!((micronn_linalg::norm(&a.vector) - 1.0).abs() < 1e-4);
+            assert!(!a.tags.is_empty());
+            assert!(a.tags.split(' ').count() >= 1);
+        }
+    }
+
+    #[test]
+    fn selectivities_are_exact_counts() {
+        let w = workload();
+        for bin in &w.bins {
+            for q in bin {
+                // Recount: every query tag must be present.
+                let count = w
+                    .assets
+                    .iter()
+                    .filter(|a| {
+                        let set: std::collections::HashSet<&str> = a.tags.split(' ').collect();
+                        q.tags.iter().all(|t| set.contains(t.as_str()))
+                    })
+                    .count();
+                let f = count as f64 / w.assets.len() as f64;
+                assert!(
+                    (f - q.selectivity).abs() < 1e-12,
+                    "stored {} vs recount {f}",
+                    q.selectivity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bins_span_decades() {
+        let w = workload();
+        // The head of a Zipf distribution gives common tags (decade 0
+        // or 1); conjunctions give rare ones. At least three decades
+        // should be populated at this corpus size.
+        let populated = w.bins.iter().filter(|b| !b.is_empty()).count();
+        assert!(populated >= 3, "only {populated} decades populated");
+        for (d, bin) in w.bins.iter().enumerate() {
+            for q in bin {
+                let lo = 10f64.powi(-(d as i32 + 1));
+                let hi = 10f64.powi(-(d as i32));
+                assert!(
+                    q.selectivity >= lo && q.selectivity < hi,
+                    "decade {d}: F={}",
+                    q.selectivity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = filtered_tags(1000, 8, 50, 3, 3, 1);
+        let b = filtered_tags(1000, 8, 50, 3, 3, 1);
+        assert_eq!(a.assets.len(), b.assets.len());
+        assert_eq!(a.assets[5].tags, b.assets[5].tags);
+        assert_eq!(a.assets[5].vector, b.assets[5].vector);
+    }
+
+    #[test]
+    fn tag_vector_correlation_exists() {
+        // Assets sharing an anchor tag should be closer on average than
+        // random pairs (cosine distance).
+        let w = workload();
+        let tag0 = tag_name(0);
+        let members: Vec<&TaggedAsset> = w
+            .assets
+            .iter()
+            .filter(|a| a.tags.split(' ').next() == Some(tag0.as_str()))
+            .take(30)
+            .collect();
+        if members.len() < 10 {
+            return; // extremely unlikely with Zipf head, but guard
+        }
+        let mut within = 0.0f64;
+        let mut cross = 0.0f64;
+        let mut pairs = 0;
+        for i in 0..members.len() - 1 {
+            within += micronn_linalg::cosine_distance(
+                &members[i].vector,
+                &members[i + 1].vector,
+            ) as f64;
+            cross += micronn_linalg::cosine_distance(
+                &members[i].vector,
+                &w.assets[(i * 997 + 13) % w.assets.len()].vector,
+            ) as f64;
+            pairs += 1;
+        }
+        assert!(
+            within / pairs as f64 * 1.5 < cross / pairs as f64 + 0.5,
+            "anchored assets should cluster: within {within} cross {cross}"
+        );
+    }
+}

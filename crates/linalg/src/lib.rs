@@ -1,0 +1,25 @@
+//! `micronn-linalg`: SIMD-friendly numerics for the MicroNN
+//! reproduction.
+//!
+//! The paper offloads distance computation to a hardware-accelerated
+//! linear algebra library (its "Numerics Accelerator (SIMD)" box in
+//! Figure 1). This crate plays that role portably:
+//!
+//! * [`distance`] — scalar and one-to-many distance kernels (L2,
+//!   cosine, inner product) written as multi-accumulator loops that
+//!   LLVM autovectorizes;
+//! * [`matrix`] — row-major matrices and the blocked `Q·Rᵀ` kernel
+//!   ([`gemm_nt`] / [`batch_distances`]) behind the batch multi-query
+//!   optimization of §3.4;
+//! * [`topk`] — bounded per-thread top-k heaps and the parallel merge
+//!   of Algorithm 2.
+
+pub mod distance;
+pub mod matrix;
+pub mod topk;
+
+pub use distance::{
+    cosine_distance, distances_one_to_many, dot, l2_sq, norm, normalize, Metric,
+};
+pub use matrix::{batch_distances, gemm_nt, Matrix};
+pub use topk::{merge_all, Neighbor, TopK};

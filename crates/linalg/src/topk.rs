@@ -1,0 +1,254 @@
+//! Bounded top-k heaps and the parallel heap merge.
+//!
+//! Algorithm 2 of the paper keeps, per worker thread, "its own heap of
+//! its current top-k vectors, and an efficient parallel heap merge is
+//! performed once all threads finish processing their partitions".
+//! [`TopK`] is that per-thread bounded max-heap (worst candidate on
+//! top, evicted when something closer arrives); [`merge_all`] is the
+//! final merge.
+
+use std::collections::BinaryHeap;
+
+/// One search result: a vector id and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: u64,
+    pub distance: f32,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: distance first (NaN sorts greatest), then id for
+        // determinism across runs and thread counts.
+        self.distance
+            .total_cmp(&other.distance)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded max-heap retaining the `k` smallest-distance candidates.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// A heap retaining at most `k` neighbours.
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of retained candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidates are retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th (worst retained) distance, or `+∞` while the
+    /// heap is not yet full. Scans can use this to skip candidates
+    /// early.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.distance)
+        }
+    }
+
+    /// Offers a candidate (Algorithm 2 lines 7–10). Returns `true` if
+    /// it was retained.
+    #[inline]
+    pub fn push(&mut self, id: u64, distance: f32) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor { id, distance });
+            return true;
+        }
+        let worst = self.heap.peek().expect("heap full");
+        if (Neighbor { id, distance }) < *worst {
+            self.heap.pop();
+            self.heap.push(Neighbor { id, distance });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Absorbs another heap (the pairwise step of the parallel merge).
+    pub fn merge(&mut self, other: TopK) {
+        for n in other.heap {
+            self.push(n.id, n.distance);
+        }
+    }
+
+    /// Extracts the retained candidates sorted by ascending distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Merges per-thread heaps into one, then sorts: the "parallel heap
+/// merge" + "parallel sort" tail of the query pipeline (Figure 3).
+/// Merging is pairwise-tree shaped so work is `O(t·k·log k)`.
+pub fn merge_all(mut heaps: Vec<TopK>, k: usize) -> Vec<Neighbor> {
+    if heaps.is_empty() {
+        return Vec::new();
+    }
+    // Tree reduction: repeatedly merge pairs.
+    while heaps.len() > 1 {
+        let mut next = Vec::with_capacity(heaps.len().div_ceil(2));
+        let mut it = heaps.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(b);
+            }
+            next.push(a);
+        }
+        heaps = next;
+    }
+    let mut out = heaps.pop().expect("non-empty").into_sorted();
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_k_smallest() {
+        let mut t = TopK::new(3);
+        for (id, d) in [(1, 5.0), (2, 1.0), (3, 4.0), (4, 2.0), (5, 9.0), (6, 0.5)] {
+            t.push(id, d);
+        }
+        let got = t.into_sorted();
+        assert_eq!(
+            got.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![6, 2, 4],
+            "ids of the 3 smallest distances, ascending"
+        );
+        assert_eq!(got[0].distance, 0.5);
+    }
+
+    #[test]
+    fn threshold_tracks_kth() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(1, 3.0);
+        assert_eq!(t.threshold(), f32::INFINITY, "not full yet");
+        t.push(2, 1.0);
+        assert_eq!(t.threshold(), 3.0);
+        t.push(3, 2.0);
+        assert_eq!(t.threshold(), 2.0);
+        // Worse candidates are rejected.
+        assert!(!t.push(4, 5.0));
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32) / (1u32 << 31) as f32
+        };
+        for k in [1, 7, 100] {
+            let items: Vec<(u64, f32)> = (0..500).map(|i| (i, next())).collect();
+            let mut t = TopK::new(k);
+            for &(id, d) in &items {
+                t.push(id, d);
+            }
+            let got = t.into_sorted();
+            let mut want: Vec<Neighbor> = items
+                .iter()
+                .map(|&(id, distance)| Neighbor { id, distance })
+                .collect();
+            want.sort_unstable();
+            want.truncate(k);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_heap() {
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32) / (1u32 << 31) as f32
+        };
+        let items: Vec<(u64, f32)> = (0..1000).map(|i| (i, next())).collect();
+        let k = 25;
+        // One big heap.
+        let mut single = TopK::new(k);
+        for &(id, d) in &items {
+            single.push(id, d);
+        }
+        // Eight per-thread heaps merged.
+        let mut shards: Vec<TopK> = (0..8).map(|_| TopK::new(k)).collect();
+        for (i, &(id, d)) in items.iter().enumerate() {
+            shards[i % 8].push(id, d);
+        }
+        let merged = merge_all(shards, k);
+        assert_eq!(merged, single.into_sorted());
+    }
+
+    #[test]
+    fn merge_all_edge_cases() {
+        assert!(merge_all(vec![], 5).is_empty());
+        let empty = TopK::new(5);
+        assert!(merge_all(vec![empty], 5).is_empty());
+        let mut one = TopK::new(5);
+        one.push(1, 1.0);
+        assert_eq!(merge_all(vec![one], 5).len(), 1);
+        // k = 0 retains nothing.
+        let mut z = TopK::new(0);
+        assert!(!z.push(1, 1.0));
+        assert!(z.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut t = TopK::new(2);
+        t.push(9, 1.0);
+        t.push(3, 1.0);
+        t.push(5, 1.0);
+        let got: Vec<u64> = t.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(got, vec![3, 5], "equal distances keep smallest ids");
+    }
+
+    #[test]
+    fn nan_distances_sort_last_and_get_evicted() {
+        let mut t = TopK::new(2);
+        t.push(1, f32::NAN);
+        t.push(2, 1.0);
+        t.push(3, 2.0);
+        let got: Vec<u64> = t.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(got, vec![2, 3]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the numerics kernels: agreement with naive
+//! reference implementations, metric axioms, and heap/sort equivalence.
+
+use proptest::prelude::*;
+
+use micronn_linalg::{
+    batch_distances, cosine_distance, dot, l2_sq, merge_all, norm, normalize, Metric, TopK,
+};
+
+fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, dim..=dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kernels_agree_with_naive(
+        a in vec_strategy(67),
+        b in vec_strategy(67),
+    ) {
+        let naive_dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let naive_l2: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        // Accumulation order differs: allow relative tolerance.
+        let tol = 1e-3 * (1.0 + naive_l2.abs().max(naive_dot.abs()));
+        prop_assert!((dot(&a, &b) - naive_dot).abs() <= tol);
+        prop_assert!((l2_sq(&a, &b) - naive_l2).abs() <= tol);
+    }
+
+    #[test]
+    fn metric_axioms(a in vec_strategy(32), b in vec_strategy(32)) {
+        // Symmetry and identity (within float tolerance).
+        for m in [Metric::L2, Metric::Cosine] {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+        }
+        prop_assert!(l2_sq(&a, &a) == 0.0);
+        prop_assert!(cosine_distance(&a, &a).abs() < 1e-4);
+        // L2 is non-negative; cosine is in [0, 2] (+ epsilon).
+        prop_assert!(l2_sq(&a, &b) >= 0.0);
+        let c = cosine_distance(&a, &b);
+        prop_assert!((-1e-4..=2.0001).contains(&c), "cosine {c}");
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_unit(mut a in vec_strategy(24)) {
+        normalize(&mut a);
+        let n1 = norm(&a);
+        prop_assert!(n1 == 0.0 || (n1 - 1.0).abs() < 1e-4);
+        let before = a.clone();
+        normalize(&mut a);
+        for (x, y) in a.iter().zip(&before) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_distances_match_pairwise(
+        queries in proptest::collection::vec(vec_strategy(16), 1..5),
+        rows in proptest::collection::vec(vec_strategy(16), 1..9),
+    ) {
+        let qf: Vec<f32> = queries.iter().flatten().copied().collect();
+        let rf: Vec<f32> = rows.iter().flatten().copied().collect();
+        for metric in [Metric::L2, Metric::Cosine, Metric::Dot] {
+            let mut out = vec![0.0; queries.len() * rows.len()];
+            batch_distances(metric, &qf, queries.len(), &rf, rows.len(), 16, &mut out);
+            for (qi, q) in queries.iter().enumerate() {
+                for (rj, r) in rows.iter().enumerate() {
+                    let want = metric.distance(q, r);
+                    let got = out[qi * rows.len() + rj];
+                    let tol = 2e-2 * (1.0 + want.abs());
+                    prop_assert!(
+                        (got - want).abs() <= tol,
+                        "{metric} ({qi},{rj}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_equals_full_sort(
+        items in proptest::collection::vec((0u64..10_000, -1e6f32..1e6), 0..300),
+        k in 1usize..50,
+    ) {
+        let mut t = TopK::new(k);
+        for &(id, d) in &items {
+            t.push(id, d);
+        }
+        let got: Vec<(u64, f32)> = t.into_sorted().iter().map(|n| (n.id, n.distance)).collect();
+        let mut want: Vec<(u64, f32)> = items.clone();
+        // Dedup ids? TopK keeps duplicates as separate candidates, as
+        // does the reference.
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sharded_heaps_equal_single_heap(
+        items in proptest::collection::vec((0u64..10_000, -1e6f32..1e6), 0..300),
+        shards in 1usize..6,
+        k in 1usize..30,
+    ) {
+        let mut single = TopK::new(k);
+        for &(id, d) in &items {
+            single.push(id, d);
+        }
+        let mut parts: Vec<TopK> = (0..shards).map(|_| TopK::new(k)).collect();
+        for (i, &(id, d)) in items.iter().enumerate() {
+            parts[i % shards].push(id, d);
+        }
+        prop_assert_eq!(merge_all(parts, k), single.into_sorted());
+    }
+}

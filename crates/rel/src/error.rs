@@ -1,0 +1,65 @@
+//! Error types for the relational layer.
+
+use std::fmt;
+
+use micronn_storage::StorageError;
+
+/// Convenience alias used across the relational crate.
+pub type Result<T> = std::result::Result<T, RelError>;
+
+/// Errors produced by the relational layer.
+#[derive(Debug)]
+pub enum RelError {
+    /// The underlying storage engine failed.
+    Storage(StorageError),
+    /// A key or row could not be decoded.
+    Codec(String),
+    /// Schema violation: wrong arity, type mismatch, unknown column...
+    Schema(String),
+    /// A referenced table or index does not exist.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Storage(e) => write!(f, "storage error: {e}"),
+            RelError::Codec(m) => write!(f, "codec error: {m}"),
+            RelError::Schema(m) => write!(f, "schema error: {m}"),
+            RelError::NotFound(m) => write!(f, "not found: {m}"),
+            RelError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelError {
+    fn from(e: StorageError) -> Self {
+        RelError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: RelError = StorageError::TxnClosed.into();
+        assert!(e.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = RelError::NotFound("photos".into());
+        assert!(e.to_string().contains("photos"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! Full-text tokenization.
+//!
+//! MicroNN "allows a full-text index (FTS) to be created over
+//! filterable attributes. Clients can combine nearest neighbour search
+//! with text search" (§3.5). This mirrors FTS5's default `unicode61`
+//! behaviour in simplified form: lowercase, split on anything that is
+//! not alphanumeric.
+
+/// Normalizes a single token (lowercasing).
+pub fn normalize(token: &str) -> String {
+    token.to_lowercase()
+}
+
+/// Splits `text` into normalized tokens, in order, with duplicates.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(normalize)
+        .collect()
+}
+
+/// Splits `text` into the *set* of normalized tokens (sorted, deduped):
+/// document frequency counts each document once per token.
+pub fn tokenize_unique(text: &str) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Black cat, playing; yarn!"), vec!["black", "cat", "playing", "yarn"]);
+        assert_eq!(tokenize("  multiple   spaces "), vec!["multiple", "spaces"]);
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!,.").is_empty());
+    }
+
+    #[test]
+    fn numbers_and_unicode() {
+        assert_eq!(tokenize("photo123 IMG_456"), vec!["photo123", "img", "456"]);
+        assert_eq!(tokenize("Café Ñandú"), vec!["café", "ñandú"]);
+    }
+
+    #[test]
+    fn unique_dedupes_and_sorts() {
+        assert_eq!(
+            tokenize_unique("cat dog cat CAT bird"),
+            vec!["bird", "cat", "dog"]
+        );
+    }
+}

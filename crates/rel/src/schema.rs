@@ -1,0 +1,233 @@
+//! Table schemas: column definitions and primary keys.
+
+use crate::error::{RelError, Result};
+use crate::value::{Value, ValueType};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ValueType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ValueType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// A table schema: ordered columns plus the primary-key column set.
+/// Rows are clustered on the encoded primary key, so the choice of PK
+/// determines on-disk locality — MicroNN keys its vector table by
+/// `(partition_id, vector_id)` precisely to cluster partitions (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Indexes into `columns` forming the primary key, in key order.
+    pub pk: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Builds and validates a schema. `pk_cols` are column names.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        pk_cols: &[&str],
+    ) -> Result<TableSchema> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(RelError::Schema(format!("table {name}: no columns")));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.as_str()) {
+                return Err(RelError::Schema(format!(
+                    "table {name}: duplicate column {}",
+                    c.name
+                )));
+            }
+        }
+        if pk_cols.is_empty() {
+            return Err(RelError::Schema(format!("table {name}: empty primary key")));
+        }
+        let mut pk = Vec::with_capacity(pk_cols.len());
+        for pc in pk_cols {
+            let idx = columns
+                .iter()
+                .position(|c| c.name == *pc)
+                .ok_or_else(|| RelError::Schema(format!("table {name}: pk column {pc} unknown")))?;
+            if columns[idx].nullable {
+                return Err(RelError::Schema(format!(
+                    "table {name}: pk column {pc} must not be nullable"
+                )));
+            }
+            if pk.contains(&idx) {
+                return Err(RelError::Schema(format!(
+                    "table {name}: pk column {pc} repeated"
+                )));
+            }
+            pk.push(idx);
+        }
+        Ok(TableSchema { name, columns, pk })
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| RelError::Schema(format!("table {}: unknown column {name}", self.name)))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Extracts the primary-key values from a full row.
+    pub fn pk_values(&self, row: &[Value]) -> Vec<Value> {
+        self.pk.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Validates a row against the schema (arity, types, nullability).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::Schema(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(RelError::Schema(format!(
+                        "table {}: column {} is not nullable",
+                        self.name, c.name
+                    )));
+                }
+                continue;
+            }
+            // INTEGER widens into REAL columns (SQLite-style affinity).
+            let ok = v.value_type() == c.ty
+                || (c.ty == ValueType::Real && v.value_type() == ValueType::Integer);
+            if !ok {
+                return Err(RelError::Schema(format!(
+                    "table {}: column {} expects {}, got {}",
+                    self.name,
+                    c.name,
+                    c.ty,
+                    v.value_type()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "photos",
+            vec![
+                ColumnDef::new("id", ValueType::Integer),
+                ColumnDef::new("location", ValueType::Text),
+                ColumnDef::nullable("score", ValueType::Real),
+            ],
+            &["id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_schema_and_lookups() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("location").unwrap(), 1);
+        assert!(s.column_index("nope").is_err());
+        assert_eq!(s.pk, vec![0]);
+        let row = vec![Value::Integer(7), Value::text("x"), Value::Null];
+        assert_eq!(s.pk_values(&row), vec![Value::Integer(7)]);
+    }
+
+    #[test]
+    fn schema_validation_errors() {
+        assert!(TableSchema::new("t", vec![], &["id"]).is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ValueType::Integer)],
+            &[]
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ValueType::Integer),
+                ColumnDef::new("a", ValueType::Text)
+            ],
+            &["a"]
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ValueType::Integer)],
+            &["b"]
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![ColumnDef::nullable("a", ValueType::Integer)],
+            &["a"]
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ValueType::Integer)],
+            &["a", "a"]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn row_checks() {
+        let s = schema();
+        s.check_row(&[Value::Integer(1), Value::text("x"), Value::Real(0.5)])
+            .unwrap();
+        // Nullable column accepts NULL.
+        s.check_row(&[Value::Integer(1), Value::text("x"), Value::Null])
+            .unwrap();
+        // Integer widens into REAL.
+        s.check_row(&[Value::Integer(1), Value::text("x"), Value::Integer(3)])
+            .unwrap();
+        // Arity mismatch.
+        assert!(s.check_row(&[Value::Integer(1)]).is_err());
+        // NULL in non-nullable.
+        assert!(s
+            .check_row(&[Value::Null, Value::text("x"), Value::Null])
+            .is_err());
+        // Type mismatch.
+        assert!(s
+            .check_row(&[Value::Integer(1), Value::Integer(2), Value::Null])
+            .is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Forward range scans over a B+tree.
+//!
+//! A cursor descends once to the first qualifying leaf and then walks
+//! the leaf sibling chain, so a partition scan (the inner loop of the
+//! paper's Algorithm 2) touches each leaf page exactly once and in
+//! on-disk order — this is the data-locality property the clustered
+//! layout exists to provide.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::page::{page_type, PageData, PageId};
+use crate::store::PageRead;
+
+use super::node;
+use super::{read_val, BTree};
+
+/// A forward iterator over `(key, value)` pairs in key order.
+pub struct Cursor<'r, R: PageRead + ?Sized> {
+    reader: &'r R,
+    /// Current leaf image (kept alive while iterating its cells).
+    leaf: Option<Arc<PageData>>,
+    /// Next cell index within the current leaf.
+    idx: usize,
+    /// Exclusive/inclusive upper bound.
+    end: Bound<Vec<u8>>,
+    /// Set after the first bound violation or I/O error.
+    done: bool,
+}
+
+impl BTree {
+    /// Scans the whole tree in key order.
+    pub fn scan_all<'r, R: PageRead + ?Sized>(&self, reader: &'r R) -> Result<Cursor<'r, R>> {
+        self.range(reader, Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Scans keys in `[start, end)`.
+    pub fn scan_range<'r, R: PageRead + ?Sized>(
+        &self,
+        reader: &'r R,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<Cursor<'r, R>> {
+        self.range(
+            reader,
+            Bound::Included(start.to_vec()),
+            Bound::Excluded(end.to_vec()),
+        )
+    }
+
+    /// Scans keys beginning with `prefix`.
+    pub fn scan_prefix<'r, R: PageRead + ?Sized>(
+        &self,
+        reader: &'r R,
+        prefix: &[u8],
+    ) -> Result<Cursor<'r, R>> {
+        let end = match prefix_successor(prefix) {
+            Some(s) => Bound::Excluded(s),
+            None => Bound::Unbounded,
+        };
+        self.range(reader, Bound::Included(prefix.to_vec()), end)
+    }
+
+    /// General range scan.
+    pub fn range<'r, R: PageRead + ?Sized>(
+        &self,
+        reader: &'r R,
+        start: Bound<Vec<u8>>,
+        end: Bound<Vec<u8>>,
+    ) -> Result<Cursor<'r, R>> {
+        // Descend to the leaf that would contain the start bound.
+        let seek_key: &[u8] = match &start {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let mut id: PageId = self.root();
+        let leaf = loop {
+            let p = reader.page(id)?;
+            match p.page_type() {
+                page_type::BTREE_INTERIOR => id = node::interior_descend(&p, seek_key),
+                _ => break p,
+            }
+        };
+        let idx = match &start {
+            Bound::Unbounded => 0,
+            Bound::Included(k) => match node::leaf_search(&leaf, k) {
+                Ok(i) | Err(i) => i,
+            },
+            Bound::Excluded(k) => match node::leaf_search(&leaf, k) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            },
+        };
+        Ok(Cursor {
+            reader,
+            leaf: Some(leaf),
+            idx,
+            end,
+            done: false,
+        })
+    }
+}
+
+/// Smallest byte string strictly greater than every string with the
+/// given prefix, or `None` if the prefix is all `0xFF`.
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut s = prefix.to_vec();
+    while let Some(&last) = s.last() {
+        if last == 0xFF {
+            s.pop();
+        } else {
+            *s.last_mut().unwrap() += 1;
+            return Some(s);
+        }
+    }
+    None
+}
+
+impl<R: PageRead + ?Sized> Cursor<'_, R> {
+    fn within_end(&self, key: &[u8]) -> bool {
+        match &self.end {
+            Bound::Unbounded => true,
+            Bound::Included(e) => key <= e.as_slice(),
+            Bound::Excluded(e) => key < e.as_slice(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        loop {
+            let Some(leaf) = &self.leaf else {
+                return Ok(None);
+            };
+            if self.idx < node::ncells(leaf) {
+                let key = node::leaf_key(leaf, self.idx);
+                if !self.within_end(key) {
+                    self.done = true;
+                    return Ok(None);
+                }
+                let key = key.to_vec();
+                let value = read_val(self.reader, node::leaf_val(leaf, self.idx))?;
+                self.idx += 1;
+                return Ok(Some((key, value)));
+            }
+            // Exhausted this leaf: follow the sibling chain.
+            let next = node::right_ptr(leaf);
+            if next == 0 {
+                self.leaf = None;
+                return Ok(None);
+            }
+            self.leaf = Some(self.reader.page(next)?);
+            self.idx = 0;
+        }
+    }
+}
+
+impl<R: PageRead + ?Sized> Iterator for Cursor<'_, R> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.advance() {
+            Ok(Some(kv)) => Some(Ok(kv)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, StoreOptions, SyncMode};
+
+    fn setup(n: u32) -> (tempfile::TempDir, Store, BTree) {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::create(
+            dir.path().join("db"),
+            StoreOptions {
+                sync: SyncMode::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        for i in 0..n {
+            tree.insert(
+                &mut txn,
+                format!("k{i:06}").as_bytes(),
+                format!("v{i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        (dir, store, tree)
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let (_d, store, tree) = setup(3000);
+        let r = store.begin_read();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        for kv in tree.scan_all(&r).unwrap() {
+            let (k, v) = kv.unwrap();
+            if let Some(p) = &prev {
+                assert!(*p < k, "keys strictly ascending");
+            }
+            assert!(v.starts_with(b"v"));
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, 3000);
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (_d, store, tree) = setup(100);
+        let r = store.begin_read();
+        let collect = |start: Bound<Vec<u8>>, end: Bound<Vec<u8>>| -> Vec<String> {
+            tree.range(&r, start, end)
+                .unwrap()
+                .map(|kv| String::from_utf8(kv.unwrap().0).unwrap())
+                .collect()
+        };
+        let got = collect(
+            Bound::Included(b"k000010".to_vec()),
+            Bound::Excluded(b"k000013".to_vec()),
+        );
+        assert_eq!(got, vec!["k000010", "k000011", "k000012"]);
+        let got = collect(
+            Bound::Excluded(b"k000010".to_vec()),
+            Bound::Included(b"k000013".to_vec()),
+        );
+        assert_eq!(got, vec!["k000011", "k000012", "k000013"]);
+        // Start between keys.
+        let got = collect(
+            Bound::Included(b"k0000105".to_vec()),
+            Bound::Excluded(b"k000013".to_vec()),
+        );
+        assert_eq!(got, vec!["k000011", "k000012"]);
+        // Empty range.
+        let got = collect(
+            Bound::Included(b"k000050".to_vec()),
+            Bound::Excluded(b"k000050".to_vec()),
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn range_scan_spans_leaves() {
+        let (_d, store, tree) = setup(5000);
+        let r = store.begin_read();
+        assert!(tree.depth(&r).unwrap() >= 2);
+        let got: Vec<_> = tree
+            .scan_range(&r, b"k001000", b"k004000")
+            .unwrap()
+            .map(|kv| kv.unwrap())
+            .collect();
+        assert_eq!(got.len(), 3000);
+        assert_eq!(got[0].0, b"k001000".to_vec());
+        assert_eq!(got.last().unwrap().0, b"k003999".to_vec());
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::create(
+            dir.path().join("db"),
+            StoreOptions {
+                sync: SyncMode::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        for k in ["apple", "apricot", "banana", "band", "bandana", "cat"] {
+            tree.insert(&mut txn, k.as_bytes(), b"x").unwrap();
+        }
+        txn.commit().unwrap();
+        let r = store.begin_read();
+        let got: Vec<String> = tree
+            .scan_prefix(&r, b"ban")
+            .unwrap()
+            .map(|kv| String::from_utf8(kv.unwrap().0).unwrap())
+            .collect();
+        assert_eq!(got, vec!["banana", "band", "bandana"]);
+        let got: Vec<String> = tree
+            .scan_prefix(&r, b"ap")
+            .unwrap()
+            .map(|kv| String::from_utf8(kv.unwrap().0).unwrap())
+            .collect();
+        assert_eq!(got, vec!["apple", "apricot"]);
+    }
+
+    #[test]
+    fn prefix_successor_edge_cases() {
+        assert_eq!(prefix_successor(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_successor(&[0x01, 0xFF]), Some(vec![0x02]));
+        assert_eq!(prefix_successor(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn scan_empty_tree() {
+        let (_d, store, tree) = setup(0);
+        let r = store.begin_read();
+        assert_eq!(tree.scan_all(&r).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn scan_reads_overflow_values() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::create(
+            dir.path().join("db"),
+            StoreOptions {
+                sync: SyncMode::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        let big = vec![0x5A; 9000];
+        tree.insert(&mut txn, b"big", &big).unwrap();
+        tree.insert(&mut txn, b"small", b"s").unwrap();
+        txn.commit().unwrap();
+        let r = store.begin_read();
+        let all: Vec<_> = tree.scan_all(&r).unwrap().map(|kv| kv.unwrap()).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, big);
+        assert_eq!(all[1].1, b"s".to_vec());
+    }
+}

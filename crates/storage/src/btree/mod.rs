@@ -1,0 +1,829 @@
+//! Disk-resident B+tree with copy-on-write pages.
+//!
+//! This provides the ordered clustered storage the paper gets from
+//! SQLite's b-tree (§3.2): tables cluster rows on their encoded primary
+//! key so that "the rows of the vector table are clustered on disk,
+//! giving data locality to vectors in the same partition".
+//!
+//! Design notes:
+//!
+//! * **Stable roots.** A tree's root page id never changes: when the
+//!   root splits, its content moves to a fresh page and the root is
+//!   rewritten as an interior node; when it collapses, the last child
+//!   is folded back in. Catalog entries can therefore store root ids
+//!   permanently.
+//! * **Overflow chains.** Values whose cell would exceed a quarter page
+//!   spill entirely to a chain of overflow pages (like SQLite). Vector
+//!   blobs (e.g. 512-d f32 = 2 KiB) typically spill; attribute rows
+//!   stay inline.
+//! * **Deletes rebalance.** Underfull nodes borrow from or merge with a
+//!   sibling, so heavy delete workloads (partition rewrites during
+//!   index rebuilds) do not strand mostly-empty pages.
+
+pub mod cursor;
+pub mod node;
+
+pub use cursor::Cursor;
+
+use crate::error::{Result, StorageError};
+use crate::page::{page_type, PageId, PAGE_SIZE};
+use crate::store::{PageRead, WriteTxn};
+
+use node::{
+    expect_type, InteriorNode, LeafNode, OwnedVal, ValRef, MAX_INLINE_CELL, MAX_KEY_LEN,
+    NODE_CAPACITY, UNDERFLOW_BYTES,
+};
+
+/// Bytes of payload stored per overflow page.
+const OVERFLOW_CAPACITY: usize = PAGE_SIZE - 8;
+
+/// A handle to a B+tree rooted at a fixed page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Allocates a new empty tree (a single empty leaf).
+    pub fn create(txn: &mut WriteTxn) -> Result<BTree> {
+        let root = txn.allocate_page()?;
+        LeafNode::default().write(txn.page_mut(root)?);
+        Ok(BTree { root })
+    }
+
+    /// Opens a tree by its root page id (from a catalog or header slot).
+    pub fn open(root: PageId) -> BTree {
+        BTree { root }
+    }
+
+    /// Root page id; stable for the lifetime of the tree.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Point lookup. Returns the full value (overflow chains are
+    /// reassembled).
+    pub fn get<R: PageRead + ?Sized>(&self, r: &R, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut id = self.root;
+        loop {
+            let p = r.page(id)?;
+            match p.page_type() {
+                page_type::BTREE_INTERIOR => id = node::interior_descend(&p, key),
+                page_type::BTREE_LEAF => {
+                    return match node::leaf_search(&p, key) {
+                        Ok(i) => Ok(Some(read_val(r, node::leaf_val(&p, i))?)),
+                        Err(_) => Ok(None),
+                    };
+                }
+                t => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {id}: unexpected type {t} during descent"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present (no value materialization).
+    pub fn contains_key<R: PageRead + ?Sized>(&self, r: &R, key: &[u8]) -> Result<bool> {
+        let mut id = self.root;
+        loop {
+            let p = r.page(id)?;
+            match p.page_type() {
+                page_type::BTREE_INTERIOR => id = node::interior_descend(&p, key),
+                page_type::BTREE_LEAF => return Ok(node::leaf_search(&p, key).is_ok()),
+                t => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {id}: unexpected type {t} during descent"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn insert(&self, txn: &mut WriteTxn, key: &[u8], val: &[u8]) -> Result<Option<Vec<u8>>> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(StorageError::KeyTooLarge(key.len()));
+        }
+        match insert_rec(txn, self.root, key, val)? {
+            Ins::Done(old) => Ok(old),
+            Ins::Split { sep, right, old } => {
+                // Stable-root split: move the (already split) root
+                // content to a fresh page and replant the root as an
+                // interior node over the two halves.
+                let left = txn.allocate_page()?;
+                let root_img = txn.page(self.root)?;
+                *txn.page_mut(left)? = (*root_img).clone();
+                let new_root = InteriorNode {
+                    cells: vec![(left, sep)],
+                    rightmost: right,
+                };
+                new_root.write(txn.page_mut(self.root)?);
+                Ok(old)
+            }
+        }
+    }
+
+    /// Deletes `key`; returns its previous value if it existed.
+    pub fn delete(&self, txn: &mut WriteTxn, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let res = delete_rec(txn, self.root, key, true)?.old;
+        // Collapse an interior root with a single remaining child.
+        let p = txn.page(self.root)?;
+        if p.page_type() == page_type::BTREE_INTERIOR && node::ncells(&p) == 0 {
+            let child = node::right_ptr(&p);
+            let child_img = txn.page(child)?;
+            *txn.page_mut(self.root)? = (*child_img).clone();
+            txn.free_page(child)?;
+        }
+        Ok(res)
+    }
+
+    /// Removes every entry, freeing all pages except the root (which
+    /// becomes an empty leaf).
+    pub fn clear(&self, txn: &mut WriteTxn) -> Result<()> {
+        free_subtree(txn, self.root, false)?;
+        LeafNode::default().write(txn.page_mut(self.root)?);
+        Ok(())
+    }
+
+    /// Frees the whole tree including the root page. The handle is
+    /// consumed; the root id must be dropped from any catalog.
+    pub fn destroy(self, txn: &mut WriteTxn) -> Result<()> {
+        free_subtree(txn, self.root, true)
+    }
+
+    /// Tree height (1 = a single leaf). Diagnostic.
+    pub fn depth<R: PageRead + ?Sized>(&self, r: &R) -> Result<usize> {
+        let mut id = self.root;
+        let mut d = 1;
+        loop {
+            let p = r.page(id)?;
+            match p.page_type() {
+                page_type::BTREE_INTERIOR => {
+                    id = node::right_ptr(&p);
+                    d += 1;
+                }
+                page_type::BTREE_LEAF => return Ok(d),
+                t => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {id}: unexpected type {t} during descent"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Number of entries, by full scan. Diagnostic; the relational
+    /// layer maintains its own row counts.
+    pub fn count<R: PageRead + ?Sized>(&self, r: &R) -> Result<u64> {
+        let mut n = 0u64;
+        let mut id = leftmost_leaf(r, self.root)?;
+        loop {
+            let p = r.page(id)?;
+            n += node::ncells(&p) as u64;
+            let next = node::right_ptr(&p);
+            if next == 0 {
+                return Ok(n);
+            }
+            id = next;
+        }
+    }
+}
+
+/// Finds the leftmost leaf under `id`.
+pub(crate) fn leftmost_leaf<R: PageRead + ?Sized>(r: &R, mut id: PageId) -> Result<PageId> {
+    loop {
+        let p = r.page(id)?;
+        match p.page_type() {
+            page_type::BTREE_INTERIOR => {
+                id = if node::ncells(&p) > 0 {
+                    node::interior_child(&p, 0)
+                } else {
+                    node::right_ptr(&p)
+                };
+            }
+            page_type::BTREE_LEAF => return Ok(id),
+            t => {
+                return Err(StorageError::Corrupt(format!(
+                    "page {id}: unexpected type {t} during descent"
+                )))
+            }
+        }
+    }
+}
+
+/// Materializes a leaf value (follows overflow chains).
+pub(crate) fn read_val<R: PageRead + ?Sized>(r: &R, v: ValRef<'_>) -> Result<Vec<u8>> {
+    match v {
+        ValRef::Inline(b) => Ok(b.to_vec()),
+        ValRef::Overflow { total, head } => read_overflow(r, head, total),
+    }
+}
+
+fn read_overflow<R: PageRead + ?Sized>(r: &R, head: PageId, total: u32) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(total as usize);
+    let mut id = head;
+    while id != 0 {
+        let p = r.page(id)?;
+        expect_type(&p, page_type::OVERFLOW, id)?;
+        let len = p.get_u16(2) as usize;
+        out.extend_from_slice(&p[8..8 + len]);
+        id = p.get_u32(4);
+    }
+    if out.len() != total as usize {
+        return Err(StorageError::Corrupt(format!(
+            "overflow chain {head}: expected {total} bytes, found {}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn write_overflow(txn: &mut WriteTxn, data: &[u8]) -> Result<PageId> {
+    debug_assert!(!data.is_empty());
+    // Allocate the chain front to back, linking as we go.
+    let mut chunks = data.chunks(OVERFLOW_CAPACITY).peekable();
+    let head = txn.allocate_page()?;
+    let mut cur = head;
+    while let Some(chunk) = chunks.next() {
+        let next = if chunks.peek().is_some() {
+            txn.allocate_page()?
+        } else {
+            0
+        };
+        let p = txn.page_mut(cur)?;
+        p.fill(0);
+        p[0] = page_type::OVERFLOW;
+        p.put_u16(2, chunk.len() as u16);
+        p.put_u32(4, next);
+        p[8..8 + chunk.len()].copy_from_slice(chunk);
+        cur = next;
+    }
+    Ok(head)
+}
+
+fn free_overflow(txn: &mut WriteTxn, head: PageId) -> Result<()> {
+    let mut id = head;
+    while id != 0 {
+        let p = txn.page(id)?;
+        expect_type(&p, page_type::OVERFLOW, id)?;
+        let next = p.get_u32(4);
+        txn.free_page(id)?;
+        id = next;
+    }
+    Ok(())
+}
+
+/// Converts a value into its stored representation, spilling large
+/// values to an overflow chain.
+fn make_val(txn: &mut WriteTxn, key_len: usize, val: &[u8]) -> Result<OwnedVal> {
+    if node::LEAF_INLINE_OVERHEAD + key_len + val.len() <= MAX_INLINE_CELL {
+        Ok(OwnedVal::Inline(val.to_vec()))
+    } else {
+        let head = write_overflow(txn, val)?;
+        Ok(OwnedVal::Overflow {
+            total: val.len() as u32,
+            head,
+        })
+    }
+}
+
+/// Consumes a stored value: returns its bytes and frees any chain.
+fn take_val(txn: &mut WriteTxn, v: OwnedVal) -> Result<Vec<u8>> {
+    match v {
+        OwnedVal::Inline(b) => Ok(b),
+        OwnedVal::Overflow { total, head } => {
+            let bytes = read_overflow(txn, head, total)?;
+            free_overflow(txn, head)?;
+            Ok(bytes)
+        }
+    }
+}
+
+enum Ins {
+    Done(Option<Vec<u8>>),
+    Split {
+        /// Max key remaining in the (left) split node.
+        sep: Vec<u8>,
+        /// Newly allocated right node.
+        right: PageId,
+        old: Option<Vec<u8>>,
+    },
+}
+
+fn insert_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], val: &[u8]) -> Result<Ins> {
+    let p = txn.page(id)?;
+    match p.page_type() {
+        page_type::BTREE_LEAF => {
+            let mut leaf = LeafNode::parse(&p);
+            drop(p);
+            let stored = make_val(txn, key.len(), val)?;
+            let mut old = None;
+            match leaf.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => {
+                    let prev = std::mem::replace(&mut leaf.cells[i].1, stored);
+                    old = Some(take_val(txn, prev)?);
+                }
+                Err(i) => leaf.cells.insert(i, (key.to_vec(), stored)),
+            }
+            if leaf.fits() {
+                leaf.write(txn.page_mut(id)?);
+                return Ok(Ins::Done(old));
+            }
+            let mut right = leaf.split_off();
+            let right_id = txn.allocate_page()?;
+            right.right_sibling = leaf.right_sibling;
+            leaf.right_sibling = right_id;
+            let sep = leaf.cells.last().expect("left half non-empty").0.clone();
+            right.write(txn.page_mut(right_id)?);
+            leaf.write(txn.page_mut(id)?);
+            Ok(Ins::Split {
+                sep,
+                right: right_id,
+                old,
+            })
+        }
+        page_type::BTREE_INTERIOR => {
+            let idx = node::interior_descend_index(&p, key);
+            let n = node::ncells(&p);
+            let child = if idx == n {
+                node::right_ptr(&p)
+            } else {
+                node::interior_child(&p, idx)
+            };
+            drop(p);
+            match insert_rec(txn, child, key, val)? {
+                Ins::Done(old) => Ok(Ins::Done(old)),
+                Ins::Split { sep, right, old } => {
+                    let p = txn.page(id)?;
+                    let mut interior = InteriorNode::parse(&p);
+                    drop(p);
+                    if idx == interior.cells.len() {
+                        // Rightmost child split: child keeps `<= sep`,
+                        // the new right node becomes rightmost.
+                        interior.cells.push((child, sep));
+                        interior.rightmost = right;
+                    } else {
+                        // cells[idx] bounded the child; the child now
+                        // covers `<= sep` and the new node inherits the
+                        // old bound.
+                        let old_bound = interior.cells[idx].1.clone();
+                        interior.cells[idx] = (child, sep);
+                        interior.cells.insert(idx + 1, (right, old_bound));
+                    }
+                    if interior.fits() {
+                        interior.write(txn.page_mut(id)?);
+                        return Ok(Ins::Done(old));
+                    }
+                    let (promoted, right_node) = interior.split_off();
+                    let right_id = txn.allocate_page()?;
+                    right_node.write(txn.page_mut(right_id)?);
+                    interior.write(txn.page_mut(id)?);
+                    Ok(Ins::Split {
+                        sep: promoted,
+                        right: right_id,
+                        old,
+                    })
+                }
+            }
+        }
+        t => Err(StorageError::Corrupt(format!(
+            "page {id}: unexpected type {t} in insert"
+        ))),
+    }
+}
+
+struct Removed {
+    old: Option<Vec<u8>>,
+    underflow: bool,
+}
+
+fn delete_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], is_root: bool) -> Result<Removed> {
+    let p = txn.page(id)?;
+    match p.page_type() {
+        page_type::BTREE_LEAF => {
+            let mut leaf = LeafNode::parse(&p);
+            drop(p);
+            match leaf.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Err(_) => Ok(Removed {
+                    old: None,
+                    underflow: false,
+                }),
+                Ok(i) => {
+                    let (_, v) = leaf.cells.remove(i);
+                    let old = take_val(txn, v)?;
+                    let underflow = !is_root && leaf.used_bytes() < UNDERFLOW_BYTES;
+                    leaf.write(txn.page_mut(id)?);
+                    Ok(Removed {
+                        old: Some(old),
+                        underflow,
+                    })
+                }
+            }
+        }
+        page_type::BTREE_INTERIOR => {
+            let idx = node::interior_descend_index(&p, key);
+            let n = node::ncells(&p);
+            let child = if idx == n {
+                node::right_ptr(&p)
+            } else {
+                node::interior_child(&p, idx)
+            };
+            drop(p);
+            let res = delete_rec(txn, child, key, false)?;
+            if res.old.is_none() || !res.underflow {
+                return Ok(Removed {
+                    old: res.old,
+                    underflow: false,
+                });
+            }
+            // The child went underfull: rebalance it with a sibling.
+            let p = txn.page(id)?;
+            let mut interior = InteriorNode::parse(&p);
+            drop(p);
+            rebalance_child(txn, &mut interior, idx)?;
+            let underflow = !is_root && interior.used_bytes() < UNDERFLOW_BYTES;
+            interior.write(txn.page_mut(id)?)  ;
+            Ok(Removed {
+                old: res.old,
+                underflow,
+            })
+        }
+        t => Err(StorageError::Corrupt(format!(
+            "page {id}: unexpected type {t} in delete"
+        ))),
+    }
+}
+
+/// Rebalances the child at position `pos` of `parent` (positions run
+/// `0..=ncells`, with `ncells` = rightmost child) by merging with or
+/// borrowing from an adjacent sibling. Mutates `parent` in memory; the
+/// caller writes it back.
+fn rebalance_child(txn: &mut WriteTxn, parent: &mut InteriorNode, pos: usize) -> Result<()> {
+    let n = parent.cells.len();
+    if n == 0 {
+        return Ok(()); // single-child parent; root collapse handles it
+    }
+    // Work on the pair (left_pos, left_pos + 1).
+    let left_pos = if pos < n { pos } else { pos - 1 };
+    let child_at = |parent: &InteriorNode, i: usize| -> PageId {
+        if i < parent.cells.len() {
+            parent.cells[i].0
+        } else {
+            parent.rightmost
+        }
+    };
+    let left_id = child_at(parent, left_pos);
+    let right_id = child_at(parent, left_pos + 1);
+    let lp = txn.page(left_id)?;
+    let kind = lp.page_type();
+
+    if kind == page_type::BTREE_LEAF {
+        let mut left = LeafNode::parse(&lp);
+        drop(lp);
+        let rp = txn.page(right_id)?;
+        expect_type(&rp, page_type::BTREE_LEAF, right_id)?;
+        let right = LeafNode::parse(&rp);
+        drop(rp);
+        if left.used_bytes() + right.used_bytes() <= NODE_CAPACITY {
+            // Merge right into left; drop the separator.
+            left.right_sibling = right.right_sibling;
+            left.cells.extend(right.cells);
+            left.write(txn.page_mut(left_id)?);
+            txn.free_page(right_id)?;
+            remove_child(parent, left_pos, left_id);
+        } else {
+            // Redistribute evenly across the pair.
+            let mut combined = LeafNode {
+                cells: std::mem::take(&mut left.cells),
+                right_sibling: right_id,
+            };
+            combined.cells.extend(right.cells);
+            let mut new_right = combined.split_off();
+            new_right.right_sibling = right.right_sibling;
+            combined.write(txn.page_mut(left_id)?);
+            new_right.write(txn.page_mut(right_id)?);
+            parent.cells[left_pos].1 = combined.cells.last().expect("non-empty").0.clone();
+        }
+    } else {
+        let mut left = InteriorNode::parse(&lp);
+        drop(lp);
+        let rp = txn.page(right_id)?;
+        expect_type(&rp, page_type::BTREE_INTERIOR, right_id)?;
+        let right = InteriorNode::parse(&rp);
+        drop(rp);
+        let sep = parent.cells[left_pos].1.clone();
+        // Conceptually concatenate: left cells, (left.rightmost, sep),
+        // right cells, rightmost = right.rightmost.
+        let mut combined = InteriorNode {
+            cells: std::mem::take(&mut left.cells),
+            rightmost: right.rightmost,
+        };
+        combined.cells.push((left.rightmost, sep));
+        combined.cells.extend(right.cells);
+        if combined.fits() {
+            combined.write(txn.page_mut(left_id)?);
+            txn.free_page(right_id)?;
+            remove_child(parent, left_pos, left_id);
+        } else {
+            let (promoted, new_right) = combined.split_off();
+            combined.write(txn.page_mut(left_id)?);
+            new_right.write(txn.page_mut(right_id)?);
+            parent.cells[left_pos].1 = promoted;
+        }
+    }
+    Ok(())
+}
+
+/// After merging children `pos` and `pos+1` into the page of child
+/// `pos` (`merged_id`), removes the separator at `pos` and rewires the
+/// parent's child pointers.
+fn remove_child(parent: &mut InteriorNode, pos: usize, merged_id: PageId) {
+    let n = parent.cells.len();
+    if pos + 1 < n {
+        parent.cells[pos + 1].0 = merged_id;
+        parent.cells.remove(pos);
+    } else {
+        // The right partner was the rightmost child.
+        parent.rightmost = merged_id;
+        parent.cells.remove(pos);
+    }
+}
+
+fn free_subtree(txn: &mut WriteTxn, id: PageId, free_self: bool) -> Result<()> {
+    let p = txn.page(id)?;
+    match p.page_type() {
+        page_type::BTREE_LEAF => {
+            let leaf = LeafNode::parse(&p);
+            drop(p);
+            for (_, v) in leaf.cells {
+                if let OwnedVal::Overflow { head, .. } = v {
+                    free_overflow(txn, head)?;
+                }
+            }
+        }
+        page_type::BTREE_INTERIOR => {
+            let interior = InteriorNode::parse(&p);
+            drop(p);
+            for (child, _) in &interior.cells {
+                free_subtree(txn, *child, true)?;
+            }
+            free_subtree(txn, interior.rightmost, true)?;
+        }
+        t => {
+            return Err(StorageError::Corrupt(format!(
+                "page {id}: unexpected type {t} in free"
+            )))
+        }
+    }
+    if free_self {
+        txn.free_page(id)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, StoreOptions, SyncMode};
+
+    fn mem_store() -> (tempfile::TempDir, Store) {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::create(
+            dir.path().join("db"),
+            StoreOptions {
+                sync: SyncMode::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (dir, store)
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    fn val(i: u32) -> Vec<u8> {
+        format!("value-{i}-{}", "x".repeat((i % 37) as usize)).into_bytes()
+    }
+
+    #[test]
+    fn insert_get_delete_small() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        assert_eq!(tree.insert(&mut txn, b"a", b"1").unwrap(), None);
+        assert_eq!(tree.insert(&mut txn, b"b", b"2").unwrap(), None);
+        assert_eq!(
+            tree.insert(&mut txn, b"a", b"1new").unwrap(),
+            Some(b"1".to_vec())
+        );
+        assert_eq!(tree.get(&txn, b"a").unwrap(), Some(b"1new".to_vec()));
+        assert_eq!(tree.get(&txn, b"zz").unwrap(), None);
+        assert_eq!(tree.delete(&mut txn, b"a").unwrap(), Some(b"1new".to_vec()));
+        assert_eq!(tree.delete(&mut txn, b"a").unwrap(), None);
+        assert_eq!(tree.get(&txn, b"a").unwrap(), None);
+        assert_eq!(tree.get(&txn, b"b").unwrap(), Some(b"2".to_vec()));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn many_inserts_split_and_persist() {
+        let (_d, store) = mem_store();
+        let tree;
+        {
+            let mut txn = store.begin_write().unwrap();
+            tree = BTree::create(&mut txn).unwrap();
+            for i in 0..5000 {
+                tree.insert(&mut txn, &key(i), &val(i)).unwrap();
+            }
+            txn.set_root(0, tree.root());
+            txn.commit().unwrap();
+        }
+        let r = store.begin_read();
+        assert!(tree.depth(&r).unwrap() >= 2, "tree must have split");
+        assert_eq!(tree.count(&r).unwrap(), 5000);
+        for i in (0..5000).step_by(97) {
+            assert_eq!(tree.get(&r, &key(i)).unwrap(), Some(val(i)));
+        }
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insert_orders() {
+        for mode in 0..3 {
+            let (_d, store) = mem_store();
+            let mut txn = store.begin_write().unwrap();
+            let tree = BTree::create(&mut txn).unwrap();
+            let mut order: Vec<u32> = (0..2000).collect();
+            match mode {
+                0 => order.reverse(),
+                1 => {
+                    // Deterministic shuffle via multiplication hash.
+                    order.sort_by_key(|i| i.wrapping_mul(2654435761) % 4096);
+                }
+                _ => {}
+            }
+            for &i in &order {
+                tree.insert(&mut txn, &key(i), &val(i)).unwrap();
+            }
+            assert_eq!(tree.count(&txn).unwrap(), 2000);
+            for i in 0..2000 {
+                assert_eq!(tree.get(&txn, &key(i)).unwrap(), Some(val(i)), "mode {mode}");
+            }
+            txn.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn large_values_use_overflow_chains() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        // 2 KiB (a 512-d f32 vector) and 12 KiB (multi-page chain).
+        let v2k = vec![7u8; 2048];
+        let v12k: Vec<u8> = (0..12_288u32).map(|i| (i % 251) as u8).collect();
+        tree.insert(&mut txn, b"small", b"inline").unwrap();
+        tree.insert(&mut txn, b"two-k", &v2k).unwrap();
+        tree.insert(&mut txn, b"twelve-k", &v12k).unwrap();
+        assert_eq!(tree.get(&txn, b"two-k").unwrap(), Some(v2k.clone()));
+        assert_eq!(tree.get(&txn, b"twelve-k").unwrap(), Some(v12k.clone()));
+        // Replacing an overflow value frees its chain for reuse.
+        let pages_before = txn.page_count();
+        assert_eq!(
+            tree.insert(&mut txn, b"twelve-k", b"tiny").unwrap(),
+            Some(v12k)
+        );
+        let c = txn.allocate_page().unwrap(); // should reuse a freed page
+        assert!(c < pages_before, "freed overflow pages are reused");
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn delete_everything_rebalances_to_empty() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        let n = 3000u32;
+        for i in 0..n {
+            tree.insert(&mut txn, &key(i), &val(i)).unwrap();
+        }
+        assert!(tree.depth(&txn).unwrap() >= 2);
+        // Delete in an interleaved order to exercise merges on both
+        // leaf and interior levels.
+        for i in (0..n).step_by(2) {
+            assert!(tree.delete(&mut txn, &key(i)).unwrap().is_some());
+        }
+        for i in (1..n).step_by(2) {
+            assert!(tree.delete(&mut txn, &key(i)).unwrap().is_some());
+        }
+        assert_eq!(tree.count(&txn).unwrap(), 0);
+        assert_eq!(tree.depth(&txn).unwrap(), 1, "tree collapsed to a leaf");
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn mixed_ops_match_btreemap_model() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        let mut model = std::collections::BTreeMap::<Vec<u8>, Vec<u8>>::new();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..8000 {
+            let op = next() % 10;
+            let k = key(next() % 700);
+            if op < 6 {
+                let v = val(next() % 1000);
+                let a = tree.insert(&mut txn, &k, &v).unwrap();
+                let b = model.insert(k, v);
+                assert_eq!(a, b);
+            } else if op < 9 {
+                let a = tree.delete(&mut txn, &k).unwrap();
+                let b = model.remove(&k);
+                assert_eq!(a, b);
+            } else {
+                let a = tree.get(&txn, &k).unwrap();
+                let b = model.get(&k).cloned();
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(tree.count(&txn).unwrap(), model.len() as u64);
+        for (k, v) in &model {
+            assert_eq!(tree.get(&txn, k).unwrap().as_ref(), Some(v));
+        }
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn clear_frees_pages_for_reuse() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        for i in 0..2000 {
+            tree.insert(&mut txn, &key(i), &val(i)).unwrap();
+        }
+        txn.commit().unwrap();
+        let pages_full = store.page_count();
+
+        let mut txn = store.begin_write().unwrap();
+        tree.clear(&mut txn).unwrap();
+        assert_eq!(tree.count(&txn).unwrap(), 0);
+        txn.commit().unwrap();
+        assert!(store.freelist_len() > 0, "cleared pages land on freelist");
+
+        // Re-filling reuses freed pages rather than growing the file.
+        let mut txn = store.begin_write().unwrap();
+        for i in 0..2000 {
+            tree.insert(&mut txn, &key(i), &val(i)).unwrap();
+        }
+        txn.commit().unwrap();
+        assert!(
+            store.page_count() <= pages_full + 2,
+            "refill reuses freelist: {} vs {}",
+            store.page_count(),
+            pages_full
+        );
+    }
+
+    #[test]
+    fn key_too_large_is_rejected() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let tree = BTree::create(&mut txn).unwrap();
+        let big = vec![1u8; MAX_KEY_LEN + 1];
+        assert!(matches!(
+            tree.insert(&mut txn, &big, b"v"),
+            Err(StorageError::KeyTooLarge(_))
+        ));
+        // Exactly at the limit is fine.
+        let ok = vec![1u8; MAX_KEY_LEN];
+        tree.insert(&mut txn, &ok, b"v").unwrap();
+        assert_eq!(tree.get(&txn, &ok).unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn destroy_returns_all_pages() {
+        let (_d, store) = mem_store();
+        let mut txn = store.begin_write().unwrap();
+        let before_alloc = txn.page_count();
+        let tree = BTree::create(&mut txn).unwrap();
+        for i in 0..1500 {
+            tree.insert(&mut txn, &key(i), &vec![9u8; 3000]).unwrap();
+        }
+        let after_fill = txn.page_count();
+        assert!(after_fill > before_alloc + 100);
+        tree.destroy(&mut txn).unwrap();
+        txn.commit().unwrap();
+        // All tree pages (incl. overflow chains) are on the freelist.
+        assert_eq!(
+            store.freelist_len() as u32,
+            after_fill - before_alloc,
+            "every allocated page was freed"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! A fast non-cryptographic checksum used for WAL frame validation.
+//!
+//! During crash recovery the WAL is scanned front to back and frames
+//! are accepted only while their checksums validate (and only up to the
+//! last commit frame), mirroring SQLite's WAL recovery protocol. FNV-1a
+//! is sufficient here: the threat model is torn writes / truncated
+//! files, not adversarial corruption.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Computes the FNV-1a checksum of `data`, seeded with `seed` so that
+/// frame headers and payloads chain into a single digest.
+#[inline]
+pub fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+    let mut h = if seed == 0 { FNV_OFFSET } else { seed };
+    // Process 8 bytes at a time to keep the WAL commit path cheap; the
+    // per-chunk fold preserves sensitivity to every byte.
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().unwrap());
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fnv1a(0, b"hello"), fnv1a(0, b"hello"));
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let base: Vec<u8> = (0..64).collect();
+        let h0 = fnv1a(0, &base);
+        for i in 0..base.len() {
+            let mut corrupted = base.clone();
+            corrupted[i] ^= 1;
+            assert_ne!(fnv1a(0, &corrupted), h0, "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn sensitive_to_length() {
+        assert_ne!(fnv1a(0, b"ab"), fnv1a(0, b"abc"));
+        assert_ne!(fnv1a(0, b""), fnv1a(0, b"\0"));
+    }
+
+    #[test]
+    fn seed_chains() {
+        let h1 = fnv1a(0, b"header");
+        let chained = fnv1a(h1, b"payload");
+        assert_ne!(chained, fnv1a(0, b"payload"));
+        // Chaining is deterministic.
+        assert_eq!(chained, fnv1a(fnv1a(0, b"header"), b"payload"));
+    }
+
+    #[test]
+    fn empty_input_with_seed_passthrough_still_hashes() {
+        // Empty data returns the seed unchanged (or offset if seed==0);
+        // callers always hash non-empty frames so this just documents
+        // the behaviour.
+        assert_eq!(fnv1a(42, b""), 42);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The database file is not a MicroNN store or is from an
+    /// incompatible version.
+    BadHeader(String),
+    /// A page was read whose content does not match its expected type
+    /// (e.g. a leaf where an interior node was expected). Indicates
+    /// corruption or a logic bug.
+    Corrupt(String),
+    /// A key exceeded [`crate::btree::MAX_KEY_LEN`].
+    KeyTooLarge(usize),
+    /// A page id outside the allocated file was referenced.
+    PageOutOfBounds(u32),
+    /// The WAL contained a frame that failed its checksum during
+    /// recovery; recovery stops at the last valid commit.
+    WalChecksum(u64),
+    /// An operation required a committed write transaction but the
+    /// transaction was already consumed.
+    TxnClosed,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadHeader(m) => write!(f, "bad database header: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corruption detected: {m}"),
+            StorageError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds maximum"),
+            StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StorageError::WalChecksum(frame) => {
+                write!(f, "wal frame {frame} failed checksum validation")
+            }
+            StorageError::TxnClosed => write!(f, "write transaction already closed"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::BadHeader("magic mismatch".into());
+        assert!(e.to_string().contains("magic mismatch"));
+        let e = StorageError::KeyTooLarge(9000);
+        assert!(e.to_string().contains("9000"));
+        let e = StorageError::WalChecksum(7);
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let ioe = io::Error::new(io::ErrorKind::NotFound, "nope");
+        let e: StorageError = ioe.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,273 @@
+//! Bounded buffer pool (page cache).
+//!
+//! The paper's core constraint (§2.1) is that the index "cannot be
+//! buffered in memory unless it is serving an active use-case": memory
+//! for cached pages must be strictly bounded and reclaimable. This pool
+//! caches page images under a byte budget with CLOCK (second-chance)
+//! eviction.
+//!
+//! Entries are keyed by `(page, version)`, where `version` is the WAL
+//! sequence number of the frame the image came from (`0` for images
+//! read from the main file since the last open). Versioned keys let
+//! readers at different snapshots share one pool without ever observing
+//! a page image newer than their snapshot — the cache is immutable data
+//! plus an index, so no cached bytes are ever mutated in place.
+//!
+//! The pool's byte budget is the main lever behind the paper's
+//! Small/Large device profiles (Figures 4, 5, 8), and `purge` implements
+//! the ColdStart scenario of §4.1.4.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::page::{PageData, PageId, PAGE_SIZE};
+
+/// Cache key: page number plus the WAL version of its image.
+pub type PoolKey = (PageId, u64);
+
+struct Entry {
+    data: Arc<PageData>,
+    /// CLOCK reference bit: set on hit, cleared on eviction scan.
+    referenced: bool,
+}
+
+struct PoolInner {
+    map: HashMap<PoolKey, Entry>,
+    /// CLOCK hand order; keys may be stale (already removed from `map`).
+    queue: VecDeque<PoolKey>,
+    bytes: usize,
+}
+
+/// A byte-bounded page cache shared by all transactions of a store.
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    evictions: std::sync::atomic::AtomicU64,
+}
+
+/// Accounted size of one cached page (image + bookkeeping estimate).
+const ENTRY_BYTES: usize = PAGE_SIZE + 64;
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity_bytes` of page images.
+    /// A capacity of `0` disables caching entirely (every read goes to
+    /// disk), which is useful for worst-case I/O measurements.
+    pub fn new(capacity_bytes: usize) -> Self {
+        BufferPool {
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                bytes: 0,
+            }),
+            capacity: capacity_bytes,
+            evictions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a page image, marking it recently used.
+    pub fn get(&self, key: PoolKey) -> Option<Arc<PageData>> {
+        let mut inner = self.inner.lock();
+        let entry = inner.map.get_mut(&key)?;
+        entry.referenced = true;
+        Some(Arc::clone(&entry.data))
+    }
+
+    /// Inserts a page image, evicting cold entries if over budget.
+    /// Inserting an already-present key refreshes its data.
+    pub fn insert(&self, key: PoolKey, data: Arc<PageData>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.map.get_mut(&key) {
+            e.data = data;
+            e.referenced = true;
+            return;
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                data,
+                referenced: false,
+            },
+        );
+        inner.bytes += ENTRY_BYTES;
+        inner.queue.push_back(key);
+        self.evict_to_budget(&mut inner);
+    }
+
+    fn evict_to_budget(&self, inner: &mut PoolInner) {
+        // CLOCK sweep: give each referenced entry one second chance.
+        // The loop terminates because every pass either evicts or
+        // clears a reference bit, and stale queue keys are dropped.
+        let mut guard = inner.queue.len() * 2 + 8;
+        while inner.bytes > self.capacity && guard > 0 {
+            guard -= 1;
+            let Some(key) = inner.queue.pop_front() else {
+                break;
+            };
+            match inner.map.get_mut(&key) {
+                None => {} // stale: entry already replaced/purged
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    inner.queue.push_back(key);
+                }
+                Some(_) => {
+                    inner.map.remove(&key);
+                    inner.bytes -= ENTRY_BYTES;
+                    self.evictions
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Drops every cached page. Models a cold application start
+    /// (MicroNN-ColdStart in §4.1.4).
+    pub fn purge(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.queue.clear();
+        inner.bytes = 0;
+    }
+
+    /// Removes cached versions of pages that a checkpoint reset made
+    /// unreachable is unnecessary — versioned keys never alias — but
+    /// old versions become dead weight; this trims entries whose
+    /// version is below `min_live_version` (0-version entries stay:
+    /// they mirror the main file, which remains authoritative).
+    pub fn trim_below(&self, min_live_version: u64) {
+        let mut inner = self.inner.lock();
+        let dead: Vec<PoolKey> = inner
+            .map
+            .keys()
+            .filter(|(_, v)| *v != 0 && *v < min_live_version)
+            .copied()
+            .collect();
+        for k in dead {
+            inner.map.remove(&k);
+            inner.bytes -= ENTRY_BYTES;
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured byte budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> Arc<PageData> {
+        let mut p = PageData::zeroed();
+        p[0] = b;
+        Arc::new(p)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let pool = BufferPool::new(10 * ENTRY_BYTES);
+        assert!(pool.get((1, 0)).is_none());
+        pool.insert((1, 0), page(7));
+        assert_eq!(pool.get((1, 0)).unwrap()[0], 7);
+        // Different version of the same page is a distinct entry.
+        assert!(pool.get((1, 5)).is_none());
+        pool.insert((1, 5), page(9));
+        assert_eq!(pool.get((1, 0)).unwrap()[0], 7);
+        assert_eq!(pool.get((1, 5)).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn stays_within_budget() {
+        let pool = BufferPool::new(4 * ENTRY_BYTES);
+        for i in 0..100u32 {
+            pool.insert((i, 0), page(i as u8));
+        }
+        assert!(pool.resident_bytes() <= 4 * ENTRY_BYTES);
+        assert!(pool.len() <= 4);
+        assert!(pool.evictions() >= 96);
+    }
+
+    #[test]
+    fn clock_prefers_evicting_cold_entries() {
+        let pool = BufferPool::new(3 * ENTRY_BYTES);
+        pool.insert((1, 0), page(1));
+        pool.insert((2, 0), page(2));
+        pool.insert((3, 0), page(3));
+        // Touch 1 and 2 so page 3 is the cold one when 4 arrives.
+        pool.get((1, 0));
+        pool.get((2, 0));
+        pool.insert((4, 0), page(4));
+        assert!(pool.get((3, 0)).is_none(), "cold page evicted");
+        assert!(pool.get((1, 0)).is_some());
+        assert!(pool.get((2, 0)).is_some());
+        assert!(pool.get((4, 0)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let pool = BufferPool::new(0);
+        pool.insert((1, 0), page(1));
+        assert!(pool.get((1, 0)).is_none());
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn purge_empties_pool() {
+        let pool = BufferPool::new(10 * ENTRY_BYTES);
+        for i in 0..5u32 {
+            pool.insert((i, 0), page(i as u8));
+        }
+        assert_eq!(pool.len(), 5);
+        pool.purge();
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.resident_bytes(), 0);
+        assert!(pool.get((0, 0)).is_none());
+    }
+
+    #[test]
+    fn trim_below_drops_old_versions_keeps_base() {
+        let pool = BufferPool::new(10 * ENTRY_BYTES);
+        pool.insert((1, 0), page(1)); // main-file image
+        pool.insert((1, 3), page(2)); // old wal version
+        pool.insert((1, 9), page(3)); // live wal version
+        pool.trim_below(5);
+        assert!(pool.get((1, 0)).is_some(), "base image kept");
+        assert!(pool.get((1, 3)).is_none(), "stale version trimmed");
+        assert!(pool.get((1, 9)).is_some(), "live version kept");
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_double_accounting() {
+        let pool = BufferPool::new(10 * ENTRY_BYTES);
+        pool.insert((1, 0), page(1));
+        let before = pool.resident_bytes();
+        pool.insert((1, 0), page(2));
+        assert_eq!(pool.resident_bytes(), before);
+        assert_eq!(pool.get((1, 0)).unwrap()[0], 2);
+    }
+}

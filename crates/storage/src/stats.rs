@@ -1,0 +1,164 @@
+//! I/O and cache accounting.
+//!
+//! The paper's evaluation leans heavily on I/O and memory counters:
+//! Figure 5 (memory during query processing), Figure 6b (memory during
+//! index construction), and Figure 10d (database row/page changes of
+//! incremental vs full rebuild). All counters here are monotonically
+//! increasing atomics so they can be sampled cheaply from any thread
+//! and differenced around a measured region.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing disk and cache traffic of a [`crate::Store`].
+#[derive(Default)]
+pub struct IoStats {
+    /// Pages read from the main database file.
+    pub main_reads: AtomicU64,
+    /// Pages written to the main database file (checkpoints).
+    pub main_writes: AtomicU64,
+    /// Frames read from the WAL file.
+    pub wal_reads: AtomicU64,
+    /// Frames appended to the WAL file.
+    pub wal_writes: AtomicU64,
+    /// Buffer-pool hits.
+    pub pool_hits: AtomicU64,
+    /// Buffer-pool misses (page had to be fetched from disk).
+    pub pool_misses: AtomicU64,
+    /// Pages evicted from the buffer pool.
+    pub pool_evictions: AtomicU64,
+    /// Commits performed.
+    pub commits: AtomicU64,
+    /// Checkpoints performed.
+    pub checkpoints: AtomicU64,
+    /// Pages newly allocated.
+    pub pages_allocated: AtomicU64,
+    /// Pages returned to the freelist.
+    pub pages_freed: AtomicU64,
+    /// fsync calls issued.
+    pub syncs: AtomicU64,
+}
+
+impl IoStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            main_reads: self.main_reads.load(Ordering::Relaxed),
+            main_writes: self.main_writes.load(Ordering::Relaxed),
+            wal_reads: self.wal_reads.load(Ordering::Relaxed),
+            wal_writes: self.wal_writes.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            pages_allocated: self.pages_allocated.load(Ordering::Relaxed),
+            pages_freed: self.pages_freed.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], supporting differencing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub main_reads: u64,
+    pub main_writes: u64,
+    pub wal_reads: u64,
+    pub wal_writes: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_evictions: u64,
+    pub commits: u64,
+    pub checkpoints: u64,
+    pub pages_allocated: u64,
+    pub pages_freed: u64,
+    pub syncs: u64,
+}
+
+impl StoreStats {
+    /// Total pages fetched from disk (main file + WAL).
+    pub fn disk_reads(&self) -> u64 {
+        self.main_reads + self.wal_reads
+    }
+
+    /// Total pages pushed to disk (WAL frames + checkpoint writes).
+    pub fn disk_writes(&self) -> u64 {
+        self.main_writes + self.wal_writes
+    }
+
+    /// Pool hit ratio in `[0, 1]`; `1.0` when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`, for measuring a region.
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        StoreStats {
+            main_reads: self.main_reads - earlier.main_reads,
+            main_writes: self.main_writes - earlier.main_writes,
+            wal_reads: self.wal_reads - earlier.wal_reads,
+            wal_writes: self.wal_writes - earlier.wal_writes,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            pool_evictions: self.pool_evictions - earlier.pool_evictions,
+            commits: self.commits - earlier.commits,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            pages_allocated: self.pages_allocated - earlier.pages_allocated,
+            pages_freed: self.pages_freed - earlier.pages_freed,
+            syncs: self.syncs - earlier.syncs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = IoStats::default();
+        IoStats::bump(&s.main_reads);
+        IoStats::bump(&s.main_reads);
+        IoStats::add(&s.wal_writes, 5);
+        let a = s.snapshot();
+        assert_eq!(a.main_reads, 2);
+        assert_eq!(a.wal_writes, 5);
+        IoStats::bump(&s.pool_hits);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.pool_hits, 1);
+        assert_eq!(d.main_reads, 0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let st = StoreStats {
+            main_reads: 3,
+            wal_reads: 2,
+            main_writes: 1,
+            wal_writes: 4,
+            pool_hits: 9,
+            pool_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(st.disk_reads(), 5);
+        assert_eq!(st.disk_writes(), 5);
+        assert!((st.hit_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(StoreStats::default().hit_ratio(), 1.0);
+    }
+}

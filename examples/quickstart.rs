@@ -1,0 +1,108 @@
+//! Quickstart: create an index, ingest vectors with attributes, build
+//! the IVF index, and run ANN + hybrid searches.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use micronn::{
+    AttributeDef, Config, Expr, Metric, MicroNN, SearchRequest, SyncMode, ValueType, VectorRecord,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("micronn-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("quickstart.mnn");
+
+    // 1. Configure: 64-d vectors, L2, one indexed attribute + one FTS.
+    let mut config = Config::new(64, Metric::L2);
+    config.store.sync = SyncMode::Off; // demo speed; Normal for durability
+    config.attributes = vec![
+        AttributeDef::indexed("category", ValueType::Text),
+        AttributeDef::full_text("caption"),
+    ];
+    let db = MicroNN::create(&path, config)?;
+
+    // 2. Ingest 5,000 vectors (three synthetic "topics").
+    println!("ingesting 5,000 vectors...");
+    let topics = ["animals", "landscapes", "food"];
+    let mut records = Vec::new();
+    let mut state = 42u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    for i in 0..5000i64 {
+        let topic = (i % 3) as usize;
+        let mut v = vec![0f32; 64];
+        for (j, x) in v.iter_mut().enumerate() {
+            *x = (topic as f32) * 8.0 + ((j % 5) as f32) + rnd();
+        }
+        records.push(
+            VectorRecord::new(i, v)
+                .with_attr("category", topics[topic])
+                .with_attr("caption", format!("a photo of {} number {i}", topics[topic])),
+        );
+    }
+    db.upsert_batch(&records)?;
+
+    // 3. Build the IVF index (mini-batch balanced k-means).
+    let report = db.rebuild()?;
+    println!(
+        "built index: {} vectors -> {} partitions in {:?} (training {:?})",
+        report.vectors, report.partitions, report.total_time, report.train_time
+    );
+
+    // 4. Plain ANN search.
+    let query = db.get_vector(123)?.expect("vector 123 exists");
+    let t = std::time::Instant::now();
+    let hits = db.search(&query, 10)?;
+    println!(
+        "\ntop-10 ANN in {:?} (scanned {} vectors across {} partitions):",
+        t.elapsed(),
+        hits.info.vectors_scanned,
+        hits.info.partitions_scanned
+    );
+    for r in &hits.results {
+        println!("  asset {:>5}  distance {:.4}", r.asset_id, r.distance);
+    }
+
+    // 5. Hybrid search: filter by attribute; the optimizer chooses the
+    //    plan from selectivity estimates.
+    let req = SearchRequest::new(query.clone(), 5).with_filter(Expr::eq("category", "animals"));
+    let hits = db.search_with(&req)?;
+    println!("\nhybrid (category = animals), plan = {}:", hits.info.plan);
+    for r in &hits.results {
+        println!("  asset {:>5}  distance {:.4}", r.asset_id, r.distance);
+    }
+
+    // 6. Full-text MATCH filter (query near the "food" topic).
+    let food_query = db.get_vector(2)?.expect("vector 2 exists");
+    let req = SearchRequest::new(food_query, 5).with_filter(Expr::matches("caption", "food photo"));
+    let hits = db.search_with(&req)?;
+    println!("\nhybrid (caption MATCH 'food photo'), plan = {}:", hits.info.plan);
+    for r in &hits.results {
+        println!("  asset {:>5}  distance {:.4}", r.asset_id, r.distance);
+    }
+
+    // 7. Streaming updates: visible immediately via the delta store.
+    db.upsert(VectorRecord::new(999_999, vec![100.0; 64]).with_attr("category", "new"))?;
+    let fresh = db.search(&vec![100.0; 64], 1)?;
+    println!(
+        "\nfreshly inserted asset found immediately: asset {} at distance {}",
+        fresh.results[0].asset_id, fresh.results[0].distance
+    );
+
+    let stats = db.stats()?;
+    println!(
+        "\nstats: {} vectors ({} in delta), {} partitions, avg size {:.1}, pool {} KiB resident",
+        stats.total_vectors,
+        stats.delta_vectors,
+        stats.partitions,
+        stats.avg_partition_size,
+        stats.resident_bytes / 1024
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

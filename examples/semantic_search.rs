@@ -1,0 +1,168 @@
+//! Interactive semantic search (Example 1 of the paper): a photo
+//! library on a personal device.
+//!
+//! Photos arrive and disappear continuously (camera, sync, deletions);
+//! searches combine embedding similarity with date-range and location
+//! filters; background maintenance folds the delta store into the IVF
+//! index and eventually triggers rebuilds — all while concurrent
+//! readers keep serving consistent results.
+//!
+//! ```sh
+//! cargo run --release --example semantic_search
+//! ```
+
+use micronn::{
+    AttributeDef, Config, Expr, MaintenanceAction, Metric, MicroNN, SearchRequest, SyncMode,
+    ValueType, VectorRecord,
+};
+use micronn_datasets::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 128;
+
+/// A fake CLIP-style embedder: deterministic direction per concept.
+fn embed(concept: usize, rng: &mut StdRng) -> Vec<f32> {
+    let mut base = StdRng::seed_from_u64(7_000 + concept as u64);
+    let mut v: Vec<f32> = (0..DIM).map(|_| base.gen_range(-1.0f32..1.0)).collect();
+    for x in v.iter_mut() {
+        *x += 0.2 * gaussian(rng);
+    }
+    v
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("micronn-semsearch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+
+    let mut config = Config::new(DIM, Metric::Cosine);
+    config.store.sync = SyncMode::Off;
+    config.delta_flush_threshold = 500;
+    config.attributes = vec![
+        AttributeDef::indexed("location", ValueType::Text),
+        AttributeDef::indexed("taken_at", ValueType::Integer),
+        AttributeDef::full_text("caption"),
+    ];
+    let db = MicroNN::create(dir.join("photos.mnn"), config)?;
+
+    // The library: 20k photos across 12 concepts, mostly taken at home
+    // (Seattle), a few on a New York trip — the paper's selectivity
+    // running example.
+    println!("importing 20,000 photos...");
+    let mut rng = StdRng::seed_from_u64(11);
+    let concepts = [
+        "cat", "dog", "beach", "mountain", "food", "car", "flower", "snow", "city", "lake",
+        "concert", "museum",
+    ];
+    let mut batch = Vec::new();
+    for i in 0..20_000i64 {
+        let concept = rng.gen_range(0..concepts.len());
+        let on_trip = rng.gen_bool(0.002); // ~40 trip photos
+        let location = if on_trip { "NewYork" } else { "Seattle" };
+        let taken_at = 1_700_000_000 + i * 60;
+        batch.push(
+            VectorRecord::new(i, embed(concept, &mut rng))
+                .with_attr("location", location)
+                .with_attr("taken_at", taken_at)
+                .with_attr("caption", format!("a photo of a {}", concepts[concept])),
+        );
+        if batch.len() == 2000 {
+            db.upsert_batch(&batch)?;
+            batch.clear();
+        }
+    }
+    db.upsert_batch(&batch)?;
+    let report = db.rebuild()?;
+    println!(
+        "index built: {} partitions over {} photos in {:?}\n",
+        report.partitions, report.vectors, report.total_time
+    );
+
+    // --- Interactive query 1: plain semantic search -------------------
+    let cat_query = embed(0, &mut rng);
+    let t = std::time::Instant::now();
+    let hits = db.search(&cat_query, 10)?;
+    println!("\"cat\" search: {:?}, top hit asset {}", t.elapsed(), hits.results[0].asset_id);
+
+    // --- Interactive query 2: highly selective trip filter ------------
+    // Only ~0.2% of photos qualify: the optimizer should pre-filter for
+    // 100% recall at tiny cost.
+    let req = SearchRequest::new(cat_query.clone(), 10)
+        .with_filter(Expr::eq("location", "NewYork"));
+    let t = std::time::Instant::now();
+    let hits = db.search_with(&req)?;
+    println!(
+        "\"cat in New York\": {:?}, plan = {}, {} results (all from the trip)",
+        t.elapsed(),
+        hits.info.plan,
+        hits.results.len()
+    );
+
+    // --- Interactive query 3: date range + text -----------------------
+    let recent = Expr::ge("taken_at", 1_700_000_000 + 15_000 * 60i64)
+        .and(Expr::matches("caption", "beach"));
+    let hits = db.search_with(&SearchRequest::new(embed(2, &mut rng), 10).with_filter(recent))?;
+    println!(
+        "\"recent beach photos\": plan = {}, {} results",
+        hits.info.plan,
+        hits.results.len()
+    );
+
+    // --- Live updates while a background reader runs ------------------
+    println!("\nsimulating sync: 1,500 new photos + deletions while searching...");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let reader_db = db.clone();
+        let q = cat_query.clone();
+        let stop_ref = &stop;
+        let reader = s.spawn(move || {
+            let mut searches = 0u64;
+            while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                let r = reader_db.search(&q, 10).expect("search during writes");
+                assert!(!r.results.is_empty());
+                searches += 1;
+            }
+            searches
+        });
+        let mut rng = StdRng::seed_from_u64(13);
+        for i in 0..1500i64 {
+            let concept = rng.gen_range(0..concepts.len());
+            db.upsert(
+                VectorRecord::new(100_000 + i, embed(concept, &mut rng))
+                    .with_attr("location", "Seattle")
+                    .with_attr("taken_at", 1_800_000_000 + i)
+                    .with_attr("caption", format!("synced photo of a {}", concepts[concept])),
+            )
+            .expect("upsert");
+            if i % 300 == 0 {
+                db.delete(i * 3).expect("delete");
+            }
+        }
+        // Background maintenance: flush the delta when the monitor asks.
+        match db.maybe_maintain().expect("maintain") {
+            MaintenanceAction::Flushed(f) => {
+                println!("maintenance: flushed {} delta vectors into {} partitions", f.flushed, f.partitions_touched)
+            }
+            MaintenanceAction::Rebuilt(r) => {
+                println!("maintenance: full rebuild into {} partitions", r.partitions)
+            }
+            MaintenanceAction::None => println!("maintenance: healthy"),
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let searches = reader.join().unwrap();
+        println!("reader completed {searches} consistent searches during the sync");
+    });
+
+    let stats = db.stats()?;
+    println!(
+        "\nfinal: {} photos, {} in delta, {} partitions (avg {:.1} vectors), epoch {}",
+        stats.total_vectors,
+        stats.delta_vectors,
+        stats.partitions,
+        stats.avg_partition_size,
+        stats.epoch
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! `micronn-suite`: umbrella package hosting the workspace's integration
+//! tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! The actual library lives in the [`micronn`] crate; this package simply
+//! re-exports the public crates so examples and tests can use one import
+//! root.
+
+pub use micronn;
+pub use micronn_cluster;
+pub use micronn_datasets;
+pub use micronn_linalg;
+pub use micronn_rel;
+pub use micronn_storage;
