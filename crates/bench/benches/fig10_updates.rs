@@ -94,9 +94,7 @@ fn run_strategy(dataset: &Dataset, incremental: bool) -> Vec<EpochRow> {
         let target_scan = 24.0 * 100.0; // 24 probes x target size
         let probes = ((target_scan / stats.avg_partition_size.max(1.0)).round() as usize)
             .clamp(1, stats.partitions.max(1) as usize);
-        let queries: Vec<Vec<f32>> = (0..gt.len())
-            .map(|qi| dataset.query(qi).to_vec())
-            .collect();
+        let queries: Vec<Vec<f32>> = (0..gt.len()).map(|qi| dataset.query(qi).to_vec()).collect();
         let (resp, d) = micronn_bench::time(|| db.batch_search(&queries, K, Some(probes)).unwrap());
         assert_eq!(resp.results.len(), gt.len());
         let latency_ms = d.as_secs_f64() * 1e3 / gt.len() as f64;
@@ -133,8 +131,15 @@ fn main() {
     let widths = [6usize, 10, 10, 9, 9, 11, 11, 12, 12];
     micronn_bench::print_header(
         &[
-            "epoch", "lat full", "lat incr", "rec full", "rec incr", "build full",
-            "build incr", "rows full", "rows incr",
+            "epoch",
+            "lat full",
+            "lat incr",
+            "rec full",
+            "rec incr",
+            "build full",
+            "build incr",
+            "rows full",
+            "rows incr",
         ],
         &widths,
     );
@@ -185,7 +190,9 @@ fn main() {
         io_fraction * 100.0,
         flush_fraction * 100.0
     );
-    println!("mean recall gap (full - incremental): {mean_gap:.4} (paper: small, corrected at rebuild)");
+    println!(
+        "mean recall gap (full - incremental): {mean_gap:.4} (paper: small, corrected at rebuild)"
+    );
     assert!(
         total_incr_rows < total_full_rows / 2,
         "incremental maintenance must touch far fewer rows"

@@ -14,9 +14,7 @@
 //! of InMemory.
 
 use micronn::{DeviceProfile, InMemoryIndex, SearchRequest};
-use micronn_bench::{
-    build_micronn, mean_std, sample_ground_truth, scaled_specs, tune_probes,
-};
+use micronn_bench::{build_micronn, mean_std, sample_ground_truth, scaled_specs, tune_probes};
 use micronn_datasets::{generate, recall};
 
 #[global_allocator]
@@ -35,7 +33,9 @@ fn main() {
         println!("== {profile:?} DUT ==");
         let widths = [12usize, 7, 8, 12, 14, 14, 10];
         micronn_bench::print_header(
-            &["dataset", "n", "probes", "InMemory", "Warm", "Cold", "recall"],
+            &[
+                "dataset", "n", "probes", "InMemory", "Warm", "Cold", "recall",
+            ],
             &widths,
         );
         for spec in &specs {

@@ -7,7 +7,9 @@
 //! buffer-pool residency is reported alongside.
 
 use micronn::{DeviceProfile, InMemoryIndex, SearchRequest};
-use micronn_bench::{build_micronn, mib, sample_ground_truth, scaled_specs, tune_probes, TrackingAlloc};
+use micronn_bench::{
+    build_micronn, mib, sample_ground_truth, scaled_specs, tune_probes, TrackingAlloc,
+};
 use micronn_datasets::generate;
 
 #[global_allocator]
@@ -23,10 +25,20 @@ fn main() {
         micronn_bench::bench_scale()
     );
     for profile in [DeviceProfile::Large, DeviceProfile::Small] {
-        println!("== {profile:?} DUT (pool budget {} MiB) ==", mib(profile.store_options().pool_bytes));
+        println!(
+            "== {profile:?} DUT (pool budget {} MiB) ==",
+            mib(profile.store_options().pool_bytes)
+        );
         let widths = [12usize, 8, 14, 14, 12, 10];
         micronn_bench::print_header(
-            &["dataset", "n", "InMemory", "MicroNN", "pool resid.", "ratio"],
+            &[
+                "dataset",
+                "n",
+                "InMemory",
+                "MicroNN",
+                "pool resid.",
+                "ratio",
+            ],
             &widths,
         );
         for spec in &specs {
@@ -108,6 +120,8 @@ fn main() {
         }
         println!();
     }
-    println!("expected shape (paper): MicroNN flat at the pool budget; InMemory grows with the dataset");
+    println!(
+        "expected shape (paper): MicroNN flat at the pool budget; InMemory grows with the dataset"
+    );
     println!("(the 'two orders of magnitude' gap appears at paper scale: rerun with FULL_SCALE=1)");
 }

@@ -11,8 +11,7 @@
 //! optimizer tracking the better of the two on both axes.
 
 use micronn::{
-    AttributeDef, Config, DeviceProfile, Expr, MicroNN, PlanPreference, SearchRequest,
-    VectorRecord,
+    AttributeDef, Config, DeviceProfile, Expr, MicroNN, PlanPreference, SearchRequest, VectorRecord,
 };
 use micronn_bench::mean_std;
 use micronn_datasets::filtered_tags;
@@ -55,8 +54,15 @@ fn main() {
     let widths = [12usize, 6, 11, 11, 11, 9, 9, 9, 12];
     micronn_bench::print_header(
         &[
-            "selectivity", "qs", "pre ms", "post ms", "opt ms", "pre rec", "post rec",
-            "opt rec", "plans chosen",
+            "selectivity",
+            "qs",
+            "pre ms",
+            "post ms",
+            "opt ms",
+            "pre rec",
+            "post rec",
+            "opt rec",
+            "plans chosen",
         ],
         &widths,
     );

@@ -12,9 +12,7 @@
 //! batch size.
 
 use micronn::{Config, DeviceProfile, MicroNN, RebuildOptions};
-use micronn_bench::{
-    ingest, mean_recall_at, mib, sample_ground_truth, tune_probes, TrackingAlloc,
-};
+use micronn_bench::{ingest, mean_recall_at, mib, sample_ground_truth, tune_probes, TrackingAlloc};
 use micronn_datasets::{generate, internal_a};
 
 #[global_allocator]
@@ -33,7 +31,10 @@ fn main() {
     spec.n_queries = micronn_bench::bench_queries();
     let dataset = generate(&spec);
     let n = dataset.len();
-    println!("Figure 8: mini-batch size sweep on InternalA ({n} x {}d, cosine)\n", spec.dim);
+    println!(
+        "Figure 8: mini-batch size sweep on InternalA ({n} x {}d, cosine)\n",
+        spec.dim
+    );
 
     let gt = sample_ground_truth(&dataset, K, spec.n_queries);
 
@@ -53,7 +54,14 @@ fn main() {
     let mut fixed_probes = None;
     let widths = [10usize, 10, 10, 12, 14, 12];
     micronn_bench::print_header(
-        &["batch %", "batch", "probes", "recall@100", "peak MiB", "build s"],
+        &[
+            "batch %",
+            "batch",
+            "probes",
+            "recall@100",
+            "peak MiB",
+            "build s",
+        ],
         &widths,
     );
     for &pct in &percentages {

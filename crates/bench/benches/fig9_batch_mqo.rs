@@ -28,7 +28,14 @@ fn main() {
     );
     let widths = [12usize, 8, 10, 12, 14, 12];
     micronn_bench::print_header(
-        &["dataset", "batch", "total ms", "per-query ms", "vs sequential", "speedup"],
+        &[
+            "dataset",
+            "batch",
+            "total ms",
+            "per-query ms",
+            "vs sequential",
+            "speedup",
+        ],
         &widths,
     );
     let mut internal_a_cut = None;
@@ -48,9 +55,8 @@ fn main() {
         let warmup = make_batch(8);
         db.batch_search(&warmup, K, None).unwrap();
         let single_batch = make_batch(16);
-        let (_, d) = micronn_bench::time(|| {
-            db.batch_search_sequential(&single_batch, K, None).unwrap()
-        });
+        let (_, d) =
+            micronn_bench::time(|| db.batch_search_sequential(&single_batch, K, None).unwrap());
         let single_ms = d.as_secs_f64() * 1e3 / single_batch.len() as f64;
 
         for &bs in &BATCHES {

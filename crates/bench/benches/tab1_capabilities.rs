@@ -14,7 +14,9 @@ fn check(name: &str, ok: bool) -> &'static str {
 }
 
 fn main() {
-    println!("Table 1: capabilities of existing approaches (from the paper) vs this MicroNN build\n");
+    println!(
+        "Table 1: capabilities of existing approaches (from the paper) vs this MicroNN build\n"
+    );
     let rows = [
         ("LSH", "PLSH [39]", "no", "yes", "yes", "no", "no"),
         ("LSH", "PM-LSH [44]", "no", "yes", "yes", "no", "no"),
@@ -31,14 +33,19 @@ fn main() {
     ];
     let widths = [6usize, 16, 12, 12, 12, 8, 8];
     micronn_bench::print_header(
-        &["type", "name", "constr.mem", "updatable", "consistent", "hybrid", "batch"],
+        &[
+            "type",
+            "name",
+            "constr.mem",
+            "updatable",
+            "consistent",
+            "hybrid",
+            "batch",
+        ],
         &widths,
     );
     for (ty, name, cm, up, co, hy, ba) in rows {
-        micronn_bench::print_row(
-            &[ty, name, cm, up, co, hy, ba].map(str::to_string),
-            &widths,
-        );
+        micronn_bench::print_row(&[ty, name, cm, up, co, hy, ba].map(str::to_string), &widths);
     }
 
     // --- Probe MicroNN's row against the real implementation ----------
@@ -67,7 +74,8 @@ fn main() {
     );
 
     // Updatability without a rebuild.
-    db.upsert(VectorRecord::new(100_000, vec![123.0; 8])).unwrap();
+    db.upsert(VectorRecord::new(100_000, vec![123.0; 8]))
+        .unwrap();
     let hit = db.search(&[123.0; 8], 1).unwrap();
     let updatable = check("updatable", hit.results[0].asset_id == 100_000);
 
@@ -76,7 +84,8 @@ fn main() {
     // crate's tests verify snapshot isolation directly).
     let consistent = check("consistent", {
         let before = db.search(&[123.0; 8], 3).unwrap();
-        db.upsert(VectorRecord::new(100_001, vec![123.0; 8])).unwrap();
+        db.upsert(VectorRecord::new(100_001, vec![123.0; 8]))
+            .unwrap();
         let after = db.search(&[123.0; 8], 3).unwrap();
         before.results.len() <= after.results.len()
     });
@@ -84,9 +93,7 @@ fn main() {
     // Hybrid queries.
     let hybrid = check("hybrid", {
         let r = db
-            .search_with(
-                &SearchRequest::new(vec![4.0; 8], 5).with_filter(Expr::eq("tag", "even")),
-            )
+            .search_with(&SearchRequest::new(vec![4.0; 8], 5).with_filter(Expr::eq("tag", "even")))
             .unwrap();
         !r.results.is_empty() && r.results.iter().all(|h| h.asset_id % 2 == 0)
     });

@@ -13,7 +13,15 @@ fn main() {
         micronn_bench::bench_scale()
     );
     micronn_bench::print_header(
-        &["dataset", "dim", "paper rows", "queries", "metric", "bench rows", "bench qs"],
+        &[
+            "dataset",
+            "dim",
+            "paper rows",
+            "queries",
+            "metric",
+            "bench rows",
+            "bench qs",
+        ],
         &widths,
     );
     let paper = table2_specs(1.0);
@@ -36,5 +44,8 @@ fn main() {
     let probe = micronn_datasets::generate(&bench[0]);
     assert_eq!(probe.vectors.len(), bench[0].n_vectors * bench[0].dim);
     assert_eq!(probe.queries.len(), bench[0].n_queries * bench[0].dim);
-    println!("\ngenerator verified: {} produced {} x {}-d vectors", bench[0].name, bench[0].n_vectors, bench[0].dim);
+    println!(
+        "\ngenerator verified: {} produced {} x {}-d vectors",
+        bench[0].name, bench[0].n_vectors, bench[0].dim
+    );
 }

@@ -38,7 +38,7 @@ static PEAK: AtomicUsize = AtomicUsize::new(0);
 /// A global allocator wrapper that tracks live and peak heap bytes —
 /// the measurement device behind every memory figure. Install with:
 ///
-/// ```ignore
+/// ```no_run
 /// #[global_allocator]
 /// static ALLOC: micronn_bench::TrackingAlloc = micronn_bench::TrackingAlloc;
 /// ```
@@ -86,7 +86,10 @@ impl TrackingAlloc {
 /// `FULL_SCALE=1` restores paper scale; `MICRONN_BENCH_SCALE=<f>` sets
 /// an explicit fraction.
 pub fn bench_scale() -> f64 {
-    if std::env::var("FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("FULL_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return 1.0;
     }
     std::env::var("MICRONN_BENCH_SCALE")
@@ -109,7 +112,9 @@ pub fn bench_queries() -> usize {
 /// so the heavy datasets (DEEPImage 10M, GIST 960-d) stay laptop-sized
 /// unless `FULL_SCALE=1`.
 pub fn scaled_specs() -> Vec<micronn_datasets::DatasetSpec> {
-    let full = std::env::var("FULL_SCALE").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("FULL_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let cap: usize = std::env::var("MICRONN_BENCH_MAX_N")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -238,8 +238,7 @@ mod tests {
             },
         );
         assert!(
-            mean_assignment_distance(&data, 2, &fine)
-                < mean_assignment_distance(&data, 2, &coarse)
+            mean_assignment_distance(&data, 2, &fine) < mean_assignment_distance(&data, 2, &coarse)
         );
     }
 }

@@ -148,8 +148,7 @@ pub fn train<S: VectorSource + ?Sized>(
         let total: u64 = counts.iter().sum();
         let scale = (total as f32 / k as f32).max(1.0);
         for (slot, x) in buf.chunks_exact(dim).enumerate() {
-            assigned[slot] =
-                nearest_penalized(&clustering, &counts, x, cfg.balance_lambda, scale);
+            assigned[slot] = nearest_penalized(&clustering, &counts, x, cfg.balance_lambda, scale);
         }
         // Lines 9–13: per-center learning-rate updates.
         for (slot, x) in buf.chunks_exact(dim).enumerate() {

@@ -70,32 +70,19 @@ impl MicroNN {
             queries_flat.extend_from_slice(q);
         }
 
-        // Phase 1: probe selection for all queries via one GEMM against
-        // the centroid matrix.
+        // Phase 1: probe selection, per query, through the exact same
+        // routine the single-query path uses (`nearest_partitions`,
+        // including the two-level centroid index when present). Probe
+        // sets must match the sequential path *bit for bit*: ranking
+        // centroids with the batched GEMM instead would flip near-tied
+        // centroids (the norm-identity L2 rounds differently from the
+        // scalar kernel) and silently send a query to a different
+        // partition than its sequential twin.
         let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
         if let Some(index) = inner.clustering(&r)? {
-            let (clustering, partition_ids) = (&index.clustering, &index.partitions);
-            let kc = clustering.k();
-            let mut cd = vec![0f32; nq * kc];
-            batch_distances(
-                inner.metric,
-                &queries_flat,
-                nq,
-                clustering.centroids(),
-                kc,
-                dim,
-                &mut cd,
-            );
-            for qi in 0..nq {
-                let mut top = TopK::new(probes.min(kc));
-                for ci in 0..kc {
-                    top.push(ci as u64, cd[qi * kc + ci]);
-                }
-                for n in top.into_sorted() {
-                    groups
-                        .entry(partition_ids[n.id as usize])
-                        .or_default()
-                        .push(qi as u32);
+            for (qi, q) in queries.iter().enumerate() {
+                for pid in index.nearest_partitions(q, probes) {
+                    groups.entry(pid).or_default().push(qi as u32);
                 }
             }
         }
@@ -262,8 +249,5 @@ fn scan_partition_for_group(
     }
     flush(&mut ids, &mut rows, &mut heaps);
     drop(flush);
-    Ok((
-        group.iter().copied().zip(heaps).collect(),
-        computations,
-    ))
+    Ok((group.iter().copied().zip(heaps).collect(), computations))
 }

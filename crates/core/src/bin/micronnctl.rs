@@ -77,9 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }),
         "backup" => {
             let (db_path, rest) = take_path(&args[1..])?;
-            let dest = rest
-                .first()
-                .ok_or("backup: missing destination path")?;
+            let dest = rest.first().ok_or("backup: missing destination path")?;
             let db = open(&db_path)?;
             db.backup_to(dest).map_err(stringify)?;
             println!("backup written to {dest}");
@@ -257,7 +255,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         .map(|t| t.trim().parse::<f32>())
         .collect::<Result<_, _>>()
         .map_err(|_| "search: --query must be comma-separated floats")?;
-    let k: usize = flag_value(rest, "-k").unwrap_or("10").parse().map_err(|_| "bad -k")?;
+    let k: usize = flag_value(rest, "-k")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad -k")?;
     let exact = rest.iter().any(|a| a == "--exact");
     let mut req = SearchRequest::new(query.clone(), k);
     if let Some(p) = flag_value(rest, "--probes") {

@@ -16,8 +16,7 @@ use micronn_rel::{analyze_table, blob_into_f32, f32_to_blob, RowDecoder, Table, 
 use micronn_storage::PageRead;
 
 use crate::db::{
-    meta_int, set_meta_int, Inner, MicroNN, M_BASELINE_AVG, M_DELTA_COUNT,
-    M_EPOCH, M_PARTITIONS,
+    meta_int, set_meta_int, Inner, MicroNN, M_BASELINE_AVG, M_DELTA_COUNT, M_EPOCH, M_PARTITIONS,
 };
 use crate::error::{Error, Result};
 
@@ -209,7 +208,10 @@ impl MicroNN {
             .map(|row| Ok(row?[0].as_integer().unwrap_or(0)))
             .collect::<Result<_>>()?;
         for pid in old_pids {
-            inner.tables.centroids.delete(&mut txn, &[Value::Integer(pid)])?;
+            inner
+                .tables
+                .centroids
+                .delete(&mut txn, &[Value::Integer(pid)])?;
         }
         let mut sizes = vec![0i64; k];
         for &a in &assignments {
@@ -243,7 +245,12 @@ impl MicroNN {
             let blob = row[3].clone();
             inner.tables.vectors.upsert(
                 &mut txn,
-                vec![Value::Integer(new_p), Value::Integer(vid), asset.clone(), blob],
+                vec![
+                    Value::Integer(new_p),
+                    Value::Integer(vid),
+                    asset.clone(),
+                    blob,
+                ],
             )?;
             inner.tables.assets.upsert(
                 &mut txn,

@@ -30,6 +30,11 @@ pub(crate) struct CentroidIndex {
     supers: Clustering,
     /// Member centroid indexes per super-cluster.
     members: Vec<Vec<u32>>,
+    /// Per-super-cluster radius: the largest metric distance from the
+    /// super centroid to any member centroid. Lets probe selection
+    /// lower-bound the best distance reachable inside an unvisited
+    /// super-cluster.
+    radii: Vec<f32>,
 }
 
 impl CentroidIndex {
@@ -51,13 +56,23 @@ impl CentroidIndex {
         );
         let assignments = lloyd::assign_all(clustering.centroids(), clustering.dim(), &supers);
         let mut members = vec![Vec::new(); supers.k()];
+        let mut radii = vec![0f32; supers.k()];
         for (ci, &s) in assignments.iter().enumerate() {
             members[s as usize].push(ci as u32);
+            let d = supers
+                .metric()
+                .distance(supers.centroid(s as usize), clustering.centroid(ci));
+            radii[s as usize] = radii[s as usize].max(d);
         }
-        CentroidIndex { supers, members }
+        CentroidIndex {
+            supers,
+            members,
+            radii,
+        }
     }
 
     /// Number of super-clusters.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn super_count(&self) -> usize {
         self.supers.k()
     }
@@ -67,17 +82,44 @@ impl CentroidIndex {
     /// [`Clustering::nearest_n`]; may differ from the exact answer only
     /// when a near centroid hides in a far super-cluster (bounded by
     /// the over-expansion policy).
-    pub fn nearest_n(
-        &self,
-        clustering: &Clustering,
-        x: &[f32],
-        n: usize,
-    ) -> Vec<(usize, f32)> {
+    pub fn nearest_n(&self, clustering: &Clustering, x: &[f32], n: usize) -> Vec<(usize, f32)> {
         let pool_target = (n * EXPANSION).max(MIN_POOL);
         let super_order = self.supers.nearest_n(x, self.supers.k());
         let mut top = TopK::new(n.min(clustering.k()));
         let mut pooled = 0usize;
-        for (si, _) in super_order {
+        // Metrics without a triangle inequality (raw inner products)
+        // admit no sound radius bound: for those, fall back to the
+        // plain candidate-count cutoff (approximate, like the original
+        // over-expansion policy) instead of degenerating into a full
+        // O(k) scan that would defeat the two-level index.
+        let prunable = matches!(
+            clustering.metric(),
+            micronn_linalg::Metric::L2 | micronn_linalg::Metric::Cosine
+        );
+        for (si, ds) in super_order {
+            if pooled >= pool_target && top.len() >= top.k() {
+                if !prunable {
+                    break;
+                }
+                // Skip any super-cluster that cannot improve the current
+                // result set. This matters when a query is
+                // near-equidistant from several super-clusters: the
+                // nearest-first order is then arbitrary among ties and a
+                // bare candidate-count cutoff would drop half the true
+                // neighbours. `continue`, not `break`: the bound depends
+                // on each super-cluster's own radius, so it is not
+                // monotone in visit order — a later, slightly farther
+                // super-cluster with a larger radius may still reach
+                // inside the current top-n.
+                if !Self::may_contain_closer(
+                    clustering.metric(),
+                    ds,
+                    self.radii[si],
+                    top.threshold(),
+                ) {
+                    continue;
+                }
+            }
             for &ci in &self.members[si] {
                 let d = clustering
                     .metric()
@@ -85,14 +127,41 @@ impl CentroidIndex {
                 top.push(ci as u64, d);
             }
             pooled += self.members[si].len();
-            if pooled >= pool_target {
-                break;
-            }
         }
         top.into_sorted()
             .into_iter()
             .map(|nb| (nb.id as usize, nb.distance))
             .collect()
+    }
+
+    /// Whether a super-cluster at distance `ds` with member radius `r`
+    /// could hold a centroid closer than `worst`.
+    ///
+    /// For L2 (squared distances) the triangle inequality gives the
+    /// exact lower bound `(√ds − √r)²` on any member's distance. For
+    /// cosine the angular triangle inequality gives the equivalent
+    /// bound `1 − cos(θ_super − θ_radius)`. Raw inner products bound
+    /// nothing (member norms are unconstrained), so dot never prunes.
+    fn may_contain_closer(metric: micronn_linalg::Metric, ds: f32, r: f32, worst: f32) -> bool {
+        match metric {
+            micronn_linalg::Metric::L2 => {
+                let gap = ds.max(0.0).sqrt() - r.max(0.0).sqrt();
+                if gap <= 0.0 {
+                    return true;
+                }
+                gap * gap < worst
+            }
+            micronn_linalg::Metric::Cosine => {
+                // Cosine distance 1 − cos θ is monotone in the angle,
+                // and angles obey the triangle inequality regardless of
+                // vector norms.
+                let theta_s = (1.0 - ds).clamp(-1.0, 1.0).acos();
+                let theta_r = (1.0 - r).clamp(-1.0, 1.0).acos();
+                let lower = 1.0 - (theta_s - theta_r).max(0.0).cos();
+                lower < worst
+            }
+            _ => true,
+        }
     }
 }
 
@@ -124,8 +193,11 @@ mod tests {
         let c = big_clustering(1024, 8);
         let idx = CentroidIndex::build(&c, 1);
         // ≈ √1024 = 32 super-clusters.
-        assert!(idx.super_count() >= 16 && idx.super_count() <= 64,
-            "got {}", idx.super_count());
+        assert!(
+            idx.super_count() >= 16 && idx.super_count() <= 64,
+            "got {}",
+            idx.super_count()
+        );
         // Every centroid appears exactly once.
         let total: usize = idx.members.iter().map(Vec::len).sum();
         assert_eq!(total, 1024);

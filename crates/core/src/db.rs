@@ -24,8 +24,8 @@ use parking_lot::RwLock;
 use micronn_cluster::Clustering;
 use micronn_linalg::Metric;
 use micronn_rel::{
-    blob_to_f32, f32_to_blob, ColumnDef, Database, RelError, Table, TableSchema, TableStats,
-    Value, ValueType,
+    blob_to_f32, f32_to_blob, ColumnDef, Database, RelError, Table, TableSchema, TableStats, Value,
+    ValueType,
 };
 use micronn_storage::{PageRead, WriteTxn};
 
@@ -227,7 +227,13 @@ impl MicroNN {
                 .map(|_| ())
             };
         set(&mut txn, &meta, M_DIM, Some(config.dim as i64), None)?;
-        set(&mut txn, &meta, M_METRIC, None, Some(&config.metric.to_string()))?;
+        set(
+            &mut txn,
+            &meta,
+            M_METRIC,
+            None,
+            Some(&config.metric.to_string()),
+        )?;
         set(&mut txn, &meta, M_NEXT_VID, Some(1), None)?;
         set(&mut txn, &meta, M_EPOCH, Some(0), None)?;
         set(&mut txn, &meta, M_PARTITIONS, Some(0), None)?;
@@ -387,7 +393,11 @@ impl MicroNN {
                 });
             }
             // Replace: remove the previous vector row wherever it lives.
-            if let Some(prev) = inner.tables.assets.get(&txn, &[Value::Integer(rec.asset_id)])? {
+            if let Some(prev) = inner
+                .tables
+                .assets
+                .get(&txn, &[Value::Integer(rec.asset_id)])?
+            {
                 let (p, v) = (prev[1].clone(), prev[2].clone());
                 if p.as_integer() == Some(DELTA_PARTITION) {
                     delta -= 1;
@@ -441,7 +451,10 @@ impl MicroNN {
         let mut delta = meta_int(&txn, &inner.tables.meta, M_DELTA_COUNT)?;
         let mut removed = 0usize;
         for &asset in asset_ids {
-            let Some(prev) = inner.tables.assets.delete(&mut txn, &[Value::Integer(asset)])?
+            let Some(prev) = inner
+                .tables
+                .assets
+                .delete(&mut txn, &[Value::Integer(asset)])?
             else {
                 continue;
             };
@@ -450,7 +463,10 @@ impl MicroNN {
                 delta -= 1;
             }
             inner.tables.vectors.delete(&mut txn, &[p, v])?;
-            inner.tables.attrs.delete(&mut txn, &[Value::Integer(asset)])?;
+            inner
+                .tables
+                .attrs
+                .delete(&mut txn, &[Value::Integer(asset)])?;
             inner.row_changes.fetch_add(3, Ordering::Relaxed);
             removed += 1;
         }
@@ -475,9 +491,9 @@ impl MicroNN {
                     "asset {asset_id}: dangling vector reference"
                 )))
             })?;
-        let blob = row[3].as_blob().ok_or_else(|| {
-            Error::Rel(RelError::Codec("vector column is not a blob".into()))
-        })?;
+        let blob = row[3]
+            .as_blob()
+            .ok_or_else(|| Error::Rel(RelError::Codec("vector column is not a blob".into())))?;
         Ok(Some(blob_to_f32(blob).map_err(Error::Rel)?))
     }
 
@@ -504,7 +520,10 @@ impl MicroNN {
     pub fn contains(&self, asset_id: i64) -> Result<bool> {
         let inner = &*self.inner;
         let r = inner.db.begin_read();
-        Ok(inner.tables.assets.contains(&r, &[Value::Integer(asset_id)])?)
+        Ok(inner
+            .tables
+            .assets
+            .contains(&r, &[Value::Integer(asset_id)])?)
     }
 
     /// Number of stored vectors.
@@ -551,9 +570,8 @@ impl MicroNN {
         // Hold the writer lock (empty txn) while copying so no commit
         // lands mid-copy.
         let txn = self.inner.db.begin_write()?;
-        std::fs::copy(store.path(), dest).map_err(|e| Error::Config(format!(
-            "backup copy failed: {e}"
-        )))?;
+        std::fs::copy(store.path(), dest)
+            .map_err(|e| Error::Config(format!("backup copy failed: {e}")))?;
         let wal_src = {
             let mut os = store.path().as_os_str().to_owned();
             os.push("-wal");
@@ -620,10 +638,7 @@ impl Inner {
     /// plus the partition id per centroid, and — once `k` crosses the
     /// configured threshold — the two-level centroid index. `None`
     /// before the first index build.
-    pub(crate) fn clustering<R: PageRead + ?Sized>(
-        &self,
-        r: &R,
-    ) -> Result<Option<LoadedIndex>> {
+    pub(crate) fn clustering<R: PageRead + ?Sized>(&self, r: &R) -> Result<Option<LoadedIndex>> {
         let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
         if let Some(cache) = self.centroid_cache.read().as_ref() {
             if cache.epoch == epoch {
@@ -704,7 +719,9 @@ mod tests {
     }
 
     fn vecf(seed: u64, dim: usize) -> Vec<f32> {
-        (0..dim).map(|i| ((seed * 31 + i as u64) % 97) as f32 / 97.0).collect()
+        (0..dim)
+            .map(|i| ((seed * 31 + i as u64) % 97) as f32 / 97.0)
+            .collect()
     }
 
     #[test]
@@ -744,7 +761,13 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let db = MicroNN::create(dir.path().join("x.mnn"), test_config(16)).unwrap();
         let err = db.upsert(VectorRecord::new(1, vecf(1, 8))).unwrap_err();
-        assert!(matches!(err, Error::DimensionMismatch { expected: 16, got: 8 }));
+        assert!(matches!(
+            err,
+            Error::DimensionMismatch {
+                expected: 16,
+                got: 8
+            }
+        ));
         assert!(db.is_empty().unwrap(), "failed upsert leaves no residue");
     }
 
@@ -764,10 +787,8 @@ mod tests {
         let path = dir.path().join("x.mnn");
         {
             let db = MicroNN::create(&path, test_config(16)).unwrap();
-            db.upsert(
-                VectorRecord::new(7, vecf(7, 16)).with_attr("location", "NYC"),
-            )
-            .unwrap();
+            db.upsert(VectorRecord::new(7, vecf(7, 16)).with_attr("location", "NYC"))
+                .unwrap();
         }
         let mut cfg = Config::default();
         cfg.store.sync = SyncMode::Off;
@@ -792,8 +813,9 @@ mod tests {
     fn batch_upsert_is_atomic_per_batch() {
         let dir = tempfile::tempdir().unwrap();
         let db = MicroNN::create(dir.path().join("x.mnn"), test_config(8)).unwrap();
-        let records: Vec<VectorRecord> =
-            (0..100).map(|i| VectorRecord::new(i, vecf(i as u64, 8))).collect();
+        let records: Vec<VectorRecord> = (0..100)
+            .map(|i| VectorRecord::new(i, vecf(i as u64, 8)))
+            .collect();
         db.upsert_batch(&records).unwrap();
         assert_eq!(db.len().unwrap(), 100);
         assert_eq!(db.delta_len().unwrap(), 100);

@@ -32,7 +32,10 @@ impl fmt::Display for Error {
             Error::Cluster(e) => write!(f, "clustering error: {e}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::DimensionMismatch { expected, got } => {
-                write!(f, "vector dimension mismatch: index is {expected}-d, got {got}-d")
+                write!(
+                    f,
+                    "vector dimension mismatch: index is {expected}-d, got {got}-d"
+                )
             }
             Error::AssetNotFound(id) => write!(f, "asset {id} not found"),
         }
@@ -77,7 +80,10 @@ mod tests {
         assert!(e.to_string().contains("vectors"));
         let e: Error = StorageError::TxnClosed.into();
         assert!(matches!(e, Error::Rel(_)));
-        let e = Error::DimensionMismatch { expected: 128, got: 64 };
+        let e = Error::DimensionMismatch {
+            expected: 128,
+            got: 64,
+        };
         assert!(e.to_string().contains("128"));
         assert!(e.to_string().contains("64"));
         let e: Error = SourceError::msg("gather failed").into();

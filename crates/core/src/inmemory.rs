@@ -223,8 +223,18 @@ mod tests {
         let (ids, data) = blob_data(800, 8);
         let idx = InMemoryIndex::build(ids, data.clone(), 8, Metric::L2, 50, 7).unwrap();
         let q = &data[8..16];
-        let exact: Vec<i64> = idx.exact(q, 20).unwrap().iter().map(|r| r.asset_id).collect();
-        let few: Vec<i64> = idx.search(q, 20, 1).unwrap().iter().map(|r| r.asset_id).collect();
+        let exact: Vec<i64> = idx
+            .exact(q, 20)
+            .unwrap()
+            .iter()
+            .map(|r| r.asset_id)
+            .collect();
+        let few: Vec<i64> = idx
+            .search(q, 20, 1)
+            .unwrap()
+            .iter()
+            .map(|r| r.asset_id)
+            .collect();
         let many: Vec<i64> = idx
             .search(q, 20, idx.partitions())
             .unwrap()

@@ -108,10 +108,10 @@ impl MicroNN {
         for (vid, asset, vec) in &staged {
             let (ci, _) = clustering.nearest(vec);
             let pid = partitions[ci];
-            inner
-                .tables
-                .vectors
-                .delete(&mut txn, &[Value::Integer(DELTA_PARTITION), Value::Integer(*vid)])?;
+            inner.tables.vectors.delete(
+                &mut txn,
+                &[Value::Integer(DELTA_PARTITION), Value::Integer(*vid)],
+            )?;
             inner.tables.vectors.upsert(
                 &mut txn,
                 vec![
@@ -238,9 +238,7 @@ impl MicroNN {
             },
             baseline_partition_size: baseline,
             epoch,
-            row_changes: inner
-                .row_changes
-                .load(std::sync::atomic::Ordering::Relaxed),
+            row_changes: inner.row_changes.load(std::sync::atomic::Ordering::Relaxed),
             store: inner.db.store().stats(),
             resident_bytes: inner.db.store().resident_bytes(),
         })

@@ -79,9 +79,8 @@ impl ScanPool {
             // every wrapped job has run to completion, so the job can
             // never be executed after `'env` ends. The transmute only
             // erases the lifetime; the type is otherwise identical.
-            let erased: Job = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(wrapped)
-            };
+            let erased: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(wrapped) };
             self.sender.send(erased).expect("scan pool shut down");
         }
         wg.wait();

@@ -46,7 +46,11 @@ fn populate(db: &MicroNN, vectors: &[Vec<f32>]) {
         .enumerate()
         .map(|(i, v)| {
             let loc = if i % 100 == 0 { "Seattle" } else { "NYC" };
-            let tags = if i % 50 == 0 { "rare cat" } else { "common dog" };
+            let tags = if i % 50 == 0 {
+                "rare cat"
+            } else {
+                "common dog"
+            };
             VectorRecord::new(i as i64, v.clone())
                 .with_attr("location", loc)
                 .with_attr("taken_at", i as i64)
@@ -58,7 +62,10 @@ fn populate(db: &MicroNN, vectors: &[Vec<f32>]) {
 
 fn recall(got: &[micronn::SearchResult], truth: &[micronn::SearchResult]) -> f64 {
     let truth_ids: std::collections::HashSet<i64> = truth.iter().map(|r| r.asset_id).collect();
-    got.iter().filter(|r| truth_ids.contains(&r.asset_id)).count() as f64 / truth.len() as f64
+    got.iter()
+        .filter(|r| truth_ids.contains(&r.asset_id))
+        .count() as f64
+        / truth.len() as f64
 }
 
 #[test]
@@ -180,13 +187,14 @@ fn hybrid_plans_agree_on_results_and_prefilter_has_full_recall() {
     db.rebuild().unwrap();
 
     let q = vectors[150].clone();
-    let filter = Expr::eq("location", "Seattle"); // 1% of rows
+    // 1% of rows.
+    let filter = Expr::eq("location", "Seattle");
     // Ground truth: exact search restricted to the filter.
     let truth = db.exact(&q, 10, Some(&filter)).unwrap();
-    assert!(truth
-        .results
-        .iter()
-        .all(|r| r.asset_id % 100 == 0), "filter respected by exact scan");
+    assert!(
+        truth.results.iter().all(|r| r.asset_id % 100 == 0),
+        "filter respected by exact scan"
+    );
 
     let pre = db
         .search_with(
@@ -232,7 +240,10 @@ fn optimizer_picks_pre_for_rare_and_post_for_common_filters() {
     // "common" tag: 98% of rows.
     let common = Expr::matches("tags", "common");
     assert!(db.estimate_filter_selectivity(&common).unwrap() > 0.5);
-    assert_eq!(db.explain_plan(&common, None).unwrap(), PlanUsed::PostFilter);
+    assert_eq!(
+        db.explain_plan(&common, None).unwrap(),
+        PlanUsed::PostFilter
+    );
 
     // Auto executes the chosen plan.
     let q = vectors[0].clone();
@@ -255,9 +266,7 @@ fn fts_match_filter_works_end_to_end() {
     db.rebuild().unwrap();
     let q = vectors[100].clone();
     let got = db
-        .search_with(
-            &SearchRequest::new(q, 20).with_filter(Expr::matches("tags", "rare cat")),
-        )
+        .search_with(&SearchRequest::new(q, 20).with_filter(Expr::matches("tags", "rare cat")))
         .unwrap();
     assert!(!got.results.is_empty());
     assert!(got.results.iter().all(|r| r.asset_id % 50 == 0));
@@ -334,7 +343,10 @@ fn monitor_triggers_flush_then_growth_rebuild() {
         db.upsert(VectorRecord::new(5000 + i as i64, v.clone()))
             .unwrap();
     }
-    assert_eq!(db.maintenance_status().unwrap(), MaintenanceStatus::NeedsFlush);
+    assert_eq!(
+        db.maintenance_status().unwrap(),
+        MaintenanceStatus::NeedsFlush
+    );
     match db.maybe_maintain().unwrap() {
         MaintenanceAction::Flushed(f) => assert_eq!(f.flushed, 150),
         other => panic!("expected flush, got {other:?}"),
@@ -396,7 +408,8 @@ fn flush_preserves_search_correctness() {
     let before = db.exact(&q, 15, None).unwrap();
     db.flush_delta().unwrap();
     let after = db.exact(&q, 15, None).unwrap();
-    let ids = |r: &micronn::SearchResponse| r.results.iter().map(|x| x.asset_id).collect::<Vec<_>>();
+    let ids =
+        |r: &micronn::SearchResponse| r.results.iter().map(|x| x.asset_id).collect::<Vec<_>>();
     assert_eq!(ids(&before), ids(&after));
     assert_eq!(db.len().unwrap(), 800);
 }

@@ -84,7 +84,10 @@ fn filter_matching_nothing() {
     let db = MicroNN::create(dir.path().join("f.mnn"), cfg(4)).unwrap();
     seeded(&db, 50, 4);
     db.rebuild().unwrap();
-    for plan in [PlanPreference::ForcePreFilter, PlanPreference::ForcePostFilter] {
+    for plan in [
+        PlanPreference::ForcePreFilter,
+        PlanPreference::ForcePostFilter,
+    ] {
         let got = db
             .search_with(
                 &SearchRequest::new(vec![1.0; 4], 10)
@@ -121,7 +124,8 @@ fn nan_and_extreme_vectors_do_not_poison_results() {
     let dir = tempfile::tempdir().unwrap();
     let db = MicroNN::create(dir.path().join("n.mnn"), cfg(4)).unwrap();
     db.upsert(VectorRecord::new(1, vec![1.0; 4])).unwrap();
-    db.upsert(VectorRecord::new(2, vec![f32::MAX / 2.0; 4])).unwrap();
+    db.upsert(VectorRecord::new(2, vec![f32::MAX / 2.0; 4]))
+        .unwrap();
     db.upsert(VectorRecord::new(3, vec![f32::NAN; 4])).unwrap();
     let got = db.search(&[1.0; 4], 3).unwrap();
     assert_eq!(got.results[0].asset_id, 1);
@@ -202,9 +206,7 @@ fn backup_is_a_consistent_snapshot() {
     assert!(!got.results.is_empty());
     // Hybrid machinery (indexes, stats) survived the copy.
     let got = restored
-        .search_with(
-            &SearchRequest::new(vec![3.0; 8], 5).with_filter(Expr::eq("tag", "even")),
-        )
+        .search_with(&SearchRequest::new(vec![3.0; 8], 5).with_filter(Expr::eq("tag", "even")))
         .unwrap();
     assert!(got.results.iter().all(|r| r.asset_id % 2 == 0));
 }

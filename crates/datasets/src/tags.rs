@@ -292,10 +292,8 @@ mod tests {
         let mut cross = 0.0f64;
         let mut pairs = 0;
         for i in 0..members.len() - 1 {
-            within += micronn_linalg::cosine_distance(
-                &members[i].vector,
-                &members[i + 1].vector,
-            ) as f64;
+            within +=
+                micronn_linalg::cosine_distance(&members[i].vector, &members[i + 1].vector) as f64;
             cross += micronn_linalg::cosine_distance(
                 &members[i].vector,
                 &w.assets[(i * 997 + 13) % w.assets.len()].vector,

@@ -160,7 +160,11 @@ pub fn distances_one_to_many(
 ) {
     debug_assert_eq!(query.len(), dim);
     debug_assert_eq!(rows.len() % dim.max(1), 0);
-    let qn = if metric.needs_norms() { norm(query) } else { 0.0 };
+    let qn = if metric.needs_norms() {
+        norm(query)
+    } else {
+        0.0
+    };
     for row in rows.chunks_exact(dim) {
         let d = match metric {
             Metric::L2 => l2_sq(query, row),
@@ -209,8 +213,14 @@ mod tests {
             let a = pseudo_vec(1, dim);
             let b = pseudo_vec(2, dim);
             let tol = 1e-3 * dim as f32;
-            assert!((dot(&a, &b) - naive_dot(&a, &b)).abs() < tol, "dot dim={dim}");
-            assert!((l2_sq(&a, &b) - naive_l2(&a, &b)).abs() < tol, "l2 dim={dim}");
+            assert!(
+                (dot(&a, &b) - naive_dot(&a, &b)).abs() < tol,
+                "dot dim={dim}"
+            );
+            assert!(
+                (l2_sq(&a, &b) - naive_l2(&a, &b)).abs() < tol,
+                "l2 dim={dim}"
+            );
         }
     }
 

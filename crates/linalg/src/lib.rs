@@ -18,8 +18,6 @@ pub mod distance;
 pub mod matrix;
 pub mod topk;
 
-pub use distance::{
-    cosine_distance, distances_one_to_many, dot, l2_sq, norm, normalize, Metric,
-};
+pub use distance::{cosine_distance, distances_one_to_many, dot, l2_sq, norm, normalize, Metric};
 pub use matrix::{batch_distances, gemm_nt, Matrix};
 pub use topk::{merge_all, Neighbor, TopK};

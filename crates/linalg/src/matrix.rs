@@ -187,9 +187,17 @@ mod tests {
 
     #[test]
     fn gemm_matches_pairwise_dot() {
-        for (q, n, d) in [(1, 1, 4), (3, 7, 16), (8, 20, 33), (17, 5, 96), (2, 100, 128)] {
+        for (q, n, d) in [
+            (1, 1, 4),
+            (3, 7, 16),
+            (8, 20, 33),
+            (17, 5, 96),
+            (2, 100, 128),
+        ] {
             let a: Vec<f32> = (0..q).flat_map(|i| pseudo_vec(i as u64, d)).collect();
-            let b: Vec<f32> = (0..n).flat_map(|j| pseudo_vec(1000 + j as u64, d)).collect();
+            let b: Vec<f32> = (0..n)
+                .flat_map(|j| pseudo_vec(1000 + j as u64, d))
+                .collect();
             let mut out = vec![0.0; q * n];
             gemm_nt(&a, q, &b, n, d, &mut out);
             for i in 0..q {

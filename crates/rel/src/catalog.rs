@@ -185,10 +185,7 @@ impl Database {
             };
             let vals = decode_row(&v)?;
             let bad = || RelError::Codec("malformed index catalog entry".into());
-            let root = vals
-                .first()
-                .and_then(|v| v.as_integer())
-                .ok_or_else(bad)? as u32;
+            let root = vals.first().and_then(|v| v.as_integer()).ok_or_else(bad)? as u32;
             let ncols = vals.get(1).and_then(|v| v.as_integer()).ok_or_else(bad)? as usize;
             let mut cols = Vec::with_capacity(ncols);
             for i in 0..ncols {
@@ -216,10 +213,7 @@ impl Database {
             };
             let vals = decode_row(&v)?;
             let bad = || RelError::Codec("malformed fts catalog entry".into());
-            let postings = vals
-                .first()
-                .and_then(|v| v.as_integer())
-                .ok_or_else(bad)? as u32;
+            let postings = vals.first().and_then(|v| v.as_integer()).ok_or_else(bad)? as u32;
             let counts = vals.get(1).and_then(|v| v.as_integer()).ok_or_else(bad)? as u32;
             fts.push(FtsDef {
                 column: schema.column_index(&column_name)?,
@@ -297,9 +291,7 @@ impl Database {
             tree,
         };
         // Backfill: every existing row gets an index entry.
-        let rows: Vec<Vec<Value>> = table
-            .scan(txn)?
-            .collect::<Result<Vec<_>>>()?;
+        let rows: Vec<Vec<Value>> = table.scan(txn)?.collect::<Result<Vec<_>>>()?;
         for row in rows {
             def.insert_entry(txn, &row, &schema.pk_values(&row))?;
         }
@@ -342,9 +334,7 @@ impl Database {
             postings,
             counts,
         };
-        let rows: Vec<Vec<Value>> = table
-            .scan(txn)?
-            .collect::<Result<Vec<_>>>()?;
+        let rows: Vec<Vec<Value>> = table.scan(txn)?.collect::<Result<Vec<_>>>()?;
         for row in rows {
             def.add_doc(txn, &row, &schema.pk_values(&row))?;
         }
@@ -368,7 +358,9 @@ impl Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database").field("store", &self.store).finish()
+        f.debug_struct("Database")
+            .field("store", &self.store)
+            .finish()
     }
 }
 

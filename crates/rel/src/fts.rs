@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn basic_tokenization() {
-        assert_eq!(tokenize("Black cat, playing; yarn!"), vec!["black", "cat", "playing", "yarn"]);
+        assert_eq!(
+            tokenize("Black cat, playing; yarn!"),
+            vec!["black", "cat", "playing", "yarn"]
+        );
         assert_eq!(tokenize("  multiple   spaces "), vec!["multiple", "spaces"]);
         assert!(tokenize("").is_empty());
         assert!(tokenize("?!,.").is_empty());

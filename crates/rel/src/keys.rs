@@ -60,7 +60,11 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
 /// exact i64 tiebreak for integers too large for f64.
 fn numeric_sortable_real(r: f64) -> u128 {
     let bits = r.to_bits();
-    let hi: u64 = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+    let hi: u64 = if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    };
     // Low half: midpoint tiebreak so a real sorts between the integers
     // it separates; exact integers use their own low half below.
     ((hi as u128) << 64) | (1u128 << 63)
@@ -175,9 +179,10 @@ fn decode_value(data: &[u8]) -> Result<(Value, &[u8])> {
                 }
             }
             let v = if tag == TAG_TEXT {
-                Value::Text(String::from_utf8(bytes).map_err(|_| {
-                    RelError::Codec("invalid utf-8 in text key".into())
-                })?)
+                Value::Text(
+                    String::from_utf8(bytes)
+                        .map_err(|_| RelError::Codec("invalid utf-8 in text key".into()))?,
+                )
             } else {
                 Value::Blob(bytes)
             };
@@ -190,7 +195,6 @@ fn decode_value(data: &[u8]) -> Result<(Value, &[u8])> {
 fn is_exact_i64(r: f64) -> bool {
     r.fract() == 0.0 && r >= i64::MIN as f64 && r <= i64::MAX as f64
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -278,10 +282,7 @@ mod tests {
             ("Zebra", "apple"), // byte order, capital first
         ];
         for (a, b) in pairs {
-            assert!(
-                enc1(Value::text(a)) < enc1(Value::text(b)),
-                "{a:?} < {b:?}"
-            );
+            assert!(enc1(Value::text(a)) < enc1(Value::text(b)), "{a:?} < {b:?}");
         }
     }
 

@@ -54,7 +54,10 @@ pub enum Expr {
         value: Value,
     },
     /// Full-text `column MATCH query` (conjunctive over query tokens).
-    Match { column: String, query: String },
+    Match {
+        column: String,
+        query: String,
+    },
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
@@ -203,15 +206,8 @@ impl Expr {
 #[derive(Debug, Clone)]
 enum Node {
     True,
-    Cmp {
-        col: usize,
-        op: CmpOp,
-        value: Value,
-    },
-    Match {
-        col: usize,
-        tokens: Vec<String>,
-    },
+    Cmp { col: usize, op: CmpOp, value: Value },
+    Match { col: usize, tokens: Vec<String> },
     And(Box<Node>, Box<Node>),
     Or(Box<Node>, Box<Node>),
     Not(Box<Node>),
@@ -304,11 +300,19 @@ mod tests {
     fn null_comparisons_are_false() {
         let s = schema();
         let r = row(1, "x", None, "");
-        for op in [Expr::eq("taken_at", 5i64), Expr::ne("taken_at", 5i64), Expr::lt("taken_at", 5i64)] {
+        for op in [
+            Expr::eq("taken_at", 5i64),
+            Expr::ne("taken_at", 5i64),
+            Expr::lt("taken_at", 5i64),
+        ] {
             assert!(!op.compile(&s).unwrap().eval(&r));
         }
         // But NOT(cmp-with-null) is true under two-valued semantics.
-        assert!(Expr::eq("taken_at", 5i64).not().compile(&s).unwrap().eval(&r));
+        assert!(Expr::eq("taken_at", 5i64)
+            .not()
+            .compile(&s)
+            .unwrap()
+            .eval(&r));
     }
 
     #[test]
@@ -336,7 +340,12 @@ mod tests {
         // Empty query matches nothing.
         assert!(!Expr::matches("tags", "").compile(&s).unwrap().eval(&r));
         // MATCH on a NULL column is false.
-        let r2 = vec![Value::Integer(1), Value::text("x"), Value::Null, Value::Null];
+        let r2 = vec![
+            Value::Integer(1),
+            Value::text("x"),
+            Value::Null,
+            Value::Null,
+        ];
         assert!(!Expr::matches("tags", "cat").compile(&s).unwrap().eval(&r2));
     }
 
@@ -351,8 +360,14 @@ mod tests {
     fn numeric_widening_in_comparisons() {
         let s = schema();
         let r = row(1, "x", Some(100), "");
-        assert!(Expr::eq("taken_at", Value::Real(100.0)).compile(&s).unwrap().eval(&r));
-        assert!(Expr::lt("taken_at", Value::Real(100.5)).compile(&s).unwrap().eval(&r));
+        assert!(Expr::eq("taken_at", Value::Real(100.0))
+            .compile(&s)
+            .unwrap()
+            .eval(&r));
+        assert!(Expr::lt("taken_at", Value::Real(100.5))
+            .compile(&s)
+            .unwrap()
+            .eval(&r));
     }
 
     #[test]

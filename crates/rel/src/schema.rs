@@ -173,12 +173,7 @@ mod tests {
     #[test]
     fn schema_validation_errors() {
         assert!(TableSchema::new("t", vec![], &["id"]).is_err());
-        assert!(TableSchema::new(
-            "t",
-            vec![ColumnDef::new("a", ValueType::Integer)],
-            &[]
-        )
-        .is_err());
+        assert!(TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Integer)], &[]).is_err());
         assert!(TableSchema::new(
             "t",
             vec![
@@ -188,12 +183,9 @@ mod tests {
             &["a"]
         )
         .is_err());
-        assert!(TableSchema::new(
-            "t",
-            vec![ColumnDef::new("a", ValueType::Integer)],
-            &["b"]
-        )
-        .is_err());
+        assert!(
+            TableSchema::new("t", vec![ColumnDef::new("a", ValueType::Integer)], &["b"]).is_err()
+        );
         assert!(TableSchema::new(
             "t",
             vec![ColumnDef::nullable("a", ValueType::Integer)],

@@ -373,13 +373,18 @@ pub fn estimate_selectivity<R: PageRead + ?Sized>(
                 // selectivities (§3.5.1).
                 Some(f) => tokens
                     .iter()
-                    .map(|t| f.df(r, t).map(|df| df as f64 / n).unwrap_or(DEFAULT_MATCH_TOKEN))
+                    .map(|t| {
+                        f.df(r, t)
+                            .map(|df| df as f64 / n)
+                            .unwrap_or(DEFAULT_MATCH_TOKEN)
+                    })
                     .fold(1.0, f64::min),
                 None => DEFAULT_MATCH_TOKEN.powi(tokens.len().min(3) as i32),
             }
         }
-        Expr::And(a, b) => estimate_selectivity(r, table, stats, a)
-            .min(estimate_selectivity(r, table, stats, b)),
+        Expr::And(a, b) => {
+            estimate_selectivity(r, table, stats, a).min(estimate_selectivity(r, table, stats, b))
+        }
         Expr::Or(a, b) => (estimate_selectivity(r, table, stats, a)
             + estimate_selectivity(r, table, stats, b))
         .min(1.0),
@@ -508,7 +513,11 @@ mod tests {
         // 95% Seattle, 5% elsewhere (the paper's running example).
         for i in 0..2000i64 {
             let loc = if i % 20 == 0 { "Portland" } else { "Seattle" };
-            let tags = if i % 100 == 0 { "rare cat" } else { "common dog" };
+            let tags = if i % 100 == 0 {
+                "rare cat"
+            } else {
+                "common dog"
+            };
             t.upsert(
                 &mut txn,
                 vec![Value::Integer(i), Value::text(loc), Value::text(tags)],

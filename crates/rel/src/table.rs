@@ -83,10 +83,7 @@ impl IndexDef {
             None => std::ops::Bound::Unbounded,
         };
         let mut out = Vec::new();
-        for kv in self
-            .tree
-            .range(r, start, std::ops::Bound::Unbounded)?
-        {
+        for kv in self.tree.range(r, start, std::ops::Bound::Unbounded)? {
             let (k, _) = kv?;
             let mut decoded = decode_key(&k)?;
             let pk = decoded.split_off(self.cols.len());
@@ -477,8 +474,12 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        let t = db.create_index(&mut txn, &t, "by_location", &["location"]).unwrap();
-        let t = db.create_index(&mut txn, &t, "by_taken", &["taken_at"]).unwrap();
+        let t = db
+            .create_index(&mut txn, &t, "by_location", &["location"])
+            .unwrap();
+        let t = db
+            .create_index(&mut txn, &t, "by_taken", &["taken_at"])
+            .unwrap();
         let t = db.create_fts_index(&mut txn, &t, "tags").unwrap();
         txn.commit().unwrap();
         t
@@ -498,8 +499,14 @@ mod tests {
         let (_d, db) = db();
         let t = photos(&db);
         let mut txn = db.begin_write().unwrap();
-        assert!(t.upsert(&mut txn, row(1, "Seattle", 100, "cat yarn")).unwrap().is_none());
-        assert!(t.upsert(&mut txn, row(2, "NYC", 200, "dog park")).unwrap().is_none());
+        assert!(t
+            .upsert(&mut txn, row(1, "Seattle", 100, "cat yarn"))
+            .unwrap()
+            .is_none());
+        assert!(t
+            .upsert(&mut txn, row(2, "NYC", 200, "dog park"))
+            .unwrap()
+            .is_none());
         assert_eq!(t.row_count(&txn).unwrap(), 2);
         // Upsert replaces without changing the count.
         let old = t.upsert(&mut txn, row(1, "Tacoma", 101, "cat")).unwrap();
@@ -545,7 +552,10 @@ mod tests {
         t.delete(&mut txn, &[Value::Integer(3)]).unwrap();
         txn.commit().unwrap();
         let r = db.begin_read();
-        assert_eq!(idx.lookup_eq(&r, &[Value::text("Seattle")]).unwrap().len(), 5);
+        assert_eq!(
+            idx.lookup_eq(&r, &[Value::text("Seattle")]).unwrap().len(),
+            5
+        );
     }
 
     #[test]
@@ -560,15 +570,29 @@ mod tests {
         let r = db.begin_read();
         let idx = t.index_on(&[2]).unwrap();
         let got = idx
-            .lookup_range(&r, Some(&Value::Integer(100)), Some(&Value::Integer(150)), false, false)
+            .lookup_range(
+                &r,
+                Some(&Value::Integer(100)),
+                Some(&Value::Integer(150)),
+                false,
+                false,
+            )
             .unwrap();
         // taken_at in [100, 150] -> ids 10..=15
         assert_eq!(got.len(), 6);
         let got = idx
-            .lookup_range(&r, Some(&Value::Integer(100)), Some(&Value::Integer(150)), true, true)
+            .lookup_range(
+                &r,
+                Some(&Value::Integer(100)),
+                Some(&Value::Integer(150)),
+                true,
+                true,
+            )
             .unwrap();
         assert_eq!(got.len(), 4); // strict: 110..140
-        let got = idx.lookup_range(&r, None, Some(&Value::Integer(40)), false, false).unwrap();
+        let got = idx
+            .lookup_range(&r, None, Some(&Value::Integer(40)), false, false)
+            .unwrap();
         assert_eq!(got.len(), 5); // 0,10,20,30,40
     }
 
@@ -577,9 +601,11 @@ mod tests {
         let (_d, db) = db();
         let t = photos(&db);
         let mut txn = db.begin_write().unwrap();
-        t.upsert(&mut txn, row(1, "a", 0, "black cat playing yarn")).unwrap();
+        t.upsert(&mut txn, row(1, "a", 0, "black cat playing yarn"))
+            .unwrap();
         t.upsert(&mut txn, row(2, "a", 0, "black dog")).unwrap();
-        t.upsert(&mut txn, row(3, "a", 0, "white CAT sleeping")).unwrap();
+        t.upsert(&mut txn, row(3, "a", 0, "white CAT sleeping"))
+            .unwrap();
         txn.commit().unwrap();
         let r = db.begin_read();
         let f = t.fts_on(3).unwrap();
@@ -599,7 +625,10 @@ mod tests {
         let r = db.begin_read();
         assert_eq!(f.df(&r, "black").unwrap(), 1);
         assert_eq!(f.df(&r, "yarn").unwrap(), 0);
-        assert_eq!(f.match_pks(&r, "sunset").unwrap(), vec![vec![Value::Integer(1)]]);
+        assert_eq!(
+            f.match_pks(&r, "sunset").unwrap(),
+            vec![vec![Value::Integer(1)]]
+        );
     }
 
     #[test]
@@ -657,7 +686,15 @@ mod tests {
         let t = photos(&db);
         let mut txn = db.begin_write().unwrap();
         assert!(t
-            .upsert(&mut txn, vec![Value::text("oops"), Value::text("x"), Value::Null, Value::Null])
+            .upsert(
+                &mut txn,
+                vec![
+                    Value::text("oops"),
+                    Value::text("x"),
+                    Value::Null,
+                    Value::Null
+                ]
+            )
             .is_err());
         assert_eq!(t.row_count(&txn).unwrap(), 0);
     }

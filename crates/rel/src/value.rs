@@ -274,12 +274,18 @@ mod tests {
             }
         }
         // Class ordering.
-        assert_eq!(Value::Null.total_cmp(&Value::Integer(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Integer(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(
             Value::Integer(i64::MAX).total_cmp(&Value::text("")),
             Ordering::Less
         );
-        assert_eq!(Value::text("zzz").total_cmp(&Value::blob(vec![])), Ordering::Less);
+        assert_eq!(
+            Value::text("zzz").total_cmp(&Value::blob(vec![])),
+            Ordering::Less
+        );
     }
 
     #[test]

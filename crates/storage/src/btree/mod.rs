@@ -444,7 +444,7 @@ fn delete_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], is_root: bool) -> Resu
             drop(p);
             rebalance_child(txn, &mut interior, idx)?;
             let underflow = !is_root && interior.used_bytes() < UNDERFLOW_BYTES;
-            interior.write(txn.page_mut(id)?)  ;
+            interior.write(txn.page_mut(id)?);
             Ok(Removed {
                 old: res.old,
                 underflow,
@@ -670,7 +670,11 @@ mod tests {
             }
             assert_eq!(tree.count(&txn).unwrap(), 2000);
             for i in 0..2000 {
-                assert_eq!(tree.get(&txn, &key(i)).unwrap(), Some(val(i)), "mode {mode}");
+                assert_eq!(
+                    tree.get(&txn, &key(i)).unwrap(),
+                    Some(val(i)),
+                    "mode {mode}"
+                );
             }
             txn.commit().unwrap();
         }
@@ -731,7 +735,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::<Vec<u8>, Vec<u8>>::new();
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..8000 {

@@ -511,8 +511,10 @@ mod tests {
         let mut node = LeafNode::default();
         while node.used_bytes() + LEAF_INLINE_OVERHEAD + 8 + 64 <= NODE_CAPACITY {
             let i = node.cells.len();
-            node.cells
-                .push((format!("k{i:06}x").into_bytes(), OwnedVal::Inline(vec![1; 64])));
+            node.cells.push((
+                format!("k{i:06}x").into_bytes(),
+                OwnedVal::Inline(vec![1; 64]),
+            ));
         }
         assert!(node.fits());
         let mut p = PageData::zeroed();

@@ -29,8 +29,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{Result, StorageError};
-use crate::page::{PageData, PageId, PAGE_SIZE};
 use crate::page::page_type;
+use crate::page::{PageData, PageId, PAGE_SIZE};
 use crate::pool::BufferPool;
 use crate::stats::{IoStats, StoreStats};
 use crate::wal::Wal;
@@ -460,9 +460,7 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
         inner.main.sync_data()?;
         IoStats::bump(&inner.stats.syncs);
     }
-    inner
-        .wal
-        .reset(!matches!(inner.opts.sync, SyncMode::Off))?;
+    inner.wal.reset(!matches!(inner.opts.sync, SyncMode::Off))?;
     IoStats::bump(&inner.stats.checkpoints);
     Ok(true)
 }
@@ -902,7 +900,11 @@ mod tests {
         let store = Store::create(dir.path().join("db"), o).unwrap();
         for i in 0..6u8 {
             let mut txn = store.begin_write().unwrap();
-            let p = if i == 0 { txn.allocate_page().unwrap() } else { 1 };
+            let p = if i == 0 {
+                txn.allocate_page().unwrap()
+            } else {
+                1
+            };
             fill(&mut txn, p, i);
             txn.commit().unwrap();
         }
@@ -986,14 +988,18 @@ mod tests {
             fill(&mut txn, p, i);
             pages.push(p);
         }
-        fill(&mut txn, first, 1); // also rewrite the seeded page
+        // Also rewrite the seeded page.
+        fill(&mut txn, first, 1);
         // Mid-transaction: the writer sees its own writes (spilled or
         // not), the reader sees nothing.
         assert_eq!(txn.page(pages[0]).unwrap()[100], 0);
         assert_eq!(txn.page(first).unwrap()[100], 1);
         assert_eq!(reader.page(first).unwrap()[100], 255);
         let spilled_writes = store.stats().wal_writes;
-        assert!(spilled_writes >= 64, "expected spills, got {spilled_writes}");
+        assert!(
+            spilled_writes >= 64,
+            "expected spills, got {spilled_writes}"
+        );
         txn.commit().unwrap();
 
         assert_eq!(reader.page(first).unwrap()[100], 255, "old snapshot stable");

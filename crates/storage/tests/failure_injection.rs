@@ -188,7 +188,8 @@ fn checkpoint_crash_between_main_write_and_wal_reset_is_safe() {
         let tree = BTree::create(&mut txn).unwrap();
         txn.set_root(0, tree.root());
         for i in 0..200u32 {
-            tree.insert(&mut txn, &i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+            tree.insert(&mut txn, &i.to_be_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         txn.commit().unwrap();
         std::fs::copy(&wal_path, dir.path().join("wal-backup")).unwrap();

@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let records: Vec<VectorRecord> = workload
         .assets
         .iter()
-        .map(|a| {
-            VectorRecord::new(a.asset_id, a.vector.clone()).with_attr("tags", a.tags.clone())
-        })
+        .map(|a| VectorRecord::new(a.asset_id, a.vector.clone()).with_attr("tags", a.tags.clone()))
         .collect();
     for chunk in records.chunks(2000) {
         db.upsert_batch(chunk)?;
@@ -39,7 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\n{:>12} {:>12} {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9}",
-        "selectivity", "plan chosen", "est.F", "pre(ms)", "post(ms)", "opt(ms)", "pre.rec", "post.rec"
+        "selectivity",
+        "plan chosen",
+        "est.F",
+        "pre(ms)",
+        "post(ms)",
+        "opt(ms)",
+        "pre.rec",
+        "post.rec"
     );
     for bin in workload.bins.iter() {
         let Some(q) = bin.first() else { continue };

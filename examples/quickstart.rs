@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         records.push(
             VectorRecord::new(i, v)
                 .with_attr("category", topics[topic])
-                .with_attr("caption", format!("a photo of {} number {i}", topics[topic])),
+                .with_attr(
+                    "caption",
+                    format!("a photo of {} number {i}", topics[topic]),
+                ),
         );
     }
     db.upsert_batch(&records)?;
@@ -80,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let food_query = db.get_vector(2)?.expect("vector 2 exists");
     let req = SearchRequest::new(food_query, 5).with_filter(Expr::matches("caption", "food photo"));
     let hits = db.search_with(&req)?;
-    println!("\nhybrid (caption MATCH 'food photo'), plan = {}:", hits.info.plan);
+    println!(
+        "\nhybrid (caption MATCH 'food photo'), plan = {}:",
+        hits.info.plan
+    );
     for r in &hits.results {
         println!("  asset {:>5}  distance {:.4}", r.asset_id, r.distance);
     }

@@ -82,13 +82,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cat_query = embed(0, &mut rng);
     let t = std::time::Instant::now();
     let hits = db.search(&cat_query, 10)?;
-    println!("\"cat\" search: {:?}, top hit asset {}", t.elapsed(), hits.results[0].asset_id);
+    println!(
+        "\"cat\" search: {:?}, top hit asset {}",
+        t.elapsed(),
+        hits.results[0].asset_id
+    );
 
     // --- Interactive query 2: highly selective trip filter ------------
     // Only ~0.2% of photos qualify: the optimizer should pre-filter for
     // 100% recall at tiny cost.
-    let req = SearchRequest::new(cat_query.clone(), 10)
-        .with_filter(Expr::eq("location", "NewYork"));
+    let req =
+        SearchRequest::new(cat_query.clone(), 10).with_filter(Expr::eq("location", "NewYork"));
     let t = std::time::Instant::now();
     let hits = db.search_with(&req)?;
     println!(
@@ -99,8 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Interactive query 3: date range + text -----------------------
-    let recent = Expr::ge("taken_at", 1_700_000_000 + 15_000 * 60i64)
-        .and(Expr::matches("caption", "beach"));
+    let recent =
+        Expr::ge("taken_at", 1_700_000_000 + 15_000 * 60i64).and(Expr::matches("caption", "beach"));
     let hits = db.search_with(&SearchRequest::new(embed(2, &mut rng), 10).with_filter(recent))?;
     println!(
         "\"recent beach photos\": plan = {}, {} results",
@@ -131,7 +135,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 VectorRecord::new(100_000 + i, embed(concept, &mut rng))
                     .with_attr("location", "Seattle")
                     .with_attr("taken_at", 1_800_000_000 + i)
-                    .with_attr("caption", format!("synced photo of a {}", concepts[concept])),
+                    .with_attr(
+                        "caption",
+                        format!("synced photo of a {}", concepts[concept]),
+                    ),
             )
             .expect("upsert");
             if i % 300 == 0 {
@@ -141,7 +148,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Background maintenance: flush the delta when the monitor asks.
         match db.maybe_maintain().expect("maintain") {
             MaintenanceAction::Flushed(f) => {
-                println!("maintenance: flushed {} delta vectors into {} partitions", f.flushed, f.partitions_touched)
+                println!(
+                    "maintenance: flushed {} delta vectors into {} partitions",
+                    f.flushed, f.partitions_touched
+                )
             }
             MaintenanceAction::Rebuilt(r) => {
                 println!("maintenance: full rebuild into {} partitions", r.partitions)

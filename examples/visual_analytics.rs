@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     println!("batch sizes vs amortized per-query latency (k=20, n=8):");
-    println!("{:>10} {:>14} {:>16} {:>12}", "batch", "total (ms)", "per query (ms)", "speedup");
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "batch", "total (ms)", "per query (ms)", "speedup"
+    );
     let mut sequential_per_query = 0.0f64;
     for &batch_size in &[1usize, 32, 128, 512] {
         let batch = &targets[..batch_size];

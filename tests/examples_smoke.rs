@@ -1,0 +1,99 @@
+//! Smoke tests for the runnable examples: every example binary must
+//! build, and the quickstart path (create → upsert → rebuild → search →
+//! hybrid search → reopen) must work end-to-end on a tempdir.
+
+use micronn::{
+    AttributeDef, Config, Expr, Metric, MicroNN, SearchRequest, SyncMode, ValueType, VectorRecord,
+};
+
+/// Builds all four `examples/` binaries via cargo. This is the
+/// `cargo build --examples` gate from the CI checklist, kept as a test
+/// so a plain `cargo test` catches bit-rot in example code.
+#[test]
+fn examples_build() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let status = std::process::Command::new(cargo)
+        .args(["build", "--examples", "--manifest-path", manifest])
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(status.success(), "cargo build --examples failed");
+}
+
+/// The quickstart flow from the README / `examples/quickstart.rs`,
+/// shrunk to test size and run against a tempdir.
+#[test]
+fn quickstart_path_end_to_end() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("smoke.mnn");
+
+    let mut config = Config::new(8, Metric::L2);
+    config.store.sync = SyncMode::Off;
+    config.attributes = vec![AttributeDef::indexed("category", ValueType::Text)];
+    let db = MicroNN::create(&path, config).unwrap();
+
+    // Three well-separated clusters with a category attribute.
+    let categories = ["animals", "landscapes", "food"];
+    for i in 0..600i64 {
+        let c = (i % 3) as usize;
+        let base = c as f32 * 10.0;
+        let v: Vec<f32> = (0..8)
+            .map(|j| base + (i as f32 * 0.001) + j as f32 * 0.01)
+            .collect();
+        db.upsert(VectorRecord::new(i, v).with_attr("category", categories[c]))
+            .unwrap();
+    }
+    db.rebuild().unwrap();
+
+    // Plain ANN: nearest to cluster 1's center must come from cluster 1.
+    let query: Vec<f32> = (0..8).map(|j| 10.0 + j as f32 * 0.01).collect();
+    let hits = db.search(&query, 5).unwrap();
+    assert_eq!(hits.results.len(), 5);
+    for r in &hits.results {
+        assert_eq!(
+            r.asset_id % 3,
+            1,
+            "ANN hit from wrong cluster: id {}",
+            r.asset_id
+        );
+    }
+
+    // Hybrid: restrict to a different category; all hits must obey it.
+    let req = SearchRequest::new(query.clone(), 5).with_filter(Expr::eq("category", "food"));
+    let hybrid = db.search_with(&req).unwrap();
+    assert!(!hybrid.results.is_empty());
+    for r in &hybrid.results {
+        assert_eq!(
+            r.asset_id % 3,
+            2,
+            "hybrid hit outside filter: id {}",
+            r.asset_id
+        );
+    }
+
+    // Streaming update visible without a rebuild: an exact-match vector
+    // (distance 0, strictly closer than any ingested point).
+    db.upsert(VectorRecord::new(10_000, query.clone()).with_attr("category", "animals"))
+        .unwrap();
+    let hits = db.search(&query, 1).unwrap();
+    assert_eq!(
+        hits.results[0].asset_id, 10_000,
+        "delta-store insert must win top-1"
+    );
+
+    // Delete is visible too.
+    db.delete(10_000).unwrap();
+    let hits = db.search(&query, 1).unwrap();
+    assert_ne!(hits.results[0].asset_id, 10_000);
+
+    // Reopen from disk: state survives.
+    drop(db);
+    let mut reopen_cfg = Config::new(0, Metric::L2);
+    reopen_cfg.store.sync = SyncMode::Off;
+    let db = MicroNN::open(&path, reopen_cfg).unwrap();
+    let hits = db.search(&query, 5).unwrap();
+    assert_eq!(hits.results.len(), 5);
+    for r in &hits.results {
+        assert_eq!(r.asset_id % 3, 1);
+    }
+}

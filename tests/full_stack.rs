@@ -50,9 +50,7 @@ fn recall_against_ground_truth_l2_and_cosine() {
         let probes = (db.stats().unwrap().partitions as usize / 2).max(4);
         for qi in 0..data.spec.n_queries {
             let got = db
-                .search_with(
-                    &SearchRequest::new(data.query(qi).to_vec(), 10).with_probes(probes),
-                )
+                .search_with(&SearchRequest::new(data.query(qi).to_vec(), 10).with_probes(probes))
                 .unwrap();
             let ids: Vec<i64> = got.results.iter().map(|r| r.asset_id).collect();
             total += recall(&ids, &truth[qi]);
@@ -95,9 +93,7 @@ fn durability_of_a_full_vector_workload_across_crash() {
     assert!(db.contains(50_000).unwrap());
     // Index survives: hybrid search over the recovered attribute index.
     let got = db
-        .search_with(
-            &SearchRequest::new(vec![9.0; 24], 1).with_filter(Expr::eq("tag", "special")),
-        )
+        .search_with(&SearchRequest::new(vec![9.0; 24], 1).with_filter(Expr::eq("tag", "special")))
         .unwrap();
     assert_eq!(got.results[0].asset_id, 50_000);
 }
@@ -128,9 +124,7 @@ fn hybrid_workload_end_to_end_with_fts() {
                     acc.and(Expr::matches("tags", t.clone()))
                 });
             let got = db
-                .search_with(
-                    &SearchRequest::new(q.vector.clone(), 10).with_filter(filter.clone()),
-                )
+                .search_with(&SearchRequest::new(q.vector.clone(), 10).with_filter(filter.clone()))
                 .unwrap();
             // Every hit must genuinely carry all query tags.
             for hit in &got.results {
@@ -200,11 +194,7 @@ fn device_profiles_bound_cache_memory() {
         let mut cfg = Config::new(spec.dim, spec.metric);
         cfg.store = profile.store_options();
         cfg.workers = profile.workers();
-        let db = MicroNN::create(
-            dir.path().join(format!("{profile:?}.mnn")),
-            cfg,
-        )
-        .unwrap();
+        let db = MicroNN::create(dir.path().join(format!("{profile:?}.mnn")), cfg).unwrap();
         let records: Vec<VectorRecord> = (0..data.len())
             .map(|i| VectorRecord::new(i as i64, data.vector(i).to_vec()))
             .collect();

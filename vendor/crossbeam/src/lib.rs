@@ -1,0 +1,279 @@
+//! Minimal offline shim for `crossbeam`: a multi-producer multi-consumer
+//! unbounded channel and a `WaitGroup`, built on `Mutex` + `Condvar`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of an unbounded MPMC channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded MPMC channel; cloneable so several
+    /// workers can pull from one queue.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.shared
+                .state
+                .lock()
+                .unwrap()
+                .queue
+                .pop_front()
+                .ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap().receivers -= 1;
+        }
+    }
+}
+
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Barrier that waits for all clones to be dropped.
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    impl WaitGroup {
+        pub fn new() -> WaitGroup {
+            WaitGroup {
+                inner: Arc::new(Inner {
+                    count: Mutex::new(1),
+                    zero: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drops this handle and blocks until every other clone is dropped.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self);
+            let mut n = inner.count.lock().unwrap();
+            while *n > 0 {
+                n = inner.zero.wait(n).unwrap();
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().unwrap() += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut n = self.inner.count.lock().unwrap();
+            *n -= 1;
+            if *n == 0 {
+                drop(n);
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+    use super::sync::WaitGroup;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mpmc_channel_distributes_work() {
+        let (tx, rx) = unbounded::<u32>();
+        let sum = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        sum.fetch_add(v as usize, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=100 {
+            tx.send(v).unwrap();
+        }
+        drop(tx); // disconnect: workers drain and exit
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn recv_reports_disconnect_after_drain() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_all_clones_drop() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+}

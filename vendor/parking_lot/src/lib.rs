@@ -1,0 +1,280 @@
+//! Minimal offline shim for `parking_lot`, built on `std::sync`.
+//!
+//! Exposes the parking_lot API shape the workspace uses: guards are
+//! returned directly (no `Result`/poisoning — a poisoned std lock is
+//! recovered with `into_inner`, matching parking_lot's "panics don't
+//! poison" semantics), plus `Mutex::lock_arc` returning an owned
+//! [`ArcMutexGuard`].
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Marker standing in for `parking_lot::RawMutex` in guard signatures.
+pub struct RawMutex {
+    _private: (),
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock; `lock` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Owned lock: keeps the `Arc` alive inside the returned guard.
+    ///
+    /// Declared as an associated function taking `&Arc<Self>` (the
+    /// workspace always calls it fully qualified, `Mutex::lock_arc(&arc)`,
+    /// matching parking_lot's `arc_lock` API).
+    pub fn lock_arc(this: &Arc<Mutex<T>>) -> ArcMutexGuard<RawMutex, T> {
+        let arc = Arc::clone(this);
+        let guard = arc.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the transmute only erases the borrow lifetime. The
+        // guarded mutex lives on the heap inside `arc`, which the
+        // ArcMutexGuard holds until after the guard is dropped (see
+        // `Drop`), so the referent outlives the guard.
+        let guard: std::sync::MutexGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcMutexGuard {
+            guard: ManuallyDrop::new(guard),
+            _arc: arc,
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Owned mutex guard holding the `Arc` alive (parking_lot `arc_lock`).
+pub struct ArcMutexGuard<R, T: 'static> {
+    // Field order matters only for documentation; the guard is dropped
+    // explicitly in `Drop` before `_arc` is released.
+    guard: ManuallyDrop<std::sync::MutexGuard<'static, T>>,
+    _arc: Arc<Mutex<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcMutexGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T> DerefMut for ArcMutexGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<R, T> Drop for ArcMutexGuard<R, T> {
+    fn drop(&mut self) {
+        // Release the lock before the Arc (and thus the mutex) can go away.
+        unsafe { ManuallyDrop::drop(&mut self.guard) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Reader-writer lock; `read`/`write` return guards directly.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn lock_arc_guard_outlives_borrow_scope() {
+        let m = Arc::new(Mutex::new(7u32));
+        let guard = {
+            let tmp = Arc::clone(&m);
+            Mutex::lock_arc(&tmp)
+        };
+        assert_eq!(*guard, 7);
+        assert!(m.try_lock().is_none(), "arc guard must hold the lock");
+        drop(guard);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_many_readers_then_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicked_lock_is_recovered_not_poisoned() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        *m.lock() += 1; // must not panic
+        assert_eq!(*m.lock(), 1);
+    }
+}

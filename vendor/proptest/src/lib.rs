@@ -1,0 +1,425 @@
+//! Minimal offline shim for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace's tests use:
+//! the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map` and `boxed`, numeric range strategies, tuple strategies,
+//! simple regex-literal string strategies (`"[a-z0-9 ]{0,12}"`),
+//! `collection::{vec, btree_map}`, `option::of`, `any::<T>()`, `Just`,
+//! and `ProptestConfig { cases, .. }`.
+//!
+//! Semantics: each test runs `cases` random cases from a deterministic
+//! per-test seed. On failure the generated inputs and the case seed are
+//! printed; there is **no shrinking**. `PROPTEST_CASES` in the
+//! environment overrides every test's case count (to bound CI time).
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Shim counterpart of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no rejection sampling).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    fn seed_for(test_name: &str, case: u32) -> u64 {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+
+    /// Drives one `proptest!`-generated test: `case` regenerates inputs
+    /// from the given RNG, records their `Debug` repr, and runs the body.
+    pub fn run<F>(test_name: &str, config: &Config, mut case: F)
+    where
+        F: FnMut(&mut crate::strategy::TestRng, &mut String),
+    {
+        use rand::SeedableRng;
+        let cases = config.resolved_cases();
+        for i in 0..cases {
+            let seed = seed_for(test_name, i);
+            let mut rng = crate::strategy::TestRng::seed_from_u64(seed);
+            let mut repr = String::new();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng, &mut repr)
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest (shim): {test_name} failed at case {i}/{cases} \
+                     (seed {seed:#x}); no shrinking performed\n  inputs: {repr}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap` with size in `size` (best effort: random
+    /// keys may collide, in which case the map is smaller).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Bounded attempts so small key universes terminate.
+            for _ in 0..target.saturating_mul(4).saturating_add(16) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (≈ 3/4 `Some`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::{Rng, RngCore};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.gen_range(-1.0e9f32..1.0e9)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen_range(-1.0e12f64..1.0e12)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            rng.gen_range(0x20u32..0x7f).try_into().unwrap_or('?')
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Non-fatal-looking assertion (the shim simply asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted (or unweighted) union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The proptest entry macro: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]`-attributed function running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    |__rng, __repr| {
+                        let __vals = ($($crate::strategy::Strategy::generate(&($strat), __rng),)+);
+                        *__repr = format!("{:?}", __vals);
+                        let ($($arg,)+) = __vals;
+                        $body
+                    },
+                );
+            }
+        )+
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_literal_strategy_obeys_class_and_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-c]{1}", &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(matches!(s.as_bytes()[0], b'a'..=b'c'), "{s:?}");
+            let t = Strategy::generate(&"[a-z0-9 ]{0,12}", &mut rng);
+            assert!(t.len() <= 12);
+            assert!(t
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b' '));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_skew_sampling() {
+        let strat = prop_oneof![
+            9 => crate::strategy::Just(true),
+            1 => crate::strategy::Just(false),
+        ];
+        let mut rng = TestRng::seed_from_u64(2);
+        let trues = (0..5_000)
+            .filter(|_| Strategy::generate(&strat, &mut rng))
+            .count();
+        assert!((4_000..5_000).contains(&trues), "got {trues}");
+    }
+
+    #[test]
+    fn collection_sizes_respect_range() {
+        let strat = crate::collection::vec(0u8..10, 3..7);
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec(any::<u8>(), 0..16),
+            mut n in 0usize..8,
+            opt in crate::option::of(0i64..5),
+        ) {
+            n += xs.len();
+            prop_assert!(n >= xs.len());
+            if let Some(v) = opt {
+                prop_assert!((0..5).contains(&v));
+            }
+            prop_assert_eq!(xs.len() + (n - xs.len()), n);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal offline shim for the `tempfile` crate.
+//!
+//! Provides [`tempdir()`] / [`TempDir`]: a uniquely named directory under
+//! the system temp dir that is removed (recursively) on drop.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory on the filesystem that is recursively deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh temporary directory under [`std::env::temp_dir`].
+    pub fn new() -> io::Result<TempDir> {
+        let base = std::env::temp_dir();
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        for _ in 0..1024 {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = base.join(format!(
+                ".tmp-micronn-{}-{nanos:08x}-{n}",
+                std::process::id()
+            ));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "exhausted temp dir name candidates",
+        ))
+    }
+
+    /// The path of the temporary directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the handle without deleting the directory.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+
+    /// Deletes the directory, reporting any error (drop ignores them).
+    pub fn close(self) -> io::Result<()> {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        std::fs::remove_dir_all(path)
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        self.path()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a new [`TempDir`].
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.path().join("f.txt"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropping TempDir must remove it");
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn keep_preserves_the_directory() {
+        let d = tempdir().unwrap();
+        let path = d.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(path).unwrap();
+    }
+}
