@@ -53,7 +53,7 @@ fn main() {
         }
         let probes = 8.min(clustering.k());
         let mut total_recall = 0.0;
-        for qi in 0..gt.len() {
+        for (qi, truth) in gt.iter().enumerate() {
             let q = dataset.query(qi);
             let mut top = TopK::new(100);
             for (ci, _) in clustering.nearest_n(q, probes) {
@@ -64,7 +64,7 @@ fn main() {
                 }
             }
             let ids: Vec<i64> = top.into_sorted().iter().map(|n| n.id as i64).collect();
-            total_recall += micronn_datasets::recall(&ids, &gt[qi]);
+            total_recall += micronn_datasets::recall(&ids, truth);
         }
         micronn_bench::print_row(
             &[

@@ -57,10 +57,10 @@ fn main() {
             let mut mem_probes = 1usize;
             loop {
                 let mut r = 0.0;
-                for qi in 0..gt.len() {
+                for (qi, truth) in gt.iter().enumerate() {
                     let got = mem.search(dataset.query(qi), K, mem_probes).unwrap();
                     let ids: Vec<i64> = got.iter().map(|x| x.asset_id).collect();
-                    r += recall(&ids, &gt[qi]);
+                    r += recall(&ids, truth);
                 }
                 r /= gt.len() as f64;
                 if r >= 0.9 || mem_probes >= mem.partitions() {

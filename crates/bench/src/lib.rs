@@ -25,7 +25,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use micronn::{Config, DeviceProfile, MicroNN, SearchRequest, VectorRecord};
+use micronn::{Config, DeviceProfile, MicroNN, SearchRequest, VectorCodec, VectorRecord};
 use micronn_datasets::{ground_truth, recall, Dataset};
 
 // ---------------------------------------------------------------------------
@@ -149,11 +149,24 @@ pub fn build_micronn(
     profile: DeviceProfile,
     target_partition_size: usize,
 ) -> BenchDb {
+    build_micronn_codec(dataset, profile, target_partition_size, VectorCodec::F32)
+}
+
+/// [`build_micronn`] with an explicit vector codec (the Figure 5
+/// bytes-scanned comparison builds the same dataset under both
+/// codecs).
+pub fn build_micronn_codec(
+    dataset: &Dataset,
+    profile: DeviceProfile,
+    target_partition_size: usize,
+    codec: VectorCodec,
+) -> BenchDb {
     let dir = tempfile::tempdir().expect("tempdir");
     let mut cfg = Config::new(dataset.spec.dim, dataset.spec.metric);
     cfg.store = profile.store_options();
     cfg.workers = profile.workers();
     cfg.target_partition_size = target_partition_size;
+    cfg.codec = codec;
     let db = MicroNN::create(dir.path().join("bench.mnn"), cfg).expect("create");
     ingest(&db, dataset);
     db.rebuild().expect("rebuild");
@@ -208,12 +221,12 @@ pub fn mean_recall_at(
 ) -> f64 {
     let n = n_queries.min(dataset.spec.n_queries);
     let mut total = 0.0;
-    for qi in 0..n {
+    for (qi, truth) in gt.iter().enumerate().take(n) {
         let got = db
             .search_with(&SearchRequest::new(dataset.query(qi).to_vec(), k).with_probes(probes))
             .expect("search");
         let ids: Vec<i64> = got.results.iter().map(|r| r.asset_id).collect();
-        total += recall(&ids, &gt[qi]);
+        total += recall(&ids, truth);
     }
     total / n as f64
 }

@@ -73,7 +73,7 @@ fn nearest_penalized(
 ) -> usize {
     let mut best = 0usize;
     let mut best_score = f32::INFINITY;
-    for i in 0..clustering.k() {
+    for (i, &count) in counts.iter().enumerate().take(clustering.k()) {
         let d = clustering.metric().distance(x, clustering.centroid(i));
         // Cosine/dot distances can be negative or zero; shift into a
         // positive range so the multiplicative penalty stays monotone.
@@ -84,8 +84,8 @@ fn nearest_penalized(
         };
         let score = if lambda > 0.0 {
             match clustering.metric() {
-                Metric::Dot => d + lambda * (counts[i] as f32 / scale),
-                _ => base * (1.0 + lambda * counts[i] as f32 / scale),
+                Metric::Dot => d + lambda * (count as f32 / scale),
+                _ => base * (1.0 + lambda * count as f32 / scale),
             }
         } else {
             d

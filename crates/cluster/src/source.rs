@@ -129,7 +129,7 @@ mod tests {
     fn error_wrapping() {
         let e = SourceError::msg("boom");
         assert!(e.to_string().contains("boom"));
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk");
+        let io = std::io::Error::other("disk");
         let e = SourceError::new(io);
         assert!(std::error::Error::source(&e).is_some());
     }

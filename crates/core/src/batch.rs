@@ -8,19 +8,27 @@
 //! partition is therefore read from disk **once** for the whole batch
 //! (the I/O amortization of Figure 9), and per-(partition, query)
 //! results merge through the usual heap machinery.
+//!
+//! Both MQO phases run on the persistent scan pool: phase 1 fans the
+//! per-query probe selections out across workers (each query still
+//! goes through the exact `nearest_partitions` routine of the
+//! single-query path, so probe sets match it bit for bit), and phase 2
+//! fans out the partition scans. Under the SQ8 codec phase 2 scans the
+//! quantized codes payload and a per-query exact re-rank pass follows
+//! the merge, mirroring the single-query pipeline.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use micronn_linalg::{batch_distances, merge_all, TopK};
+use micronn_linalg::{batch_distances, merge_all, Sq8Scorer, TopK};
 use micronn_rel::{RowDecoder, Value};
 use micronn_storage::ReadTxn;
 
 use crate::db::{Inner, MicroNN, DELTA_PARTITION};
 use crate::error::{Error, Result};
-use crate::search::SearchResult;
+use crate::search::{rerank_exact, scan_pool_k, ScanCounters, SearchResult};
 
 /// Results of a batch search plus aggregate execution counters.
 #[derive(Debug, Clone)]
@@ -30,8 +38,12 @@ pub struct BatchResponse {
     /// Distinct partitions scanned for the whole batch (each exactly
     /// once — the MQO property).
     pub partitions_scanned: usize,
-    /// Total `(query, vector)` distance computations.
+    /// Total `(query, vector)` distance computations (quantized scores
+    /// and re-rank recomputations included).
     pub distance_computations: usize,
+    /// Total vector-payload bytes read for the whole batch (same
+    /// accounting as [`crate::QueryInfo::bytes_scanned`]).
+    pub bytes_scanned: usize,
 }
 
 /// Rows per matrix-multiplication block while scanning a partition.
@@ -51,6 +63,7 @@ impl MicroNN {
                 results: vec![],
                 partitions_scanned: 0,
                 distance_computations: 0,
+                bytes_scanned: 0,
             });
         }
         for q in queries {
@@ -72,16 +85,49 @@ impl MicroNN {
 
         // Phase 1: probe selection, per query, through the exact same
         // routine the single-query path uses (`nearest_partitions`,
-        // including the two-level centroid index when present). Probe
-        // sets must match the sequential path *bit for bit*: ranking
-        // centroids with the batched GEMM instead would flip near-tied
-        // centroids (the norm-identity L2 rounds differently from the
-        // scalar kernel) and silently send a query to a different
-        // partition than its sequential twin.
+        // including the two-level centroid index when present) — so
+        // probe sets match the sequential path *bit for bit* — but
+        // dispatched across the scan pool: each worker pulls query
+        // indexes from a shared counter, and the per-query lists are
+        // reassembled in query order afterwards, keeping the grouping
+        // deterministic regardless of worker count.
         let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
         if let Some(index) = inner.clustering(&r)? {
-            for (qi, q) in queries.iter().enumerate() {
-                for pid in index.nearest_partitions(q, probes) {
+            let mut probe_lists: Vec<Vec<i64>> = vec![Vec::new(); nq];
+            let workers = inner.scan_pool.workers().min(nq).max(1);
+            if workers <= 1 {
+                for (qi, q) in queries.iter().enumerate() {
+                    probe_lists[qi] = index.nearest_partitions(q, probes);
+                }
+            } else {
+                let next = AtomicUsize::new(0);
+                let selected: Mutex<Vec<(u32, Vec<i64>)>> = Mutex::new(Vec::with_capacity(nq));
+                let index = &index;
+                let jobs: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let selected = &selected;
+                        let queries_flat = &queries_flat;
+                        move || loop {
+                            let qi = next.fetch_add(1, Ordering::Relaxed);
+                            if qi >= nq {
+                                return;
+                            }
+                            let list = index.nearest_partitions(
+                                &queries_flat[qi * dim..(qi + 1) * dim],
+                                probes,
+                            );
+                            selected.lock().push((qi as u32, list));
+                        }
+                    })
+                    .collect();
+                inner.scan_pool.run_scoped(jobs);
+                for (qi, list) in selected.into_inner() {
+                    probe_lists[qi as usize] = list;
+                }
+            }
+            for (qi, list) in probe_lists.into_iter().enumerate() {
+                for pid in list {
                     groups.entry(pid).or_default().push(qi as u32);
                 }
             }
@@ -92,12 +138,15 @@ impl MicroNN {
         let mut partitions: Vec<i64> = groups.keys().copied().collect();
         partitions.sort_unstable();
 
-        // Phase 2: scan each partition once; per-partition GEMM against
-        // its query group.
+        // Phase 2: scan each partition once; per-partition GEMM (or
+        // SQ8 code scoring) against its query group. Quantized scans
+        // keep enlarged per-query pools for the re-rank pass.
+        let scan_k = scan_pool_k(inner, k, true);
         let next = AtomicUsize::new(0);
         let partials: Mutex<Vec<(u32, TopK)>> = Mutex::new(Vec::new());
         let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
         let distance_computations = AtomicUsize::new(0);
+        let counters = ScanCounters::default();
         let workers = inner.scan_pool.workers().min(partitions.len()).max(1);
         let jobs: Vec<_> = (0..workers)
             .map(|_| {
@@ -108,6 +157,7 @@ impl MicroNN {
                 let partitions = &partitions;
                 let queries_flat = &queries_flat;
                 let distance_computations = &distance_computations;
+                let counters = &counters;
                 let r = &r;
                 move || loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -115,7 +165,16 @@ impl MicroNN {
                         return;
                     };
                     let group = &groups[&pid];
-                    match scan_partition_for_group(inner, r, pid, group, queries_flat, dim, k) {
+                    match scan_partition_for_group(
+                        inner,
+                        r,
+                        pid,
+                        group,
+                        queries_flat,
+                        dim,
+                        scan_k,
+                        counters,
+                    ) {
                         Ok(done) => {
                             distance_computations.fetch_add(done.1, Ordering::Relaxed);
                             partials.lock().extend(done.0);
@@ -133,16 +192,76 @@ impl MicroNN {
             return Err(e);
         }
 
-        // Phase 3: merge per-partition heaps per query, then sort.
+        // Phase 3: merge per-partition heaps per query, then sort;
+        // quantized catalogs re-rank each query's merged pool against
+        // the exact f32 vectors (the same pass as single-query search),
+        // fanned out across the scan pool like the other phases — the
+        // per-query pools are independent.
         let mut per_query: Vec<Vec<TopK>> = (0..nq).map(|_| Vec::new()).collect();
         for (qi, top) in partials.into_inner() {
             per_query[qi as usize].push(top);
         }
-        let results = per_query
+        let quantized = inner.quantized();
+        let mut merged: Vec<Vec<micronn_linalg::Neighbor>> = per_query
             .into_iter()
-            .map(|heaps| {
-                merge_all(heaps, k)
-                    .into_iter()
+            .map(|heaps| merge_all(heaps, scan_k))
+            .collect();
+        if quantized {
+            let pools = std::mem::take(&mut merged);
+            let next = AtomicUsize::new(0);
+            let reranked: Mutex<Vec<(usize, Vec<micronn_linalg::Neighbor>)>> =
+                Mutex::new(Vec::with_capacity(nq));
+            let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
+            let pools_ref = &pools;
+            let workers = inner.scan_pool.workers().min(nq).max(1);
+            let jobs: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let reranked = &reranked;
+                    let errors = &errors;
+                    let counters = &counters;
+                    let queries_flat = &queries_flat;
+                    let r = &r;
+                    move || loop {
+                        let qi = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(pool) = pools_ref.get(qi) else {
+                            return;
+                        };
+                        match rerank_exact(
+                            inner,
+                            r,
+                            &queries_flat[qi * dim..(qi + 1) * dim],
+                            pool.clone(),
+                            k,
+                            counters,
+                        ) {
+                            Ok(top) => reranked.lock().push((qi, top)),
+                            Err(e) => {
+                                errors.lock().push(e);
+                                return;
+                            }
+                        }
+                    }
+                })
+                .collect();
+            inner.scan_pool.run_scoped(jobs);
+            if let Some(e) = errors.into_inner().into_iter().next() {
+                return Err(e);
+            }
+            let mut out = reranked.into_inner();
+            if out.len() != nq {
+                return Err(Error::Config("batch re-rank lost a query".into()));
+            }
+            out.sort_unstable_by_key(|&(qi, _)| qi);
+            merged = out.into_iter().map(|(_, top)| top).collect();
+            // Exact re-rank recomputations count as distance work.
+            distance_computations
+                .fetch_add(counters.reranked.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let results = merged
+            .into_iter()
+            .map(|top| {
+                top.into_iter()
                     .map(|n| SearchResult {
                         asset_id: n.id as i64,
                         distance: n.distance,
@@ -154,6 +273,7 @@ impl MicroNN {
             results,
             partitions_scanned: partitions.len(),
             distance_computations: distance_computations.load(Ordering::Relaxed),
+            bytes_scanned: counters.bytes_scanned.load(Ordering::Relaxed),
         })
     }
 
@@ -175,9 +295,9 @@ impl MicroNN {
     }
 }
 
-/// Scans one partition once, computing distances for every query in
-/// `group` by blocked matrix multiplication. Returns the per-query
-/// local heaps and the number of distance computations.
+/// Scans one partition once for every query in `group`. Returns the
+/// per-query local heaps and the number of distance computations.
+#[allow(clippy::too_many_arguments)]
 fn scan_partition_for_group(
     inner: &Inner,
     r: &ReadTxn,
@@ -186,7 +306,23 @@ fn scan_partition_for_group(
     queries_flat: &[f32],
     dim: usize,
     k: usize,
+    counters: &ScanCounters,
 ) -> Result<(Vec<(u32, TopK)>, usize)> {
+    if inner.quantized() && partition != DELTA_PARTITION {
+        if let Some(params) = inner.partition_params(r, partition)? {
+            return scan_codes_for_group(
+                inner,
+                r,
+                partition,
+                group,
+                queries_flat,
+                dim,
+                k,
+                &params,
+                counters,
+            );
+        }
+    }
     // Gather the group's query vectors into a contiguous sub-matrix.
     let gq = group.len();
     let mut sub = Vec::with_capacity(gq * dim);
@@ -243,11 +379,56 @@ fn scan_partition_for_group(
             blob.chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
         );
+        counters.bytes_scanned.fetch_add(dim * 4, Ordering::Relaxed);
         if ids.len() == BATCH_ROW_CHUNK {
             flush(&mut ids, &mut rows, &mut heaps);
         }
     }
     flush(&mut ids, &mut rows, &mut heaps);
-    drop(flush);
+    Ok((group.iter().copied().zip(heaps).collect(), computations))
+}
+
+/// Quantized variant of the group scan: reads the partition's u8
+/// codes once and scores them against every query in the group with
+/// per-query prepared scorers.
+#[allow(clippy::too_many_arguments)]
+fn scan_codes_for_group(
+    inner: &Inner,
+    r: &ReadTxn,
+    partition: i64,
+    group: &[u32],
+    queries_flat: &[f32],
+    dim: usize,
+    k: usize,
+    params: &micronn_linalg::Sq8Params,
+    counters: &ScanCounters,
+) -> Result<(Vec<(u32, TopK)>, usize)> {
+    let codes = inner
+        .tables
+        .codes
+        .as_ref()
+        .ok_or_else(|| Error::Config("quantized scan without a codes table".into()))?;
+    let scorers: Vec<Sq8Scorer> = group
+        .iter()
+        .map(|&qi| {
+            let qi = qi as usize;
+            Sq8Scorer::new(
+                inner.metric,
+                &queries_flat[qi * dim..(qi + 1) * dim],
+                params,
+            )
+        })
+        .collect();
+    let mut heaps: Vec<TopK> = group.iter().map(|_| TopK::new(k)).collect();
+    let mut computations = 0usize;
+    for kv in codes.scan_pk_prefix_raw(r, &[Value::Integer(partition)])? {
+        let (_, row_bytes) = kv?;
+        let (asset, code) = crate::codec::decode_code_row(&row_bytes, dim)?;
+        for (heap, scorer) in heaps.iter_mut().zip(&scorers) {
+            heap.push(asset as u64, scorer.score(code));
+        }
+        computations += scorers.len();
+        counters.bytes_scanned.fetch_add(dim, Ordering::Relaxed);
+    }
     Ok((group.iter().copied().zip(heaps).collect(), computations))
 }

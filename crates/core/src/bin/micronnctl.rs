@@ -1,7 +1,8 @@
 //! `micronnctl` — command-line administration for MicroNN databases.
 //!
 //! ```text
-//! micronnctl create  <db> --dim <D> [--metric l2|cosine|dot] [--attr name:type[:indexed][:fts]]...
+//! micronnctl create  <db> --dim <D> [--metric l2|cosine|dot] [--codec f32|sq8]
+//!                    [--attr name:type[:indexed][:fts]]...
 //! micronnctl import  <db> <csv>            # rows: asset_id,v1,...,vD[,name=value...]
 //! micronnctl search  <db> --query "v1,..,vD" [-k N] [--probes N] [--filter EXPR] [--exact]
 //! micronnctl stats   <db>
@@ -19,7 +20,8 @@
 use std::process::ExitCode;
 
 use micronn::{
-    AttributeDef, Config, Expr, Metric, MicroNN, SearchRequest, Value, ValueType, VectorRecord,
+    AttributeDef, Config, Expr, Metric, MicroNN, SearchRequest, Value, ValueType, VectorCodec,
+    VectorRecord,
 };
 
 fn main() -> ExitCode {
@@ -122,6 +124,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("path:                {path}");
     println!("dimension:           {}", db.dim());
     println!("metric:              {}", db.metric());
+    println!("codec:               {}", db.codec());
     println!("total vectors:       {}", s.total_vectors);
     println!("delta vectors:       {}", s.delta_vectors);
     println!("partitions:          {}", s.partitions);
@@ -147,6 +150,9 @@ fn cmd_create(args: &[String]) -> Result<(), String> {
         Some(m) => Metric::parse(m).ok_or(format!("unknown metric {m}"))?,
     };
     let mut config = Config::new(dim, metric);
+    if let Some(c) = flag_value(rest, "--codec") {
+        config.codec = VectorCodec::parse(c).ok_or(format!("unknown codec {c}"))?;
+    }
     let mut i = 0;
     while i < rest.len() {
         if rest[i] == "--attr" {
@@ -159,8 +165,9 @@ fn cmd_create(args: &[String]) -> Result<(), String> {
             i += 1;
         }
     }
+    let codec = config.codec;
     MicroNN::create(&path, config).map_err(stringify)?;
-    println!("created {path} ({dim}-d, {metric})");
+    println!("created {path} ({dim}-d, {metric}, codec {codec})");
     Ok(())
 }
 

@@ -217,13 +217,13 @@ impl MicroNN {
         for &a in &assignments {
             sizes[a as usize] += 1;
         }
-        for c in 0..k {
+        for (c, &size) in sizes.iter().enumerate() {
             inner.tables.centroids.upsert(
                 &mut txn,
                 vec![
                     Value::Integer(c as i64 + 1),
                     Value::Blob(f32_to_blob(clustering.centroid(c))),
-                    Value::Integer(sizes[c]),
+                    Value::Integer(size),
                 ],
             )?;
         }
@@ -260,6 +260,26 @@ impl MicroNN {
             inner
                 .row_changes
                 .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        }
+
+        // Codec-aware epilogue: a rebuild moves rows between
+        // partitions, so every partition's quantization ranges are
+        // retrained and its codes rewritten from scratch.
+        if inner.quantized() {
+            crate::codec::clear_codes(&mut txn, &inner.tables)?;
+            let mut encoded = 0usize;
+            for c in 0..k {
+                encoded += crate::codec::encode_partition(
+                    &mut txn,
+                    &inner.tables,
+                    inner.dim,
+                    c as i64 + 1,
+                )?;
+            }
+            inner.row_changes.fetch_add(
+                encoded as u64 + k as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
 
         // Refresh statistics for the hybrid optimizer and bump the

@@ -135,13 +135,18 @@ impl CentroidIndex {
     }
 
     /// Whether a super-cluster at distance `ds` with member radius `r`
-    /// could hold a centroid closer than `worst`.
+    /// could hold a centroid that improves on `worst`.
     ///
     /// For L2 (squared distances) the triangle inequality gives the
     /// exact lower bound `(√ds − √r)²` on any member's distance. For
     /// cosine the angular triangle inequality gives the equivalent
     /// bound `1 − cos(θ_super − θ_radius)`. Raw inner products bound
     /// nothing (member norms are unconstrained), so dot never prunes.
+    ///
+    /// The comparison is `<=` (tie-conservative): a member at exactly
+    /// `worst` can still displace the current k-th candidate through
+    /// the deterministic smaller-id tie-break, so exact f32 ties agree
+    /// with the flat index across the super-index threshold.
     fn may_contain_closer(metric: micronn_linalg::Metric, ds: f32, r: f32, worst: f32) -> bool {
         match metric {
             micronn_linalg::Metric::L2 => {
@@ -149,7 +154,7 @@ impl CentroidIndex {
                 if gap <= 0.0 {
                     return true;
                 }
-                gap * gap < worst
+                gap * gap <= worst
             }
             micronn_linalg::Metric::Cosine => {
                 // Cosine distance 1 − cos θ is monotone in the angle,
@@ -158,7 +163,7 @@ impl CentroidIndex {
                 let theta_s = (1.0 - ds).clamp(-1.0, 1.0).acos();
                 let theta_r = (1.0 - r).clamp(-1.0, 1.0).acos();
                 let lower = 1.0 - (theta_s - theta_r).max(0.0).cos();
-                lower < worst
+                lower <= worst
             }
             _ => true,
         }
@@ -224,6 +229,45 @@ mod tests {
         }
         let overlap = agree as f64 / total as f64;
         assert!(overlap >= 0.9, "probe overlap with exact: {overlap}");
+    }
+
+    #[test]
+    fn pruning_is_tie_conservative() {
+        // A super-cluster whose best reachable distance exactly equals
+        // the current worst must NOT be pruned: its member could win
+        // the deterministic id tie-break.
+        let worst = 4.0;
+        // gap² == worst exactly: ds = (2 + 1)² = 9, r = 1 → gap = 2.
+        assert!(CentroidIndex::may_contain_closer(
+            Metric::L2,
+            9.0,
+            1.0,
+            worst
+        ));
+        // Strictly farther super-clusters still prune.
+        assert!(!CentroidIndex::may_contain_closer(
+            Metric::L2,
+            16.0,
+            0.25,
+            worst
+        ));
+        // Cosine: θ_s − θ_r == θ_worst boundary is kept.
+        let worst = 1.0 - (0.5f32).cos();
+        let ds = 1.0 - (0.75f32).cos();
+        let r = 1.0 - (0.25f32).cos();
+        assert!(CentroidIndex::may_contain_closer(
+            Metric::Cosine,
+            ds,
+            r,
+            worst
+        ));
+        // Dot never prunes.
+        assert!(CentroidIndex::may_contain_closer(
+            Metric::Dot,
+            100.0,
+            0.0,
+            0.0
+        ));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The pluggable vector-codec layer of the scan pipeline.
+//!
+//! A [`VectorCodec`] decides how partition scans read vectors:
+//!
+//! * [`VectorCodec::F32`] — scans decode the raw f32 payload exactly
+//!   as the paper's §3.3 loop does (the default; bit-identical to the
+//!   un-refactored behaviour).
+//! * [`VectorCodec::Sq8`] — each indexed partition additionally keeps
+//!   per-dimension scalar-quantized u8 codes in a *separate* clustered
+//!   table (`codes`), laid out independently from the f32 payload so a
+//!   quantized scan reads ~4× fewer bytes. Scans score codes with the
+//!   asymmetric kernels of [`micronn_linalg::sq8`], then re-rank the
+//!   top `rerank_factor · k` candidates against the exact vectors.
+//!
+//! The codec choice is part of the index catalog (persisted in the
+//! `meta` table at creation, validated when a database is opened) and
+//! is honoured by every layer that touches vector bytes: ingestion,
+//! rebuild, delta flush, single-query search, batch MQO, and hybrid
+//! plans. Per-partition quantization ranges live in the `quants`
+//! table and are retrained whenever maintenance rewrites a partition
+//! (rebuild retrains everything; a delta flush retrains each touched
+//! partition).
+
+use micronn_linalg::Sq8Params;
+use micronn_rel::{blob_to_f32, RowDecoder, Value};
+use micronn_storage::{PageRead, WriteTxn};
+
+use crate::db::Tables;
+use crate::error::{Error, Result};
+
+/// How vector payloads are stored and scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VectorCodec {
+    /// Full-precision f32 vectors only (the paper's layout).
+    #[default]
+    F32,
+    /// f32 vectors plus per-partition scalar-quantized u8 codes;
+    /// scans run in the compressed domain and re-rank exactly.
+    Sq8,
+}
+
+impl VectorCodec {
+    /// Catalog name of the codec.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VectorCodec::F32 => "f32",
+            VectorCodec::Sq8 => "sq8",
+        }
+    }
+
+    /// Parses a catalog name.
+    pub fn parse(name: &str) -> Option<VectorCodec> {
+        match name.to_ascii_lowercase().as_str() {
+            "f32" => Some(VectorCodec::F32),
+            "sq8" => Some(VectorCodec::Sq8),
+            _ => None,
+        }
+    }
+
+    /// Whether scans read quantized codes instead of raw vectors.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, VectorCodec::Sq8)
+    }
+}
+
+impl std::fmt::Display for VectorCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Serializes quantization ranges as `min[dim] ++ scale[dim]` (LE f32).
+pub(crate) fn params_to_blob(p: &Sq8Params) -> Vec<u8> {
+    let mut out = Vec::with_capacity(p.dim() * 8);
+    for x in p.min.iter().chain(p.scale.iter()) {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes quantization ranges written by [`params_to_blob`].
+pub(crate) fn params_from_blob(blob: &[u8], dim: usize) -> Result<Sq8Params> {
+    let vals = blob_to_f32(blob)?;
+    if vals.len() != dim * 2 {
+        return Err(Error::Config(format!(
+            "quantization params blob has {} floats, expected {}",
+            vals.len(),
+            dim * 2
+        )));
+    }
+    let (min, scale) = vals.split_at(dim);
+    Ok(Sq8Params {
+        min: min.to_vec(),
+        scale: scale.to_vec(),
+    })
+}
+
+/// Loads the quantization ranges of one partition, or `None` when the
+/// partition has never been encoded (e.g. the delta store).
+pub(crate) fn load_params<R: PageRead + ?Sized>(
+    r: &R,
+    tables: &Tables,
+    partition: i64,
+    dim: usize,
+) -> Result<Option<Sq8Params>> {
+    let Some(quants) = &tables.quants else {
+        return Ok(None);
+    };
+    let Some(row) = quants.get(r, &[Value::Integer(partition)])? else {
+        return Ok(None);
+    };
+    let blob = row[1]
+        .as_blob()
+        .ok_or_else(|| Error::Config("quants params column is not a blob".into()))?;
+    params_from_blob(blob, dim).map(Some)
+}
+
+/// Decodes one `codes`-table row into `(asset, code bytes)`,
+/// validating the code length against the index dimension — shared by
+/// the single-query and batch quantized scan loops.
+pub(crate) fn decode_code_row(row_bytes: &[u8], dim: usize) -> Result<(i64, &[u8])> {
+    let mut dec = RowDecoder::new(row_bytes)?;
+    dec.skip()?; // partition
+    dec.skip()?; // vid
+    let asset = dec
+        .next_value()?
+        .as_integer()
+        .ok_or_else(|| Error::Config("code asset column is not an integer".into()))?;
+    let code = dec.next_blob()?;
+    if code.len() != dim {
+        return Err(Error::Config(format!(
+            "stored code has {} bytes, expected {}",
+            code.len(),
+            dim
+        )));
+    }
+    Ok((asset, code))
+}
+
+/// Retrains the quantization ranges of `partition` from its current
+/// f32 rows and rewrites the partition's code rows — the codec-aware
+/// half of every maintenance operation. Returns the number of encoded
+/// vectors. No-op (returning 0) for non-quantized catalogs.
+pub(crate) fn encode_partition(
+    txn: &mut WriteTxn,
+    tables: &Tables,
+    dim: usize,
+    partition: i64,
+) -> Result<usize> {
+    let (Some(codes), Some(quants)) = (&tables.codes, &tables.quants) else {
+        return Ok(0);
+    };
+
+    // Phase 1 (read-only): collect the partition's members.
+    let members = crate::db::read_partition_members(txn, &tables.vectors, partition)?;
+    // Phase 2 (write): retrain ranges, rewrite the code rows. Code
+    // rows are always a subset of the partition's current members —
+    // rebuild wipes them all first, a flush only adds rows, and
+    // upsert/delete remove a row's code in the same transaction — so
+    // upserting by (partition, vid) replaces every live code and no
+    // stale sweep is needed.
+    let mut flat = Vec::with_capacity(members.len() * dim);
+    for (_, _, v) in &members {
+        flat.extend_from_slice(v);
+    }
+    let params = Sq8Params::train(&flat, dim);
+    quants.upsert(
+        txn,
+        vec![
+            Value::Integer(partition),
+            Value::Blob(params_to_blob(&params)),
+        ],
+    )?;
+    let mut code_buf = Vec::with_capacity(dim);
+    for (vid, asset, v) in &members {
+        code_buf.clear();
+        params.encode_into(v, &mut code_buf);
+        codes.upsert(
+            txn,
+            vec![
+                Value::Integer(partition),
+                Value::Integer(*vid),
+                Value::Integer(*asset),
+                Value::Blob(code_buf.clone()),
+            ],
+        )?;
+    }
+    Ok(members.len())
+}
+
+/// Drops every code and quantization-range row (a rebuild re-encodes
+/// all partitions from scratch).
+pub(crate) fn clear_codes(txn: &mut WriteTxn, tables: &Tables) -> Result<()> {
+    if let Some(codes) = &tables.codes {
+        let pks: Vec<(i64, i64)> = codes
+            .scan(txn)?
+            .map(|row| {
+                let row = row?;
+                Ok((
+                    row[0].as_integer().unwrap_or(0),
+                    row[1].as_integer().unwrap_or(0),
+                ))
+            })
+            .collect::<Result<_>>()?;
+        for (p, v) in pks {
+            codes.delete(txn, &[Value::Integer(p), Value::Integer(v)])?;
+        }
+    }
+    if let Some(quants) = &tables.quants {
+        let pks: Vec<i64> = quants
+            .scan(txn)?
+            .map(|row| Ok(row?[0].as_integer().unwrap_or(0)))
+            .collect::<Result<_>>()?;
+        for p in pks {
+            quants.delete(txn, &[Value::Integer(p)])?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_names_round_trip() {
+        for codec in [VectorCodec::F32, VectorCodec::Sq8] {
+            assert_eq!(VectorCodec::parse(codec.name()), Some(codec));
+        }
+        assert_eq!(VectorCodec::parse("SQ8"), Some(VectorCodec::Sq8));
+        assert_eq!(VectorCodec::parse("pq"), None);
+        assert_eq!(VectorCodec::default(), VectorCodec::F32);
+        assert!(!VectorCodec::F32.is_quantized());
+        assert!(VectorCodec::Sq8.is_quantized());
+    }
+
+    #[test]
+    fn params_blob_round_trip() {
+        let p = Sq8Params {
+            min: vec![-1.5, 0.0, 3.25],
+            scale: vec![0.1, 0.0, 2.0],
+        };
+        let blob = params_to_blob(&p);
+        assert_eq!(blob.len(), 3 * 2 * 4);
+        let back = params_from_blob(&blob, 3).unwrap();
+        assert_eq!(back, p);
+        assert!(params_from_blob(&blob, 4).is_err());
+    }
+}

@@ -5,6 +5,8 @@ use micronn_linalg::Metric;
 use micronn_rel::ValueType;
 use micronn_storage::{StoreOptions, SyncMode};
 
+use crate::codec::VectorCodec;
+
 /// A client-defined filterable attribute (§3.5): a typed column in the
 /// attributes table, optionally b-tree indexed and/or full-text
 /// indexed.
@@ -57,6 +59,14 @@ pub struct Config {
     pub dim: usize,
     /// Distance metric (fixed at creation).
     pub metric: Metric,
+    /// How vector payloads are stored and scanned (fixed at creation):
+    /// full-precision [`VectorCodec::F32`] or quantized
+    /// [`VectorCodec::Sq8`] with exact re-ranking.
+    pub codec: VectorCodec,
+    /// Quantized scans keep `rerank_factor × k` candidates and re-rank
+    /// them against exact f32 vectors (ignored by [`VectorCodec::F32`];
+    /// paper-style default: 4).
+    pub rerank_factor: usize,
     /// Target vectors per IVF partition `t` (paper default: 100).
     pub target_partition_size: usize,
     /// Default number of partitions probed per ANN query `n`.
@@ -94,6 +104,8 @@ impl Default for Config {
         Config {
             dim: 0,
             metric: Metric::L2,
+            codec: VectorCodec::F32,
+            rerank_factor: 4,
             target_partition_size: 100,
             default_probes: 8,
             workers: 0,
@@ -133,6 +145,11 @@ impl Config {
         if self.growth_limit <= 1.0 {
             return Err(crate::error::Error::Config(
                 "growth_limit must exceed 1.0".into(),
+            ));
+        }
+        if self.rerank_factor == 0 {
+            return Err(crate::error::Error::Config(
+                "rerank_factor must be positive".into(),
             ));
         }
         let mut names = std::collections::HashSet::new();
@@ -247,6 +264,19 @@ mod tests {
         let mut c = Config::new(8, Metric::L2);
         c.attributes = vec![AttributeDef::new("asset", ValueType::Integer)];
         assert!(c.validate().is_err(), "reserved name");
+        let mut c = Config::new(8, Metric::L2);
+        c.rerank_factor = 0;
+        assert!(c.validate().is_err(), "rerank_factor 0");
+    }
+
+    #[test]
+    fn codec_defaults_and_sq8_config() {
+        let c = Config::new(8, Metric::L2);
+        assert_eq!(c.codec, VectorCodec::F32);
+        assert_eq!(c.rerank_factor, 4);
+        let mut c = Config::new(8, Metric::L2);
+        c.codec = VectorCodec::Sq8;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

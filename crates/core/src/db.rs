@@ -10,25 +10,33 @@
 //! | `centroids` | `(partition)`       | `centroid` (f32 blob), `size`   |
 //! | `attrs`     | `(asset)`           | client-defined attribute columns|
 //! | `meta`      | `(key)`             | `ival`, `tval`                  |
+//! | `codes`*    | `(partition, vid)`  | `asset`, `code` (u8 blob)       |
+//! | `quants`*   | `(partition)`       | `params` (f32 blob)             |
+//!
+//! `*` only with the [`VectorCodec::Sq8`] catalog: quantized codes are
+//! a *separately clustered* payload so compressed-domain scans touch
+//! ~4× fewer bytes than the f32 rows they mirror.
 //!
 //! The `vectors` table is clustered on `(partition, vid)`, so each IVF
 //! partition is a contiguous key range on disk (§3.2). The delta store
 //! is the reserved partition `0` (§3.6): upserts land there and are
 //! folded into the index by [`crate::maintain`].
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use micronn_cluster::Clustering;
-use micronn_linalg::Metric;
+use micronn_linalg::{Metric, Sq8Params};
 use micronn_rel::{
     blob_to_f32, f32_to_blob, ColumnDef, Database, RelError, Table, TableSchema, TableStats, Value,
     ValueType,
 };
 use micronn_storage::{PageRead, WriteTxn};
 
+use crate::codec::VectorCodec;
 use crate::config::{AttributeDef, Config};
 use crate::error::{Error, Result};
 
@@ -38,6 +46,7 @@ pub const DELTA_PARTITION: i64 = 0;
 // Meta keys (crate-visible: build/maintain modules read and write them).
 const M_DIM: &str = "dim";
 const M_METRIC: &str = "metric";
+const M_CODEC: &str = "codec";
 pub(crate) const M_NEXT_VID: &str = "next_vid";
 pub(crate) const M_EPOCH: &str = "epoch";
 pub(crate) const M_PARTITIONS: &str = "k";
@@ -79,6 +88,12 @@ pub(crate) struct Tables {
     pub centroids: Table,
     pub attrs: Table,
     pub meta: Table,
+    /// Quantized vector codes, clustered like `vectors` — present only
+    /// for quantized codecs.
+    pub codes: Option<Table>,
+    /// Per-partition quantization ranges — present only for quantized
+    /// codecs.
+    pub quants: Option<Table>,
 }
 
 /// The loaded IVF quantizer: centroids, their partition ids, and (for
@@ -111,6 +126,9 @@ pub(crate) struct CentroidCache {
     pub index: LoadedIndex,
 }
 
+/// Epoch-keyed per-partition quantization ranges (SQ8 catalogs).
+type QuantCache = Option<(i64, HashMap<i64, Arc<Sq8Params>>)>;
+
 pub(crate) struct Inner {
     pub db: Database,
     pub tables: Tables,
@@ -119,6 +137,9 @@ pub(crate) struct Inner {
     pub cfg: Config,
     pub centroid_cache: RwLock<Option<CentroidCache>>,
     pub stats_cache: RwLock<Option<(i64, Arc<TableStats>)>>,
+    /// Per-partition quantization ranges: ranges change only under
+    /// maintenance, which bumps the epoch.
+    pub quant_cache: RwLock<QuantCache>,
     /// Persistent worker pool for parallel partition scans (Figure 3).
     pub scan_pool: crate::pool::ScanPool,
     /// Total row-level DB mutations (Figure 10d's "No. of DB row
@@ -212,6 +233,39 @@ impl MicroNN {
                 attrs = db.create_fts_index(&mut txn, &attrs, &a.name)?;
             }
         }
+        // Quantized catalogs keep codes as a separately clustered
+        // payload plus per-partition quantization ranges.
+        let (codes, quants) = if config.codec.is_quantized() {
+            let codes = db.create_table(
+                &mut txn,
+                TableSchema::new(
+                    "codes",
+                    vec![
+                        ColumnDef::new("partition", ValueType::Integer),
+                        ColumnDef::new("vid", ValueType::Integer),
+                        ColumnDef::new("asset", ValueType::Integer),
+                        ColumnDef::new("code", ValueType::Blob),
+                    ],
+                    &["partition", "vid"],
+                )
+                .map_err(Error::Rel)?,
+            )?;
+            let quants = db.create_table(
+                &mut txn,
+                TableSchema::new(
+                    "quants",
+                    vec![
+                        ColumnDef::new("partition", ValueType::Integer),
+                        ColumnDef::new("params", ValueType::Blob),
+                    ],
+                    &["partition"],
+                )
+                .map_err(Error::Rel)?,
+            )?;
+            (Some(codes), Some(quants))
+        } else {
+            (None, None)
+        };
 
         // Persist immutable index parameters.
         let set =
@@ -234,6 +288,7 @@ impl MicroNN {
             None,
             Some(&config.metric.to_string()),
         )?;
+        set(&mut txn, &meta, M_CODEC, None, Some(config.codec.name()))?;
         set(&mut txn, &meta, M_NEXT_VID, Some(1), None)?;
         set(&mut txn, &meta, M_EPOCH, Some(0), None)?;
         set(&mut txn, &meta, M_PARTITIONS, Some(0), None)?;
@@ -256,6 +311,8 @@ impl MicroNN {
                     centroids,
                     attrs,
                     meta,
+                    codes,
+                    quants,
                 },
                 dim: config.dim,
                 metric: config.metric,
@@ -264,6 +321,7 @@ impl MicroNN {
                 db,
                 centroid_cache: RwLock::new(None),
                 stats_cache: RwLock::new(None),
+                quant_cache: RwLock::new(None),
                 row_changes: AtomicU64::new(0),
             }),
         })
@@ -295,9 +353,29 @@ impl MicroNN {
                 got: config.dim,
             });
         }
+        // Codec is part of the catalog: files created before the codec
+        // column existed read as plain f32. Asking for a quantized
+        // codec on a full-precision file cannot be honoured (the codes
+        // were never written), so it is an open-time error rather than
+        // a silent downgrade.
+        let codec = match meta
+            .get(&r, &[Value::text(M_CODEC)])?
+            .and_then(|row| row[2].as_text().map(str::to_owned))
+        {
+            Some(name) => VectorCodec::parse(&name)
+                .ok_or_else(|| Error::Config(format!("unknown vector codec {name}")))?,
+            None => VectorCodec::F32,
+        };
+        if config.codec.is_quantized() && !codec.is_quantized() {
+            return Err(Error::Config(format!(
+                "index was created with codec {codec}; cannot open as {}",
+                config.codec
+            )));
+        }
         let target = get_int(M_TARGET)? as usize;
         config.dim = dim;
         config.metric = metric;
+        config.codec = codec;
         config.target_partition_size = target;
         // Reconstruct the attribute definitions from the stored schema.
         let attrs = db.open_table(&r, "attrs")?;
@@ -317,12 +395,27 @@ impl MicroNN {
             })
             .collect();
 
+        // Open-time validation: a quantized catalog must carry its
+        // codes and quantization-range tables.
+        let (codes, quants) = if codec.is_quantized() {
+            let codes = db
+                .open_table(&r, "codes")
+                .map_err(|_| Error::Config("sq8 catalog is missing its codes table".into()))?;
+            let quants = db
+                .open_table(&r, "quants")
+                .map_err(|_| Error::Config("sq8 catalog is missing its quants table".into()))?;
+            (Some(codes), Some(quants))
+        } else {
+            (None, None)
+        };
         let tables = Tables {
             vectors: db.open_table(&r, "vectors")?,
             assets: db.open_table(&r, "assets")?,
             centroids: db.open_table(&r, "centroids")?,
             attrs,
             meta,
+            codes,
+            quants,
         };
         drop(r);
         Ok(MicroNN {
@@ -335,6 +428,7 @@ impl MicroNN {
                 db,
                 centroid_cache: RwLock::new(None),
                 stats_cache: RwLock::new(None),
+                quant_cache: RwLock::new(None),
                 row_changes: AtomicU64::new(0),
             }),
         })
@@ -357,6 +451,11 @@ impl MicroNN {
     /// Index metric.
     pub fn metric(&self) -> Metric {
         self.inner.metric
+    }
+
+    /// The vector codec this index was created with.
+    pub fn codec(&self) -> VectorCodec {
+        self.inner.cfg.codec
     }
 
     /// The underlying relational database (diagnostics, raw access).
@@ -401,6 +500,12 @@ impl MicroNN {
                 let (p, v) = (prev[1].clone(), prev[2].clone());
                 if p.as_integer() == Some(DELTA_PARTITION) {
                     delta -= 1;
+                } else if let Some(codes) = &inner.tables.codes {
+                    // The replaced vector lived in an indexed partition:
+                    // its quantized code is stale too.
+                    if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
+                        inner.row_changes.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 inner.tables.vectors.delete(&mut txn, &[p, v])?;
                 inner.row_changes.fetch_add(1, Ordering::Relaxed);
@@ -461,6 +566,10 @@ impl MicroNN {
             let (p, v) = (prev[1].clone(), prev[2].clone());
             if p.as_integer() == Some(DELTA_PARTITION) {
                 delta -= 1;
+            } else if let Some(codes) = &inner.tables.codes {
+                if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
+                    inner.row_changes.fetch_add(1, Ordering::Relaxed);
+                }
             }
             inner.tables.vectors.delete(&mut txn, &[p, v])?;
             inner
@@ -551,6 +660,7 @@ impl MicroNN {
         self.inner.db.store().purge_cache();
         *self.inner.centroid_cache.write() = None;
         *self.inner.stats_cache.write() = None;
+        *self.inner.quant_cache.write() = None;
     }
 
     /// Checkpoints the WAL into the main database file.
@@ -633,7 +743,41 @@ pub(crate) fn set_meta_int(txn: &mut WriteTxn, meta: &Table, key: &str, v: i64) 
     Ok(())
 }
 
+/// Materializes one partition's rows as `(vid, asset, vector)` — the
+/// shared read behind delta flushes and per-partition re-encoding.
+/// Partitions are bounded (~`target_partition_size`), so buffering one
+/// is cheap.
+pub(crate) fn read_partition_members<R: PageRead + ?Sized>(
+    r: &R,
+    vectors: &Table,
+    partition: i64,
+) -> Result<Vec<(i64, i64, Vec<f32>)>> {
+    use micronn_rel::RowDecoder;
+    let mut members = Vec::new();
+    for kv in vectors.scan_pk_prefix_raw(r, &[Value::Integer(partition)])? {
+        let (_, row) = kv?;
+        let mut dec = RowDecoder::new(&row)?;
+        dec.skip()?; // partition
+        let vid = dec
+            .next_value()?
+            .as_integer()
+            .ok_or_else(|| Error::Config("vid column is not an integer".into()))?;
+        let asset = dec
+            .next_value()?
+            .as_integer()
+            .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
+        let vec = blob_to_f32(dec.next_blob()?)?;
+        members.push((vid, asset, vec));
+    }
+    Ok(members)
+}
+
 impl Inner {
+    /// Whether scans should read quantized codes (SQ8 catalog).
+    pub(crate) fn quantized(&self) -> bool {
+        self.cfg.codec.is_quantized()
+    }
+
     /// Loads (or returns the cached) IVF quantizer: the centroid matrix
     /// plus the partition id per centroid, and — once `k` crosses the
     /// configured threshold — the two-level centroid index. `None`
@@ -686,6 +830,45 @@ impl Inner {
             index: index.clone(),
         });
         Ok(Some(index))
+    }
+
+    /// Loads (or returns the cached) quantization ranges of one
+    /// partition (SQ8 catalogs; `None` for unquantized catalogs, the
+    /// delta store, and never-encoded partitions). Ranges only change
+    /// under maintenance — which bumps the epoch in the same
+    /// transaction — so the cache is epoch-keyed like the centroid
+    /// cache and stays consistent across snapshots.
+    pub(crate) fn partition_params<R: PageRead + ?Sized>(
+        &self,
+        r: &R,
+        partition: i64,
+    ) -> Result<Option<Arc<Sq8Params>>> {
+        if self.tables.quants.is_none() {
+            return Ok(None);
+        }
+        let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
+        if let Some((e, map)) = self.quant_cache.read().as_ref() {
+            if *e == epoch {
+                if let Some(p) = map.get(&partition) {
+                    return Ok(Some(p.clone()));
+                }
+            }
+        }
+        let loaded = crate::codec::load_params(r, &self.tables, partition, self.dim)?.map(Arc::new);
+        if let Some(p) = &loaded {
+            let mut guard = self.quant_cache.write();
+            match guard.as_mut() {
+                Some((e, map)) if *e == epoch => {
+                    map.insert(partition, p.clone());
+                }
+                _ => {
+                    let mut map = HashMap::new();
+                    map.insert(partition, p.clone());
+                    *guard = Some((epoch, map));
+                }
+            }
+        }
+        Ok(loaded)
     }
 
     /// Loads (or returns the cached) attribute statistics.
@@ -803,9 +986,14 @@ mod tests {
         assert!(attrs.iter().any(|a| a.name == "location" && a.indexed));
         assert!(attrs.iter().any(|a| a.name == "tags" && a.fts));
         // Wrong-dim open is rejected.
-        let mut bad = Config::default();
-        bad.dim = 99;
-        bad.store.sync = SyncMode::Off;
+        let bad = Config {
+            dim: 99,
+            store: micronn_storage::StoreOptions {
+                sync: SyncMode::Off,
+                ..Default::default()
+            },
+            ..Config::default()
+        };
         assert!(MicroNN::open(&path, bad).is_err());
     }
 

@@ -262,6 +262,7 @@ fn pre_filter_search(
         let d = inner.metric.distance(&req.query, &v);
         top.push(asset as u64, d);
         info.vectors_scanned += 1;
+        info.bytes_scanned += inner.dim * 4;
     }
     Ok(SearchResponse {
         results: top

@@ -20,6 +20,10 @@
 //!   optimizer choosing pre- vs post-filtering (§3.5).
 //! * **Batch multi-query optimization**: partition scans shared across
 //!   a query batch via blocked matrix multiplication (§3.4).
+//! * **Pluggable vector codecs**: the default [`VectorCodec::F32`]
+//!   scans full-precision vectors; [`VectorCodec::Sq8`] scans
+//!   per-partition scalar-quantized u8 codes (~4× fewer payload bytes)
+//!   and re-ranks the top `rerank_factor·k` candidates exactly.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 pub mod batch;
 pub mod build;
 mod centroid_index;
+pub mod codec;
 pub mod config;
 pub mod db;
 pub mod error;
@@ -67,6 +72,7 @@ pub mod stats;
 
 pub use batch::BatchResponse;
 pub use build::{RebuildOptions, RebuildReport};
+pub use codec::VectorCodec;
 pub use config::{AttributeDef, Config, DeviceProfile};
 pub use db::{MicroNN, VectorRecord, DELTA_PARTITION};
 pub use error::{Error, Result};

@@ -15,7 +15,7 @@
 //! growth and requests a **full rebuild** once it exceeds the
 //! configured limit (paper: +50%), exactly the trigger of Figure 10.
 
-use micronn_rel::{blob_to_f32, f32_to_blob, RowDecoder, Value};
+use micronn_rel::{f32_to_blob, Value};
 
 use crate::db::{
     meta_int, set_meta_int, MicroNN, DELTA_PARTITION, M_BASELINE_AVG, M_DELTA_COUNT, M_EPOCH,
@@ -83,26 +83,8 @@ impl MicroNN {
         }
 
         // Materialize the (small) delta store.
-        let mut staged: Vec<(i64, i64, Vec<f32>)> = Vec::new(); // (vid, asset, vec)
-        for kv in inner
-            .tables
-            .vectors
-            .scan_pk_prefix_raw(&txn, &[Value::Integer(DELTA_PARTITION)])?
-        {
-            let (_, row) = kv?;
-            let mut dec = RowDecoder::new(&row)?;
-            dec.skip()?;
-            let vid = dec
-                .next_value()?
-                .as_integer()
-                .ok_or_else(|| Error::Config("vid column is not an integer".into()))?;
-            let asset = dec
-                .next_value()?
-                .as_integer()
-                .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
-            let vec = blob_to_f32(dec.next_blob()?)?;
-            staged.push((vid, asset, vec));
-        }
+        let staged =
+            crate::db::read_partition_members(&txn, &inner.tables.vectors, DELTA_PARTITION)?;
 
         let mut touched = std::collections::HashSet::new();
         for (vid, asset, vec) in &staged {
@@ -156,6 +138,26 @@ impl MicroNN {
             inner
                 .row_changes
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        // Codec-aware epilogue: each touched partition's content
+        // changed, so its quantization ranges are retrained and its
+        // codes rewritten. Ranges always reflect the partition's
+        // current members; stale-range drift cannot accumulate across
+        // maintenance cycles.
+        if inner.quantized() {
+            let mut encoded = 0usize;
+            for &ci in &touched {
+                encoded += crate::codec::encode_partition(
+                    &mut txn,
+                    &inner.tables,
+                    inner.dim,
+                    partitions[ci],
+                )?;
+            }
+            inner.row_changes.fetch_add(
+                encoded as u64 + touched.len() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
         set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, 0)?;
         let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;

@@ -1,4 +1,5 @@
-//! ANN and exact KNN search — the paper's Algorithm 2.
+//! ANN and exact KNN search — the paper's Algorithm 2, behind the
+//! pluggable vector-codec scan pipeline.
 //!
 //! A search (1) scans the centroid table for the `n` nearest
 //! partitions, (2) always adds the delta partition, (3) scans the
@@ -6,6 +7,15 @@
 //! private bounded [`TopK`] heap and computes distances over batched
 //! row chunks with the SIMD-friendly kernels — and (4) merges the
 //! per-thread heaps and sorts ("Parallel Sort" in Figure 3).
+//!
+//! Under [`crate::codec::VectorCodec::F32`] (the default) workers
+//! decode raw f32 rows, exactly as before. Under
+//! [`crate::codec::VectorCodec::Sq8`] workers scan the separately
+//! clustered `codes` table — ~4× fewer payload bytes — scoring u8
+//! codes with the asymmetric kernels, keep an enlarged
+//! `rerank_factor·k` candidate pool, and a final re-rank pass
+//! recomputes exact f32 distances for the survivors. The delta
+//! partition never has codes and is always scanned in full precision.
 //!
 //! The post-filtering join of §3.5 happens *inside* the scan: rows
 //! whose attributes fail the predicate are dropped before any distance
@@ -15,8 +25,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use micronn_linalg::{distances_one_to_many, merge_all, Neighbor, TopK};
-use micronn_rel::{Compiled, RowDecoder, Table, Value};
+use micronn_linalg::{distances_one_to_many, merge_all, Neighbor, Sq8Scorer, TopK};
+use micronn_rel::{blob_into_f32, Compiled, RowDecoder, Table, Value};
 use micronn_storage::ReadTxn;
 
 use crate::db::{Inner, DELTA_PARTITION};
@@ -49,25 +59,34 @@ pub(crate) struct FilterCtx<'a> {
 pub(crate) struct ScanCounters {
     pub vectors_scanned: AtomicUsize,
     pub filtered_out: AtomicUsize,
+    pub bytes_scanned: AtomicUsize,
+    pub reranked: AtomicUsize,
 }
 
-/// Scans `partitions` in parallel at snapshot `r`, returning the global
-/// top-k (Algorithm 2 lines 3–11).
+/// Scans `partitions` in parallel at snapshot `r`, returning the
+/// per-codec candidate list (Algorithm 2 lines 3–11). `use_codec`
+/// selects the compressed-domain scan for quantized catalogs; callers
+/// needing exact semantics (exhaustive KNN) pass `false`. With the
+/// codec path active the returned list holds `rerank_factor·k`
+/// *approximate* candidates that must go through [`rerank_exact`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_partitions(
     inner: &Inner,
     r: &ReadTxn,
     partitions: &[i64],
     query: &[f32],
     k: usize,
+    use_codec: bool,
     filter: Option<&FilterCtx<'_>>,
     counters: &ScanCounters,
 ) -> Result<Vec<Neighbor>> {
+    let scan_k = scan_pool_k(inner, k, use_codec);
     let workers = inner.scan_pool.workers().min(partitions.len()).max(1);
     if workers <= 1 || partitions.len() <= 1 {
         // Single-threaded fast path (also used by tiny probe sets).
-        let mut top = TopK::new(k);
+        let mut top = TopK::new(scan_k);
         for &p in partitions {
-            scan_one_partition(inner, r, p, query, &mut top, filter, counters)?;
+            scan_one_partition(inner, r, p, query, &mut top, use_codec, filter, counters)?;
         }
         return Ok(top.into_sorted());
     }
@@ -81,15 +100,15 @@ pub(crate) fn scan_partitions(
             let next = &next;
             let heaps = &heaps;
             move || {
-                let mut top = TopK::new(k);
+                let mut top = TopK::new(scan_k);
                 let outcome = loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&p) = partitions.get(idx) else {
                         break Ok(());
                     };
-                    if let Err(e) =
-                        scan_one_partition(inner, r, p, query, &mut top, filter, counters)
-                    {
+                    if let Err(e) = scan_one_partition(
+                        inner, r, p, query, &mut top, use_codec, filter, counters,
+                    ) {
                         break Err(e);
                     }
                 };
@@ -102,21 +121,66 @@ pub(crate) fn scan_partitions(
     for h in heaps.into_inner() {
         collected.push(h?);
     }
-    Ok(merge_all(collected, k))
+    Ok(merge_all(collected, scan_k))
+}
+
+/// Candidate-pool size per scan: `k` for exact payloads,
+/// `rerank_factor·k` when scoring quantized codes.
+pub(crate) fn scan_pool_k(inner: &Inner, k: usize, use_codec: bool) -> usize {
+    if use_codec && inner.quantized() {
+        k.saturating_mul(inner.cfg.rerank_factor).max(k)
+    } else {
+        k
+    }
 }
 
 /// Rows per batched distance computation.
 const SCAN_CHUNK: usize = 256;
 
+/// The post-filter join of §3.5, shared by the f32 and quantized scan
+/// loops: evaluates the predicate on the row's attributes (a missing
+/// attributes row never matches) and counts rejections.
+fn passes_filter(
+    r: &ReadTxn,
+    filter: Option<&FilterCtx<'_>>,
+    asset: i64,
+    counters: &ScanCounters,
+) -> Result<bool> {
+    let Some(f) = filter else {
+        return Ok(true);
+    };
+    let row = f.attrs.get(r, &[Value::Integer(asset)])?;
+    let matches = match &row {
+        Some(attr_row) => f.compiled.eval(attr_row),
+        None => false,
+    };
+    if !matches {
+        counters.filtered_out.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(matches)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn scan_one_partition(
     inner: &Inner,
     r: &ReadTxn,
     partition: i64,
     query: &[f32],
     top: &mut TopK,
+    use_codec: bool,
     filter: Option<&FilterCtx<'_>>,
     counters: &ScanCounters,
 ) -> Result<()> {
+    // Quantized catalogs scan the codes payload when the partition has
+    // trained ranges; the delta store (and any partition encoded
+    // before its first maintenance) falls through to full precision.
+    if use_codec && inner.quantized() && partition != DELTA_PARTITION {
+        if let Some(params) = inner.partition_params(r, partition)? {
+            return scan_one_partition_sq8(
+                inner, r, partition, query, &params, top, filter, counters,
+            );
+        }
+    }
     let dim = inner.dim;
     let mut ids: Vec<i64> = Vec::with_capacity(SCAN_CHUNK);
     let mut flat: Vec<f32> = Vec::with_capacity(SCAN_CHUNK * dim);
@@ -145,16 +209,8 @@ fn scan_one_partition(
             .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
         // Post-filter join: evaluate the predicate before the vector is
         // even decoded, skipping disqualified rows entirely.
-        if let Some(f) = filter {
-            let row = f.attrs.get(r, &[Value::Integer(asset)])?;
-            let matches = match &row {
-                Some(attr_row) => f.compiled.eval(attr_row),
-                None => false,
-            };
-            if !matches {
-                counters.filtered_out.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
+        if !passes_filter(r, filter, asset, counters)? {
+            continue;
         }
         let blob = dec.next_blob()?;
         if blob.len() != dim * 4 {
@@ -170,6 +226,7 @@ fn scan_one_partition(
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
         );
         counters.vectors_scanned.fetch_add(1, Ordering::Relaxed);
+        counters.bytes_scanned.fetch_add(dim * 4, Ordering::Relaxed);
         if ids.len() == SCAN_CHUNK {
             flush(&mut ids, &mut flat, top);
         }
@@ -178,6 +235,90 @@ fn scan_one_partition(
         flush(&mut ids, &mut flat, top);
     }
     Ok(())
+}
+
+/// Compressed-domain partition scan: scores u8 codes with the
+/// asymmetric SQ8 kernels, never touching the f32 payload.
+#[allow(clippy::too_many_arguments)]
+fn scan_one_partition_sq8(
+    inner: &Inner,
+    r: &ReadTxn,
+    partition: i64,
+    query: &[f32],
+    params: &micronn_linalg::Sq8Params,
+    top: &mut TopK,
+    filter: Option<&FilterCtx<'_>>,
+    counters: &ScanCounters,
+) -> Result<()> {
+    let dim = inner.dim;
+    let codes = inner
+        .tables
+        .codes
+        .as_ref()
+        .ok_or_else(|| Error::Config("quantized scan without a codes table".into()))?;
+    let scorer = Sq8Scorer::new(inner.metric, query, params);
+    for kv in codes.scan_pk_prefix_raw(r, &[Value::Integer(partition)])? {
+        let (_, row_bytes) = kv?;
+        let (asset, code) = crate::codec::decode_code_row(&row_bytes, dim)?;
+        // Same post-filter join as the f32 path: disqualified rows are
+        // dropped before any scoring.
+        if !passes_filter(r, filter, asset, counters)? {
+            continue;
+        }
+        top.push(asset as u64, scorer.score(code));
+        counters.vectors_scanned.fetch_add(1, Ordering::Relaxed);
+        counters.bytes_scanned.fetch_add(dim, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Exact re-rank pass of the quantized pipeline: recomputes full f32
+/// distances for the approximate candidate pool and keeps the best
+/// `k`. Uses the same scalar kernel as the exact scan, so F32-codec
+/// results and re-ranked results agree bit-for-bit on shared
+/// candidates.
+pub(crate) fn rerank_exact(
+    inner: &Inner,
+    r: &ReadTxn,
+    query: &[f32],
+    candidates: Vec<Neighbor>,
+    k: usize,
+    counters: &ScanCounters,
+) -> Result<Vec<Neighbor>> {
+    let mut top = TopK::new(k);
+    let mut v: Vec<f32> = Vec::with_capacity(inner.dim);
+    for n in candidates {
+        let asset = n.id as i64;
+        let Some(loc) = inner.tables.assets.get(r, &[Value::Integer(asset)])? else {
+            continue;
+        };
+        // Delta-store candidates were scanned in full precision with
+        // the same kernels: their distances are already exact, so
+        // re-fetching the vector would only repeat work (and
+        // double-count its bytes).
+        if loc[1].as_integer() == Some(DELTA_PARTITION) {
+            top.push(asset as u64, n.distance);
+            continue;
+        }
+        let Some(raw) = inner
+            .tables
+            .vectors
+            .get_raw(r, &[loc[1].clone(), loc[2].clone()])?
+        else {
+            continue;
+        };
+        let mut dec = RowDecoder::new(&raw)?;
+        dec.skip()?;
+        dec.skip()?;
+        dec.skip()?;
+        blob_into_f32(dec.next_blob()?, &mut v)?;
+        top.push(asset as u64, inner.metric.distance(query, &v));
+        counters.reranked.fetch_add(1, Ordering::Relaxed);
+        counters
+            .bytes_scanned
+            .fetch_add(inner.dim * 4, Ordering::Relaxed);
+    }
+    Ok(top.into_sorted())
 }
 
 /// ANN search (Algorithm 2): probe the `n` nearest partitions plus the
@@ -203,11 +344,21 @@ pub(crate) fn ann_search(
         None => Vec::new(),
     };
     partitions.push(DELTA_PARTITION);
-    run_scan(inner, r, &partitions, query, k, filter, plan)
+    run_scan(
+        inner,
+        r,
+        &partitions,
+        query,
+        k,
+        inner.quantized(),
+        filter,
+        plan,
+    )
 }
 
 /// Exact KNN: exhaustive scan over every partition (§3.3 "trivial but
-/// resource intensive").
+/// resource intensive"). Always reads full-precision vectors — exact
+/// semantics are codec-independent.
 pub(crate) fn exact_search(
     inner: &Inner,
     r: &ReadTxn,
@@ -226,24 +377,41 @@ pub(crate) fn exact_search(
         None => Vec::new(),
     };
     partitions.push(DELTA_PARTITION);
-    run_scan(inner, r, &partitions, query, k, filter, PlanUsed::Exact)
+    run_scan(
+        inner,
+        r,
+        &partitions,
+        query,
+        k,
+        false,
+        filter,
+        PlanUsed::Exact,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scan(
     inner: &Inner,
     r: &ReadTxn,
     partitions: &[i64],
     query: &[f32],
     k: usize,
+    use_codec: bool,
     filter: Option<&FilterCtx<'_>>,
     plan: PlanUsed,
 ) -> Result<SearchResponse> {
     let counters = ScanCounters::default();
-    let neighbors = scan_partitions(inner, r, partitions, query, k, filter, &counters)?;
+    let mut neighbors =
+        scan_partitions(inner, r, partitions, query, k, use_codec, filter, &counters)?;
+    if use_codec && inner.quantized() {
+        neighbors = rerank_exact(inner, r, query, neighbors, k, &counters)?;
+    }
     let mut info = QueryInfo::new(plan);
     info.partitions_scanned = partitions.len();
     info.vectors_scanned = counters.vectors_scanned.load(Ordering::Relaxed);
     info.filtered_out = counters.filtered_out.load(Ordering::Relaxed);
+    info.bytes_scanned = counters.bytes_scanned.load(Ordering::Relaxed);
+    info.reranked = counters.reranked.load(Ordering::Relaxed);
     Ok(SearchResponse {
         results: neighbors
             .into_iter()

@@ -46,6 +46,13 @@ pub struct QueryInfo {
     pub filtered_out: usize,
     /// Candidate set size evaluated by a pre-filtering plan.
     pub candidates: usize,
+    /// Vector-payload bytes read by the scan: `4·dim` per f32 row,
+    /// `dim` per SQ8 code row, plus `4·dim` per re-ranked candidate —
+    /// the Figure-5 "bytes scanned" axis.
+    pub bytes_scanned: usize,
+    /// Candidates re-ranked against exact f32 vectors (quantized
+    /// scans only).
+    pub reranked: usize,
 }
 
 impl QueryInfo {
@@ -56,6 +63,8 @@ impl QueryInfo {
             vectors_scanned: 0,
             filtered_out: 0,
             candidates: 0,
+            bytes_scanned: 0,
+            reranked: 0,
         }
     }
 }

@@ -473,7 +473,7 @@ fn crash_without_checkpoint_recovers_index() {
     cfg.store.sync = SyncMode::Off;
     let db = MicroNN::open(&path, cfg).unwrap();
     assert_eq!(db.len().unwrap(), 601);
-    let hit = db.search(&vec![3.5; DIM], 1).unwrap();
+    let hit = db.search(&[3.5; DIM], 1).unwrap();
     assert_eq!(hit.results[0].asset_id, 777);
     // Index is intact: recall sanity on an indexed query.
     let exact = db.exact(&vectors[42], 10, None).unwrap();

@@ -12,12 +12,17 @@
 //!   ([`gemm_nt`] / [`batch_distances`]) behind the batch multi-query
 //!   optimization of §3.4;
 //! * [`topk`] — bounded per-thread top-k heaps and the parallel merge
-//!   of Algorithm 2.
+//!   of Algorithm 2;
+//! * [`sq8`] — per-dimension scalar quantization to u8 codes and the
+//!   asymmetric f32×u8 kernels behind MicroNN's compressed-domain
+//!   partition scans.
 
 pub mod distance;
 pub mod matrix;
+pub mod sq8;
 pub mod topk;
 
 pub use distance::{cosine_distance, distances_one_to_many, dot, l2_sq, norm, normalize, Metric};
 pub use matrix::{batch_distances, gemm_nt, Matrix};
+pub use sq8::{dot_norm_u8, dot_u8, l2_sq_u8, Sq8Params, Sq8Scorer, SQ8_LEVELS};
 pub use topk::{merge_all, Neighbor, TopK};

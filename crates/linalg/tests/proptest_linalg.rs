@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use micronn_linalg::{
-    batch_distances, cosine_distance, dot, l2_sq, merge_all, norm, normalize, Metric, TopK,
+    batch_distances, cosine_distance, dot, l2_sq, merge_all, norm, normalize, Metric, Sq8Params,
+    Sq8Scorer, TopK,
 };
 
 fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -95,6 +96,58 @@ proptest! {
         want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         want.truncate(k);
         prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sq8_round_trip_error_bounded_per_dimension(
+        rows in proptest::collection::vec(vec_strategy(19), 1..40),
+    ) {
+        let dim = 19;
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let params = Sq8Params::train(&flat, dim);
+        for row in &rows {
+            let mut codes = Vec::new();
+            params.encode_into(row, &mut codes);
+            prop_assert_eq!(codes.len(), dim);
+            let mut back = Vec::new();
+            params.decode_into(&codes, &mut back);
+            for d in 0..dim {
+                // In-range values reconstruct within half a
+                // quantization step (plus float slack proportional to
+                // the range magnitude).
+                let bound = params.max_abs_error(d) + 1e-4 * (1.0 + row[d].abs());
+                prop_assert!(
+                    (row[d] - back[d]).abs() <= bound,
+                    "d={} err={} bound={}",
+                    d,
+                    (row[d] - back[d]).abs(),
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_scorer_matches_decoded_distance(
+        rows in proptest::collection::vec(vec_strategy(23), 1..24),
+        q in vec_strategy(23),
+    ) {
+        let dim = 23;
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let params = Sq8Params::train(&flat, dim);
+        for metric in [Metric::L2, Metric::Cosine, Metric::Dot] {
+            let scorer = Sq8Scorer::new(metric, &q, &params);
+            for row in &rows {
+                let mut codes = Vec::new();
+                params.encode_into(row, &mut codes);
+                let mut dec = Vec::new();
+                params.decode_into(&codes, &mut dec);
+                let want = metric.distance(&q, &dec);
+                let got = scorer.score(&codes);
+                let tol = 5e-3 * (1.0 + want.abs());
+                prop_assert!((got - want).abs() <= tol, "{} {} vs {}", metric, got, want);
+            }
+        }
     }
 
     #[test]

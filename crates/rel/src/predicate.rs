@@ -326,7 +326,7 @@ mod tests {
         let e = Expr::eq("location", "NYC").or(Expr::gt("taken_at", 200i64));
         assert!(!e.compile(&s).unwrap().eval(&r));
         assert!(Expr::True.compile(&s).unwrap().eval(&r));
-        assert!(Expr::True.not().compile(&s).unwrap().eval(&r) == false);
+        assert!(!Expr::True.not().compile(&s).unwrap().eval(&r));
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl ColumnStats {
                 last.1 += 1;
             }
         }
-        freqs.sort_by(|a, b| b.1.cmp(&a.1));
+        freqs.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         let mcv: Vec<(Value, u64)> = freqs
             .iter()
             .take(MCV_LIMIT)
@@ -471,7 +471,7 @@ mod tests {
         assert_eq!(s.nulls, 500);
         // Half the rows are NULL, so even `< max` qualifies < 0.55.
         let est = s.estimate_cmp(CmpOp::Le, &Value::Integer(499));
-        assert!(est <= 0.55 && est >= 0.45, "got {est}");
+        assert!((0.45..=0.55).contains(&est), "got {est}");
     }
 
     #[test]

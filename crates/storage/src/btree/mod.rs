@@ -827,7 +827,7 @@ mod tests {
         txn.commit().unwrap();
         // All tree pages (incl. overflow chains) are on the freelist.
         assert_eq!(
-            store.freelist_len() as u32,
+            store.freelist_len(),
             after_fill - before_alloc,
             "every allocated page was freed"
         );

@@ -501,7 +501,7 @@ mod tests {
         assert_eq!(right.rightmost, 999);
         // Left's rightmost is the promoted cell's child.
         let promoted_child = node.rightmost;
-        assert!(promoted_child >= 100 && promoted_child < 110);
+        assert!((100..110).contains(&promoted_child));
     }
 
     #[test]

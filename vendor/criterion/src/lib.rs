@@ -61,7 +61,7 @@ impl fmt::Display for BenchmarkId {
 }
 
 fn measurement_window() -> Duration {
-    if std::env::var("MICRONN_BENCH_FAST").map_or(false, |v| v == "1") {
+    if std::env::var("MICRONN_BENCH_FAST").is_ok_and(|v| v == "1") {
         Duration::from_millis(5)
     } else {
         Duration::from_millis(100)
@@ -203,14 +203,9 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 /// Top-level bench driver (shim: prints one line per benchmark).
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
