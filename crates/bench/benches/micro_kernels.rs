@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use micronn_linalg::{batch_distances, dot, l2_sq, Metric, TopK};
+use micronn_linalg::{batch_distances, dot, l2_sq, Metric, Sq8Params, Sq8Scorer, TopK};
 use micronn_rel::{encode_key, Value};
 use micronn_storage::{BTree, Store, StoreOptions, SyncMode};
 
@@ -55,6 +55,45 @@ fn bench_batch_gemm(c: &mut Criterion) {
                     dim,
                     &mut out,
                 )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Chunked SQ8 scoring (`Sq8Scorer::score_chunk`, the scan frame's
+/// batched kernel) against the row-at-a-time `score` loop it replaced,
+/// on the same code block. Both fill one score per row.
+fn bench_sq8_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sq8_scan");
+    let rows = 1024usize;
+    for dim in [96usize, 128, 512] {
+        let data: Vec<f32> = (0..rows)
+            .flat_map(|i| pseudo_vec(7 + i as u64, dim))
+            .collect();
+        let params = Sq8Params::train(&data, dim);
+        let mut block: Vec<u8> = Vec::with_capacity(rows * dim);
+        for row in data.chunks_exact(dim) {
+            params.encode_into(row, &mut block);
+        }
+        let query = pseudo_vec(999, dim);
+        let scorer = Sq8Scorer::new(Metric::L2, &query, &params);
+        let mut out = Vec::with_capacity(rows);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("row_at_a_time_1024", dim), &dim, |b, _| {
+            b.iter(|| {
+                out.clear();
+                for row in std::hint::black_box(&block[..]).chunks_exact(dim) {
+                    out.push(scorer.score(row));
+                }
+                out.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("score_chunk_1024", dim), &dim, |b, _| {
+            b.iter(|| {
+                out.clear();
+                scorer.score_chunk(std::hint::black_box(&block[..]), &mut out);
+                out.len()
             })
         });
     }
@@ -174,6 +213,7 @@ criterion_group!(
     benches,
     bench_distance_kernels,
     bench_batch_gemm,
+    bench_sq8_scan,
     bench_topk,
     bench_key_codec,
     bench_btree,

@@ -1,7 +1,7 @@
 //! `micronn-cluster`: vector quantization for the MicroNN IVF index.
 //!
 //! Implements the paper's Algorithm 1 — mini-batch k-means (Sculley
-//! [35]) with flexible balance constraints (Liu et al. [22]) over a
+//! \[35\]) with flexible balance constraints (Liu et al. \[22\]) over a
 //! streaming [`VectorSource`] so that index construction runs in
 //! `O(batch)` memory — plus full-memory Lloyd's k-means as the
 //! InMemory baseline quantizer used throughout the paper's evaluation

@@ -4,11 +4,11 @@
 //! Two deviations from textbook k-means make the quantizer fit
 //! on-device constraints (§3.1):
 //!
-//! 1. **Mini-batches** (Sculley [35]): each iteration samples a small
+//! 1. **Mini-batches** (Sculley \[35\]): each iteration samples a small
 //!    uniform batch through the streaming [`VectorSource`], so memory
 //!    is `O(batch + k·dim)` instead of `O(n·dim)` — this is what
 //!    Figures 6b and 8b measure.
-//! 2. **Balance penalty** (Liu et al. [22]): the `NEAREST` step scales
+//! 2. **Balance penalty** (Liu et al. \[22\]): the `NEAREST` step scales
 //!    each centroid's distance by a factor that grows with the
 //!    cluster's current size, so "vectors are spread out among nearby
 //!    clusters instead of creating a few 'mega' clusters".
@@ -166,7 +166,7 @@ pub fn train<S: VectorSource + ?Sized>(
 
 /// Final assignment pass (Algorithm 1 lines 14–16): streams the whole
 /// collection in chunks and maps each vector id to its partition.
-/// With `balanced` the running-count penalty of [22] is applied so
+/// With `balanced` the running-count penalty of \[22\] is applied so
 /// partition sizes stay near `n/k`.
 pub fn assign_all<S: VectorSource + ?Sized>(
     source: &S,

@@ -54,7 +54,7 @@ impl Clustering {
     }
 
     /// Mutable centroid access (used by incremental maintenance to
-    /// fold delta vectors into a centroid's running mean, per [1]).
+    /// fold delta vectors into a centroid's running mean, per \[1\]).
     pub fn centroid_mut(&mut self, i: usize) -> &mut [f32] {
         &mut self.centroids[i * self.dim..(i + 1) * self.dim]
     }

@@ -9,26 +9,25 @@
 //! (the I/O amortization of Figure 9), and per-(partition, query)
 //! results merge through the usual heap machinery.
 //!
-//! Both MQO phases run on the persistent scan pool: phase 1 fans the
-//! per-query probe selections out across workers (each query still
-//! goes through the exact `nearest_partitions` routine of the
-//! single-query path, so probe sets match it bit for bit), and phase 2
-//! fans out the partition scans. Under the SQ8 codec phase 2 scans the
-//! quantized codes payload and a per-query exact re-rank pass follows
-//! the merge, mirroring the single-query pipeline.
+//! All three MQO phases are one-liners over the scan pool's typed
+//! `parallel_indexed` primitive: phase 1 fans the per-query probe
+//! selections out (each query still goes through the exact
+//! `nearest_partitions` routine of the single-query path, so probe
+//! sets match it bit for bit), phase 2 fans out the shared partition
+//! scans through the executor's `PartitionScanner` frame, and phase 3
+//! fans out the per-query exact re-rank under the SQ8 codec.
+//! Results return in index order and the first error (by partition or
+//! query index) is reported deterministically, whatever the worker
+//! count.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use micronn_linalg::{merge_all, Neighbor, TopK};
 
-use micronn_linalg::{batch_distances, merge_all, Sq8Scorer, TopK};
-use micronn_rel::{RowDecoder, Value};
-use micronn_storage::ReadTxn;
-
-use crate::db::{Inner, MicroNN, DELTA_PARTITION};
+use crate::db::{MicroNN, DELTA_PARTITION};
 use crate::error::{Error, Result};
-use crate::search::{rerank_exact, scan_pool_k, ScanCounters, SearchResult};
+use crate::exec::{rerank_exact, scan_pool_k, PartitionScanner, Queries, ScanMetrics};
+use crate::search::SearchResult;
 
 /// Results of a batch search plus aggregate execution counters.
 #[derive(Debug, Clone)]
@@ -45,9 +44,6 @@ pub struct BatchResponse {
     /// accounting as [`crate::QueryInfo::bytes_scanned`]).
     pub bytes_scanned: usize,
 }
-
-/// Rows per matrix-multiplication block while scanning a partition.
-const BATCH_ROW_CHUNK: usize = 1024;
 
 impl MicroNN {
     /// Executes a batch of ANN queries with multi-query optimization.
@@ -86,46 +82,17 @@ impl MicroNN {
         // Phase 1: probe selection, per query, through the exact same
         // routine the single-query path uses (`nearest_partitions`,
         // including the two-level centroid index when present) — so
-        // probe sets match the sequential path *bit for bit* — but
-        // dispatched across the scan pool: each worker pulls query
-        // indexes from a shared counter, and the per-query lists are
-        // reassembled in query order afterwards, keeping the grouping
-        // deterministic regardless of worker count.
+        // probe sets match the sequential path *bit for bit* — fanned
+        // out across the scan pool with per-query lists returned in
+        // query order, keeping the grouping deterministic regardless
+        // of worker count.
         let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
         if let Some(index) = inner.clustering(&r)? {
-            let mut probe_lists: Vec<Vec<i64>> = vec![Vec::new(); nq];
-            let workers = inner.scan_pool.workers().min(nq).max(1);
-            if workers <= 1 {
-                for (qi, q) in queries.iter().enumerate() {
-                    probe_lists[qi] = index.nearest_partitions(q, probes);
-                }
-            } else {
-                let next = AtomicUsize::new(0);
-                let selected: Mutex<Vec<(u32, Vec<i64>)>> = Mutex::new(Vec::with_capacity(nq));
-                let index = &index;
-                let jobs: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        let selected = &selected;
-                        let queries_flat = &queries_flat;
-                        move || loop {
-                            let qi = next.fetch_add(1, Ordering::Relaxed);
-                            if qi >= nq {
-                                return;
-                            }
-                            let list = index.nearest_partitions(
-                                &queries_flat[qi * dim..(qi + 1) * dim],
-                                probes,
-                            );
-                            selected.lock().push((qi as u32, list));
-                        }
-                    })
-                    .collect();
-                inner.scan_pool.run_scoped(jobs);
-                for (qi, list) in selected.into_inner() {
-                    probe_lists[qi as usize] = list;
-                }
-            }
+            let index = &index;
+            let queries_flat = &queries_flat;
+            let probe_lists: Vec<Vec<i64>> = inner.scan_pool.parallel_indexed(nq, |qi| {
+                Ok(index.nearest_partitions(&queries_flat[qi * dim..(qi + 1) * dim], probes))
+            })?;
             for (qi, list) in probe_lists.into_iter().enumerate() {
                 for pid in list {
                     groups.entry(pid).or_default().push(qi as u32);
@@ -139,124 +106,73 @@ impl MicroNN {
         partitions.sort_unstable();
 
         // Phase 2: scan each partition once; per-partition GEMM (or
-        // SQ8 code scoring) against its query group. Quantized scans
-        // keep enlarged per-query pools for the re-rank pass.
+        // batched SQ8 code scoring) against its query group through
+        // the shared scan frame. Quantized scans keep enlarged
+        // per-query pools for the re-rank pass.
         let scan_k = scan_pool_k(inner, k, true);
-        let next = AtomicUsize::new(0);
-        let partials: Mutex<Vec<(u32, TopK)>> = Mutex::new(Vec::new());
-        let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
-        let distance_computations = AtomicUsize::new(0);
-        let counters = ScanCounters::default();
-        let workers = inner.scan_pool.workers().min(partitions.len()).max(1);
-        let jobs: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                let partials = &partials;
-                let errors = &errors;
-                let groups = &groups;
-                let partitions = &partitions;
-                let queries_flat = &queries_flat;
-                let distance_computations = &distance_computations;
-                let counters = &counters;
-                let r = &r;
-                move || loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&pid) = partitions.get(idx) else {
-                        return;
-                    };
-                    let group = &groups[&pid];
-                    match scan_partition_for_group(
-                        inner,
-                        r,
-                        pid,
-                        group,
-                        queries_flat,
-                        dim,
-                        scan_k,
-                        counters,
-                    ) {
-                        Ok(done) => {
-                            distance_computations.fetch_add(done.1, Ordering::Relaxed);
-                            partials.lock().extend(done.0);
-                        }
-                        Err(e) => {
-                            errors.lock().push(e);
-                            return;
-                        }
-                    }
-                }
-            })
-            .collect();
-        inner.scan_pool.run_scoped(jobs);
-        if let Some(e) = errors.into_inner().into_iter().next() {
-            return Err(e);
-        }
+        let metrics = ScanMetrics::default();
+        let scanner = PartitionScanner {
+            inner,
+            r: &r,
+            filter: None,
+            metrics: &metrics,
+            use_codec: true,
+        };
+        let partials: Vec<Vec<TopK>> = {
+            let groups = &groups;
+            let partitions = &partitions;
+            let queries_flat = &queries_flat;
+            inner.scan_pool.parallel_indexed(partitions.len(), |i| {
+                let group = &groups[&partitions[i]];
+                let mut heaps: Vec<TopK> = group.iter().map(|_| TopK::new(scan_k)).collect();
+                scanner.scan(
+                    partitions[i],
+                    &Queries::Group {
+                        flat: queries_flat,
+                        members: group,
+                    },
+                    &mut heaps,
+                )?;
+                Ok(heaps)
+            })?
+        };
 
         // Phase 3: merge per-partition heaps per query, then sort;
         // quantized catalogs re-rank each query's merged pool against
-        // the exact f32 vectors (the same pass as single-query search),
-        // fanned out across the scan pool like the other phases — the
-        // per-query pools are independent.
+        // the exact f32 vectors (the same pass as single-query
+        // search), fanned out across the scan pool like the other
+        // phases — the per-query pools are independent.
         let mut per_query: Vec<Vec<TopK>> = (0..nq).map(|_| Vec::new()).collect();
-        for (qi, top) in partials.into_inner() {
-            per_query[qi as usize].push(top);
+        for (i, heaps) in partials.into_iter().enumerate() {
+            let group = &groups[&partitions[i]];
+            for (&qi, top) in group.iter().zip(heaps) {
+                per_query[qi as usize].push(top);
+            }
         }
         let quantized = inner.quantized();
-        let mut merged: Vec<Vec<micronn_linalg::Neighbor>> = per_query
+        let mut merged: Vec<Vec<Neighbor>> = per_query
             .into_iter()
             .map(|heaps| merge_all(heaps, scan_k))
             .collect();
+        let mut distance_computations = metrics.distance_computations();
         if quantized {
             let pools = std::mem::take(&mut merged);
-            let next = AtomicUsize::new(0);
-            let reranked: Mutex<Vec<(usize, Vec<micronn_linalg::Neighbor>)>> =
-                Mutex::new(Vec::with_capacity(nq));
-            let errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
-            let pools_ref = &pools;
-            let workers = inner.scan_pool.workers().min(nq).max(1);
-            let jobs: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    let reranked = &reranked;
-                    let errors = &errors;
-                    let counters = &counters;
-                    let queries_flat = &queries_flat;
-                    let r = &r;
-                    move || loop {
-                        let qi = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(pool) = pools_ref.get(qi) else {
-                            return;
-                        };
-                        match rerank_exact(
-                            inner,
-                            r,
-                            &queries_flat[qi * dim..(qi + 1) * dim],
-                            pool.clone(),
-                            k,
-                            counters,
-                        ) {
-                            Ok(top) => reranked.lock().push((qi, top)),
-                            Err(e) => {
-                                errors.lock().push(e);
-                                return;
-                            }
-                        }
-                    }
-                })
-                .collect();
-            inner.scan_pool.run_scoped(jobs);
-            if let Some(e) = errors.into_inner().into_iter().next() {
-                return Err(e);
-            }
-            let mut out = reranked.into_inner();
-            if out.len() != nq {
-                return Err(Error::Config("batch re-rank lost a query".into()));
-            }
-            out.sort_unstable_by_key(|&(qi, _)| qi);
-            merged = out.into_iter().map(|(_, top)| top).collect();
+            let pools = &pools;
+            let queries_flat = &queries_flat;
+            let metrics = &metrics;
+            let r = &r;
+            merged = inner.scan_pool.parallel_indexed(nq, |qi| {
+                rerank_exact(
+                    inner,
+                    r,
+                    &queries_flat[qi * dim..(qi + 1) * dim],
+                    pools[qi].clone(),
+                    k,
+                    metrics,
+                )
+            })?;
             // Exact re-rank recomputations count as distance work.
-            distance_computations
-                .fetch_add(counters.reranked.load(Ordering::Relaxed), Ordering::Relaxed);
+            distance_computations += metrics.reranked();
         }
         let results = merged
             .into_iter()
@@ -272,8 +188,8 @@ impl MicroNN {
         Ok(BatchResponse {
             results,
             partitions_scanned: partitions.len(),
-            distance_computations: distance_computations.load(Ordering::Relaxed),
-            bytes_scanned: counters.bytes_scanned.load(Ordering::Relaxed),
+            distance_computations,
+            bytes_scanned: metrics.bytes_scanned(),
         })
     }
 
@@ -293,142 +209,4 @@ impl MicroNN {
         }
         Ok(out)
     }
-}
-
-/// Scans one partition once for every query in `group`. Returns the
-/// per-query local heaps and the number of distance computations.
-#[allow(clippy::too_many_arguments)]
-fn scan_partition_for_group(
-    inner: &Inner,
-    r: &ReadTxn,
-    partition: i64,
-    group: &[u32],
-    queries_flat: &[f32],
-    dim: usize,
-    k: usize,
-    counters: &ScanCounters,
-) -> Result<(Vec<(u32, TopK)>, usize)> {
-    if inner.quantized() && partition != DELTA_PARTITION {
-        if let Some(params) = inner.partition_params(r, partition)? {
-            return scan_codes_for_group(
-                inner,
-                r,
-                partition,
-                group,
-                queries_flat,
-                dim,
-                k,
-                &params,
-                counters,
-            );
-        }
-    }
-    // Gather the group's query vectors into a contiguous sub-matrix.
-    let gq = group.len();
-    let mut sub = Vec::with_capacity(gq * dim);
-    for &qi in group {
-        let qi = qi as usize;
-        sub.extend_from_slice(&queries_flat[qi * dim..(qi + 1) * dim]);
-    }
-    let mut heaps: Vec<TopK> = group.iter().map(|_| TopK::new(k)).collect();
-    let mut ids: Vec<i64> = Vec::with_capacity(BATCH_ROW_CHUNK);
-    let mut rows: Vec<f32> = Vec::with_capacity(BATCH_ROW_CHUNK * dim);
-    let mut out: Vec<f32> = Vec::new();
-    let mut computations = 0usize;
-    let mut flush = |ids: &mut Vec<i64>, rows: &mut Vec<f32>, heaps: &mut [TopK]| {
-        let nr = ids.len();
-        if nr == 0 {
-            return;
-        }
-        out.clear();
-        out.resize(gq * nr, 0.0);
-        batch_distances(inner.metric, &sub, gq, rows, nr, dim, &mut out);
-        computations += gq * nr;
-        for (local_q, heap) in heaps.iter_mut().enumerate() {
-            let base = local_q * nr;
-            for (j, &id) in ids.iter().enumerate() {
-                heap.push(id as u64, out[base + j]);
-            }
-        }
-        ids.clear();
-        rows.clear();
-    };
-    for kv in inner
-        .tables
-        .vectors
-        .scan_pk_prefix_raw(r, &[Value::Integer(partition)])?
-    {
-        let (_, row_bytes) = kv?;
-        let mut dec = RowDecoder::new(&row_bytes)?;
-        dec.skip()?;
-        dec.skip()?;
-        let asset = dec
-            .next_value()?
-            .as_integer()
-            .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
-        let blob = dec.next_blob()?;
-        if blob.len() != dim * 4 {
-            return Err(Error::Config(format!(
-                "stored vector has {} bytes, expected {}",
-                blob.len(),
-                dim * 4
-            )));
-        }
-        ids.push(asset);
-        rows.extend(
-            blob.chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
-        );
-        counters.bytes_scanned.fetch_add(dim * 4, Ordering::Relaxed);
-        if ids.len() == BATCH_ROW_CHUNK {
-            flush(&mut ids, &mut rows, &mut heaps);
-        }
-    }
-    flush(&mut ids, &mut rows, &mut heaps);
-    Ok((group.iter().copied().zip(heaps).collect(), computations))
-}
-
-/// Quantized variant of the group scan: reads the partition's u8
-/// codes once and scores them against every query in the group with
-/// per-query prepared scorers.
-#[allow(clippy::too_many_arguments)]
-fn scan_codes_for_group(
-    inner: &Inner,
-    r: &ReadTxn,
-    partition: i64,
-    group: &[u32],
-    queries_flat: &[f32],
-    dim: usize,
-    k: usize,
-    params: &micronn_linalg::Sq8Params,
-    counters: &ScanCounters,
-) -> Result<(Vec<(u32, TopK)>, usize)> {
-    let codes = inner
-        .tables
-        .codes
-        .as_ref()
-        .ok_or_else(|| Error::Config("quantized scan without a codes table".into()))?;
-    let scorers: Vec<Sq8Scorer> = group
-        .iter()
-        .map(|&qi| {
-            let qi = qi as usize;
-            Sq8Scorer::new(
-                inner.metric,
-                &queries_flat[qi * dim..(qi + 1) * dim],
-                params,
-            )
-        })
-        .collect();
-    let mut heaps: Vec<TopK> = group.iter().map(|_| TopK::new(k)).collect();
-    let mut computations = 0usize;
-    for kv in codes.scan_pk_prefix_raw(r, &[Value::Integer(partition)])? {
-        let (_, row_bytes) = kv?;
-        let (asset, code) = crate::codec::decode_code_row(&row_bytes, dim)?;
-        for (heap, scorer) in heaps.iter_mut().zip(&scorers) {
-            heap.push(asset as u64, scorer.score(code));
-        }
-        computations += scorers.len();
-        counters.bytes_scanned.fetch_add(dim, Ordering::Relaxed);
-    }
-    Ok((group.iter().copied().zip(heaps).collect(), computations))
 }

@@ -13,6 +13,10 @@
 //! micronnctl checkpoint <db>
 //! ```
 //!
+//! Every command that opens an existing database accepts
+//! `--workers N` (plumbed to `Config::workers`) to size the scan
+//! pool; `0`/omitted uses one worker per available core (capped at 8).
+//!
 //! Filter expressions are single comparisons: `col=value`, `col!=v`,
 //! `col<v`, `col<=v`, `col>v`, `col>=v`, or `col~"full text query"`;
 //! combine with ` AND ` / ` OR `.
@@ -80,7 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "backup" => {
             let (db_path, rest) = take_path(&args[1..])?;
             let dest = rest.first().ok_or("backup: missing destination path")?;
-            let db = open(&db_path)?;
+            let db = open(&db_path, rest)?;
             db.backup_to(dest).map_err(stringify)?;
             println!("backup written to {dest}");
             Ok(())
@@ -98,16 +102,22 @@ fn take_path(args: &[String]) -> Result<(String, &[String]), String> {
     Ok((path, &args[1..]))
 }
 
-fn open(path: &str) -> Result<MicroNN, String> {
-    MicroNN::open(path, Config::default()).map_err(stringify)
+/// Opens `path` with runtime knobs (currently `--workers`) parsed from
+/// the remaining arguments.
+fn open(path: &str, rest: &[String]) -> Result<MicroNN, String> {
+    let mut config = Config::default();
+    if let Some(w) = flag_value(rest, "--workers") {
+        config.workers = w.parse().map_err(|_| "bad --workers")?;
+    }
+    MicroNN::open(path, config).map_err(stringify)
 }
 
 fn cmd_simple(
     args: &[String],
     f: impl FnOnce(&MicroNN) -> Result<(), String>,
 ) -> Result<(), String> {
-    let (path, _) = take_path(args)?;
-    f(&open(&path)?)
+    let (path, rest) = take_path(args)?;
+    f(&open(&path, rest)?)
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -118,8 +128,8 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let (path, _) = take_path(args)?;
-    let db = open(&path)?;
+    let (path, rest) = take_path(args)?;
+    let db = open(&path, rest)?;
     let s = db.stats().map_err(stringify)?;
     println!("path:                {path}");
     println!("dimension:           {}", db.dim());
@@ -196,7 +206,7 @@ fn parse_attr(spec: &str) -> Result<AttributeDef, String> {
 fn cmd_import(args: &[String]) -> Result<(), String> {
     let (path, rest) = take_path(args)?;
     let csv = rest.first().ok_or("import: missing csv path")?;
-    let db = open(&path)?;
+    let db = open(&path, rest)?;
     let dim = db.dim();
     let content = std::fs::read_to_string(csv).map_err(|e| format!("read {csv}: {e}"))?;
     let mut batch = Vec::with_capacity(1024);
@@ -255,7 +265,7 @@ fn parse_value(s: &str) -> Value {
 
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let (path, rest) = take_path(args)?;
-    let db = open(&path)?;
+    let db = open(&path, rest)?;
     let query_str = flag_value(rest, "--query").ok_or("search: --query is required")?;
     let query: Vec<f32> = query_str
         .split(',')
@@ -285,9 +295,19 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         db.search_with(&req).map_err(stringify)?
     };
     let elapsed = t.elapsed();
+    // The full execution counters, so codec and executor behaviour is
+    // inspectable from the CLI (bytes scanned shrink under SQ8; the
+    // re-rank and filter counters expose the pipeline's extra passes).
     println!(
-        "plan={} partitions={} vectors_scanned={} time={elapsed:?}",
-        resp.info.plan, resp.info.partitions_scanned, resp.info.vectors_scanned
+        "plan={} partitions={} vectors_scanned={} bytes_scanned={} reranked={} \
+         filtered_out={} candidates={} time={elapsed:?}",
+        resp.info.plan,
+        resp.info.partitions_scanned,
+        resp.info.vectors_scanned,
+        resp.info.bytes_scanned,
+        resp.info.reranked,
+        resp.info.filtered_out,
+        resp.info.candidates
     );
     for r in &resp.results {
         println!("{:>20}  {:.6}", r.asset_id, r.distance);

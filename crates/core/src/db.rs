@@ -141,6 +141,9 @@ pub(crate) struct Inner {
     /// maintenance, which bumps the epoch.
     pub quant_cache: RwLock<QuantCache>,
     /// Persistent worker pool for parallel partition scans (Figure 3).
+    /// Every query path fans out through its typed
+    /// `parallel_indexed` primitive; no call site hand-rolls
+    /// dispatch, error capture, or panic handling.
     pub scan_pool: crate::pool::ScanPool,
     /// Total row-level DB mutations (Figure 10d's "No. of DB row
     /// changes").

@@ -1,0 +1,492 @@
+//! The unified scan-executor layer.
+//!
+//! Every query path in the system — single-query ANN, exhaustive exact
+//! KNN, batch-MQO group scans, and both hybrid plans — compiles down
+//! to the machinery in this module:
+//!
+//! * [`PartitionScanner`] is the shared partition-scan frame. It owns
+//!   row iteration over the clustered payload tables, header decode,
+//!   the §3.5 post-filter join (rows failing the attribute predicate
+//!   are dropped *before* any distance computation), and chunked
+//!   scoring for both codecs: f32 rows go through the batched
+//!   one-to-many / GEMM kernels, SQ8 code rows through the batched
+//!   [`Sq8Scorer::score_chunk`] kernel — `SCAN_CHUNK`-row blocks
+//!   either way, never row-at-a-time.
+//! * [`Queries`] selects the query side of a scan: one vector
+//!   (single-query search, exact KNN) or a batch group addressing rows
+//!   of a flat query matrix (MQO phase 2). The f32 kernels differ by
+//!   design — `Queries::One` uses the direct one-to-many kernel,
+//!   `Queries::Group` the norm-identity GEMM of §3.4 — so each path
+//!   keeps its historical bit-exact behaviour.
+//! * [`ScanMetrics`] is the one counter block every path feeds;
+//!   [`ScanMetrics::apply_to`] flows it into
+//!   [`QueryInfo`](crate::stats::QueryInfo), and the accessors feed
+//!   [`BatchResponse`](crate::batch::BatchResponse).
+//! * [`rerank_exact`] and [`score_candidates`] are the two
+//!   fetch-by-key scoring tails: the exact re-rank pass of the
+//!   quantized pipeline and the brute-force tail of the pre-filtering
+//!   plan.
+//!
+//! Fan-out across partitions or queries is *not* handled here: call
+//! sites pass per-index jobs to
+//! [`ScanPool::parallel_indexed`](crate::pool::ScanPool), which owns
+//! the work-stealing cursor, panic propagation, and deterministic
+//! first-error capture.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use micronn_linalg::{batch_distances, distances_one_to_many, Neighbor, Sq8Scorer, TopK};
+use micronn_rel::{blob_into_f32, Compiled, RowDecoder, Table, Value};
+use micronn_storage::ReadTxn;
+
+use crate::db::{Inner, DELTA_PARTITION};
+use crate::error::{Error, Result};
+use crate::stats::QueryInfo;
+
+/// Rows per batched distance computation in single-query scans.
+pub(crate) const SCAN_CHUNK: usize = 256;
+
+/// Rows per matrix-multiplication block in batch group scans.
+pub(crate) const BATCH_ROW_CHUNK: usize = 1024;
+
+/// Attribute-filter context applied during partition scans: the §3.5
+/// post-filter join evaluates `compiled` against each row's attributes
+/// before the vector is decoded or scored.
+pub(crate) struct FilterCtx<'a> {
+    pub attrs: &'a Table,
+    pub compiled: Compiled,
+}
+
+/// The unified scan counters: one atomic block shared by every worker
+/// of a scan (single-query, batch, hybrid), replacing the per-path
+/// counter structs that used to live in `search` and `batch`.
+#[derive(Default)]
+pub(crate) struct ScanMetrics {
+    /// Vectors whose distance was computed.
+    pub vectors_scanned: AtomicUsize,
+    /// Rows dropped by the post-filter join before scoring.
+    pub filtered_out: AtomicUsize,
+    /// Vector-payload bytes read (`4·dim` per f32 row, `dim` per SQ8
+    /// code row, plus `4·dim` per re-ranked candidate).
+    pub bytes_scanned: AtomicUsize,
+    /// Candidates re-ranked against exact f32 vectors.
+    pub reranked: AtomicUsize,
+    /// `(query, vector)` distance computations (quantized scores
+    /// included, re-rank recomputations excluded — callers add
+    /// [`ScanMetrics::reranked`] when they want them counted).
+    pub distance_computations: AtomicUsize,
+}
+
+impl ScanMetrics {
+    /// Flows the counters into a query's [`QueryInfo`].
+    pub fn apply_to(&self, info: &mut QueryInfo) {
+        info.vectors_scanned = self.vectors_scanned.load(Ordering::Relaxed);
+        info.filtered_out = self.filtered_out.load(Ordering::Relaxed);
+        info.bytes_scanned = self.bytes_scanned.load(Ordering::Relaxed);
+        info.reranked = self.reranked.load(Ordering::Relaxed);
+    }
+
+    /// Total distance computations so far.
+    pub fn distance_computations(&self) -> usize {
+        self.distance_computations.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes read so far.
+    pub fn bytes_scanned(&self) -> usize {
+        self.bytes_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Total exactly re-ranked candidates so far.
+    pub fn reranked(&self) -> usize {
+        self.reranked.load(Ordering::Relaxed)
+    }
+}
+
+/// The query side of one partition scan.
+pub(crate) enum Queries<'a> {
+    /// A single query vector (single-query search, exact KNN).
+    One(&'a [f32]),
+    /// A batch group: `members` are query indexes into the row-major
+    /// `flat` matrix (`nq × dim`) — MQO phase 2 scans a partition once
+    /// for its whole group.
+    Group { flat: &'a [f32], members: &'a [u32] },
+}
+
+impl Queries<'_> {
+    /// Number of queries scored by this scan (= result heaps needed).
+    pub fn len(&self) -> usize {
+        match self {
+            Queries::One(_) => 1,
+            Queries::Group { members, .. } => members.len(),
+        }
+    }
+}
+
+/// The shared chunked partition-scan frame (Algorithm 2 lines 3–11,
+/// §3.4's shared group scan, and the §3.5 post-filter join). One
+/// scanner is built per scan operation and its [`PartitionScanner::scan`]
+/// is called once per partition — typically from
+/// [`ScanPool::parallel_indexed`](crate::pool::ScanPool) jobs, so the
+/// scanner holds only shared state (`&self`), and all counters are the
+/// atomics in [`ScanMetrics`].
+pub(crate) struct PartitionScanner<'a> {
+    pub inner: &'a Inner,
+    pub r: &'a ReadTxn,
+    /// Optional §3.5 post-filter; `None` scans every row.
+    pub filter: Option<&'a FilterCtx<'a>>,
+    pub metrics: &'a ScanMetrics,
+    /// Score quantized codes where the catalog has them. Exact KNN
+    /// passes `false`: exact semantics are codec-independent.
+    pub use_codec: bool,
+}
+
+impl PartitionScanner<'_> {
+    /// Scans one partition, offering every qualifying row to the
+    /// query-aligned `heaps` (`heaps.len() == queries.len()`).
+    ///
+    /// Quantized catalogs scan the partition's u8 codes when it has
+    /// trained ranges; the delta store (and any partition not yet
+    /// encoded by maintenance) falls through to full precision.
+    pub fn scan(&self, partition: i64, queries: &Queries<'_>, heaps: &mut [TopK]) -> Result<()> {
+        debug_assert_eq!(queries.len(), heaps.len());
+        if self.use_codec && self.inner.quantized() && partition != DELTA_PARTITION {
+            if let Some(params) = self.inner.partition_params(self.r, partition)? {
+                return self.scan_codes(partition, queries, &params, heaps);
+            }
+        }
+        self.scan_vectors(partition, queries, heaps)
+    }
+
+    /// The post-filter join of §3.5: evaluates the predicate on the
+    /// row's attributes (a missing attributes row never matches) and
+    /// counts rejections.
+    fn passes_filter(&self, asset: i64) -> Result<bool> {
+        let Some(f) = self.filter else {
+            return Ok(true);
+        };
+        let row = f.attrs.get(self.r, &[Value::Integer(asset)])?;
+        let matches = match &row {
+            Some(attr_row) => f.compiled.eval(attr_row),
+            None => false,
+        };
+        if !matches {
+            self.metrics.filtered_out.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(matches)
+    }
+
+    /// Full-precision scan frame: decodes f32 rows into `chunk`-row
+    /// blocks and scores each block with one batched kernel call.
+    fn scan_vectors(
+        &self,
+        partition: i64,
+        queries: &Queries<'_>,
+        heaps: &mut [TopK],
+    ) -> Result<()> {
+        let dim = self.inner.dim;
+        // The group path gathers its queries into a contiguous
+        // sub-matrix once per scan, then runs the §3.4 GEMM per block.
+        let gathered: Vec<f32>;
+        let (qmat, chunk) = match queries {
+            Queries::One(q) => (*q, SCAN_CHUNK),
+            Queries::Group { flat, members } => {
+                let mut sub = Vec::with_capacity(members.len() * dim);
+                for &qi in *members {
+                    let qi = qi as usize;
+                    sub.extend_from_slice(&flat[qi * dim..(qi + 1) * dim]);
+                }
+                gathered = sub;
+                (&gathered[..], BATCH_ROW_CHUNK)
+            }
+        };
+        let grouped = matches!(queries, Queries::Group { .. });
+        let mut ids: Vec<i64> = Vec::with_capacity(chunk);
+        let mut rows: Vec<f32> = Vec::with_capacity(chunk * dim);
+        let mut scores: Vec<f32> = Vec::new();
+        for kv in self
+            .inner
+            .tables
+            .vectors
+            .scan_pk_prefix_raw(self.r, &[Value::Integer(partition)])?
+        {
+            let (_, row_bytes) = kv?;
+            let mut dec = RowDecoder::new(&row_bytes)?;
+            dec.skip()?; // partition
+            dec.skip()?; // vid
+            let asset = dec
+                .next_value()?
+                .as_integer()
+                .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
+            // Post-filter join: evaluate the predicate before the
+            // vector is even decoded, skipping disqualified rows
+            // (their payload is never touched, not even validated).
+            if !self.passes_filter(asset)? {
+                continue;
+            }
+            let blob = dec.next_blob()?;
+            if blob.len() != dim * 4 {
+                return Err(Error::Config(format!(
+                    "stored vector has {} bytes, expected {}",
+                    blob.len(),
+                    dim * 4
+                )));
+            }
+            ids.push(asset);
+            rows.extend(
+                blob.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+            );
+            self.metrics.vectors_scanned.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .bytes_scanned
+                .fetch_add(dim * 4, Ordering::Relaxed);
+            if ids.len() == chunk {
+                self.flush_f32(qmat, grouped, &mut ids, &mut rows, &mut scores, heaps);
+            }
+        }
+        self.flush_f32(qmat, grouped, &mut ids, &mut rows, &mut scores, heaps);
+        Ok(())
+    }
+
+    /// Scores one accumulated f32 block and drains the buffers.
+    fn flush_f32(
+        &self,
+        qmat: &[f32],
+        grouped: bool,
+        ids: &mut Vec<i64>,
+        rows: &mut Vec<f32>,
+        scores: &mut Vec<f32>,
+        heaps: &mut [TopK],
+    ) {
+        let nr = ids.len();
+        if nr == 0 {
+            return;
+        }
+        let dim = self.inner.dim;
+        let nq = heaps.len();
+        scores.clear();
+        if grouped {
+            // §3.4: one matrix multiplication per (partition block,
+            // query group) — the norm-identity kernel.
+            scores.resize(nq * nr, 0.0);
+            batch_distances(self.inner.metric, qmat, nq, rows, nr, dim, scores);
+            for (local_q, heap) in heaps.iter_mut().enumerate() {
+                let base = local_q * nr;
+                for (j, &id) in ids.iter().enumerate() {
+                    heap.push(id as u64, scores[base + j]);
+                }
+            }
+        } else {
+            // Single query: the direct one-to-many kernel (bit-exact
+            // with the scalar `Metric::distance` used by re-ranking).
+            distances_one_to_many(self.inner.metric, qmat, rows, dim, scores);
+            for (j, &id) in ids.iter().enumerate() {
+                heaps[0].push(id as u64, scores[j]);
+            }
+        }
+        self.metrics
+            .distance_computations
+            .fetch_add(nq * nr, Ordering::Relaxed);
+        ids.clear();
+        rows.clear();
+    }
+
+    /// Compressed-domain scan frame: scores `SCAN_CHUNK`-row blocks of
+    /// u8 codes with the batched asymmetric SQ8 kernel, never touching
+    /// the f32 payload.
+    fn scan_codes(
+        &self,
+        partition: i64,
+        queries: &Queries<'_>,
+        params: &micronn_linalg::Sq8Params,
+        heaps: &mut [TopK],
+    ) -> Result<()> {
+        let dim = self.inner.dim;
+        let codes = self
+            .inner
+            .tables
+            .codes
+            .as_ref()
+            .ok_or_else(|| Error::Config("quantized scan without a codes table".into()))?;
+        let scorers: Vec<Sq8Scorer> = match queries {
+            Queries::One(q) => vec![Sq8Scorer::new(self.inner.metric, q, params)],
+            Queries::Group { flat, members } => members
+                .iter()
+                .map(|&qi| {
+                    let qi = qi as usize;
+                    Sq8Scorer::new(self.inner.metric, &flat[qi * dim..(qi + 1) * dim], params)
+                })
+                .collect(),
+        };
+        let mut ids: Vec<i64> = Vec::with_capacity(SCAN_CHUNK);
+        let mut block: Vec<u8> = Vec::with_capacity(SCAN_CHUNK * dim);
+        let mut scores: Vec<f32> = Vec::with_capacity(SCAN_CHUNK);
+        for kv in codes.scan_pk_prefix_raw(self.r, &[Value::Integer(partition)])? {
+            let (_, row_bytes) = kv?;
+            let (asset, code) = crate::codec::decode_code_row(&row_bytes, dim)?;
+            // Same post-filter join as the f32 frame: disqualified
+            // rows are dropped before any scoring.
+            if !self.passes_filter(asset)? {
+                continue;
+            }
+            ids.push(asset);
+            block.extend_from_slice(code);
+            self.metrics.vectors_scanned.fetch_add(1, Ordering::Relaxed);
+            self.metrics.bytes_scanned.fetch_add(dim, Ordering::Relaxed);
+            if ids.len() == SCAN_CHUNK {
+                flush_codes(&scorers, &mut ids, &mut block, &mut scores, heaps);
+                self.metrics
+                    .distance_computations
+                    .fetch_add(scorers.len() * SCAN_CHUNK, Ordering::Relaxed);
+            }
+        }
+        let tail = ids.len();
+        flush_codes(&scorers, &mut ids, &mut block, &mut scores, heaps);
+        self.metrics
+            .distance_computations
+            .fetch_add(scorers.len() * tail, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Scores one accumulated code block against every prepared scorer and
+/// drains the buffers.
+fn flush_codes(
+    scorers: &[Sq8Scorer],
+    ids: &mut Vec<i64>,
+    block: &mut Vec<u8>,
+    scores: &mut Vec<f32>,
+    heaps: &mut [TopK],
+) {
+    if ids.is_empty() {
+        return;
+    }
+    for (scorer, heap) in scorers.iter().zip(heaps.iter_mut()) {
+        scores.clear();
+        scorer.score_chunk(block, scores);
+        for (j, &id) in ids.iter().enumerate() {
+            heap.push(id as u64, scores[j]);
+        }
+    }
+    ids.clear();
+    block.clear();
+}
+
+/// Candidate-pool size per scan: `k` for exact payloads,
+/// `rerank_factor·k` when scoring quantized codes.
+pub(crate) fn scan_pool_k(inner: &Inner, k: usize, use_codec: bool) -> usize {
+    if use_codec && inner.quantized() {
+        k.saturating_mul(inner.cfg.rerank_factor).max(k)
+    } else {
+        k
+    }
+}
+
+/// Exact re-rank pass of the quantized pipeline: recomputes full f32
+/// distances for the approximate candidate pool and keeps the best
+/// `k`. Uses the same scalar kernel as the exact scan, so F32-codec
+/// results and re-ranked results agree bit-for-bit on shared
+/// candidates.
+pub(crate) fn rerank_exact(
+    inner: &Inner,
+    r: &ReadTxn,
+    query: &[f32],
+    candidates: Vec<Neighbor>,
+    k: usize,
+    metrics: &ScanMetrics,
+) -> Result<Vec<Neighbor>> {
+    let mut top = TopK::new(k);
+    let mut v: Vec<f32> = Vec::with_capacity(inner.dim);
+    for n in candidates {
+        let asset = n.id as i64;
+        let Some(loc) = inner.tables.assets.get(r, &[Value::Integer(asset)])? else {
+            continue;
+        };
+        // Delta-store candidates were scanned in full precision with
+        // the same kernels: their distances are already exact, so
+        // re-fetching the vector would only repeat work (and
+        // double-count its bytes).
+        if loc[1].as_integer() == Some(DELTA_PARTITION) {
+            top.push(asset as u64, n.distance);
+            continue;
+        }
+        let Some(raw) = inner
+            .tables
+            .vectors
+            .get_raw(r, &[loc[1].clone(), loc[2].clone()])?
+        else {
+            continue;
+        };
+        let mut dec = RowDecoder::new(&raw)?;
+        dec.skip()?;
+        dec.skip()?;
+        dec.skip()?;
+        blob_into_f32(dec.next_blob()?, &mut v)?;
+        top.push(asset as u64, inner.metric.distance(query, &v));
+        metrics.reranked.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .bytes_scanned
+            .fetch_add(inner.dim * 4, Ordering::Relaxed);
+    }
+    Ok(top.into_sorted())
+}
+
+/// Brute-force tail of the pre-filtering plan (§3.5): fetches each
+/// qualifying asset's vector by key and scores `SCAN_CHUNK`-row blocks
+/// through the same chunked kernel as the partition frame. 100% recall
+/// within the candidate list.
+pub(crate) fn score_candidates(
+    inner: &Inner,
+    r: &ReadTxn,
+    query: &[f32],
+    assets: &[i64],
+    k: usize,
+    metrics: &ScanMetrics,
+) -> Result<Vec<Neighbor>> {
+    let dim = inner.dim;
+    let mut top = TopK::new(k);
+    let mut ids: Vec<i64> = Vec::with_capacity(SCAN_CHUNK);
+    let mut rows: Vec<f32> = Vec::with_capacity(SCAN_CHUNK * dim);
+    let mut scores: Vec<f32> = Vec::new();
+    let mut v: Vec<f32> = Vec::with_capacity(dim);
+    let mut scored = 0usize;
+    let mut flush = |ids: &mut Vec<i64>, rows: &mut Vec<f32>, top: &mut TopK| {
+        scores.clear();
+        distances_one_to_many(inner.metric, query, rows, dim, &mut scores);
+        for (j, &id) in ids.iter().enumerate() {
+            top.push(id as u64, scores[j]);
+        }
+        scored += ids.len();
+        ids.clear();
+        rows.clear();
+    };
+    for &asset in assets {
+        let Some(loc) = inner.tables.assets.get(r, &[Value::Integer(asset)])? else {
+            continue; // attribute row without a vector
+        };
+        let Some(raw) = inner
+            .tables
+            .vectors
+            .get_raw(r, &[loc[1].clone(), loc[2].clone()])?
+        else {
+            continue;
+        };
+        let mut dec = RowDecoder::new(&raw)?;
+        dec.skip()?;
+        dec.skip()?;
+        dec.skip()?;
+        blob_into_f32(dec.next_blob()?, &mut v)?;
+        ids.push(asset);
+        rows.extend_from_slice(&v);
+        metrics.vectors_scanned.fetch_add(1, Ordering::Relaxed);
+        metrics.bytes_scanned.fetch_add(dim * 4, Ordering::Relaxed);
+        if ids.len() == SCAN_CHUNK {
+            flush(&mut ids, &mut rows, &mut top);
+        }
+    }
+    flush(&mut ids, &mut rows, &mut top);
+    metrics
+        .distance_computations
+        .fetch_add(scored, Ordering::Relaxed);
+    Ok(top.into_sorted())
+}

@@ -16,13 +16,13 @@
 //! against the IVF scan's own "selectivity" `F̂_IVF = n·t/|R|` (Eq. 2)
 //! and picks pre-filtering iff `F̂_filters < F̂_IVF`.
 
-use micronn_linalg::TopK;
-use micronn_rel::{estimate_selectivity, CmpOp, Expr, RowDecoder, Value};
+use micronn_rel::{estimate_selectivity, CmpOp, Expr, Value};
 use micronn_storage::ReadTxn;
 
 use crate::db::{Inner, MicroNN};
 use crate::error::{Error, Result};
-use crate::search::{ann_search, exact_search, FilterCtx, SearchResponse, SearchResult};
+use crate::exec::{score_candidates, FilterCtx, ScanMetrics};
+use crate::search::{ann_search, exact_search, SearchResponse, SearchResult};
 use crate::stats::{PlanUsed, QueryInfo};
 
 /// Plan preference for hybrid queries.
@@ -194,7 +194,8 @@ fn choose_plan(inner: &Inner, r: &ReadTxn, expr: &Expr, probes: usize) -> Result
 }
 
 /// Pre-filtering plan: evaluate the predicate, then brute-force the
-/// qualifying vectors. Guarantees 100% recall within the filter.
+/// qualifying vectors through the executor's chunked fetch-by-key
+/// scoring tail. Guarantees 100% recall within the filter.
 fn pre_filter_search(
     inner: &Inner,
     r: &ReadTxn,
@@ -239,34 +240,13 @@ fn pre_filter_search(
         }
     }
 
-    // Brute-force NN over the qualifying set.
-    let mut top = TopK::new(req.k);
-    for asset in qualifying {
-        let Some(loc) = inner.tables.assets.get(r, &[Value::Integer(asset)])? else {
-            continue; // attribute row without a vector
-        };
-        let Some(raw) = inner
-            .tables
-            .vectors
-            .get_raw(r, &[loc[1].clone(), loc[2].clone()])?
-        else {
-            continue;
-        };
-        let mut dec = RowDecoder::new(&raw)?;
-        dec.skip()?;
-        dec.skip()?;
-        dec.skip()?;
-        let blob = dec.next_blob()?;
-        let mut v = Vec::with_capacity(inner.dim);
-        micronn_rel::blob_into_f32(blob, &mut v)?;
-        let d = inner.metric.distance(&req.query, &v);
-        top.push(asset as u64, d);
-        info.vectors_scanned += 1;
-        info.bytes_scanned += inner.dim * 4;
-    }
+    // Brute-force NN over the qualifying set (chunked, same kernels as
+    // the partition scan frame).
+    let metrics = ScanMetrics::default();
+    let neighbors = score_candidates(inner, r, &req.query, &qualifying, req.k, &metrics)?;
+    metrics.apply_to(&mut info);
     Ok(SearchResponse {
-        results: top
-            .into_sorted()
+        results: neighbors
             .into_iter()
             .map(|n| SearchResult {
                 asset_id: n.id as i64,

@@ -63,6 +63,7 @@ pub mod codec;
 pub mod config;
 pub mod db;
 pub mod error;
+mod exec;
 pub mod hybrid;
 pub mod inmemory;
 pub mod maintain;

@@ -6,11 +6,11 @@
 //! maintenance that flushes vectors from the delta-store by assigning
 //! them to the IVF index partition with the closest centroid and
 //! updates the centroids to reflect the partition content" (a running
-//! mean, after [1] / VLAD). Flushing touches only the delta rows plus
+//! mean, after \[1\] / VLAD). Flushing touches only the delta rows plus
 //! the centroid table — the tiny I/O footprint Figure 10d plots against
 //! a full rebuild.
 //!
-//! The [`IndexMonitor`] half: partition sizes grow as deltas are folded
+//! The "IndexMonitor" half: partition sizes grow as deltas are folded
 //! in, so [`MicroNN::maintenance_status`] tracks average partition
 //! growth and requests a **full rebuild** once it exceeds the
 //! configured limit (paper: +50%), exactly the trigger of Figure 10.

@@ -6,20 +6,28 @@
 //! the pool is created once per database handle and reused by every
 //! search and batch scan.
 //!
-//! [`ScanPool::run_scoped`] executes jobs that *borrow from the
-//! caller's stack* (the read transaction, the query vector, result
-//! mutexes). Soundness follows the classic scoped-pool argument: the
-//! call blocks on a [`WaitGroup`] until every submitted job has
-//! finished (or panicked), so no job can outlive the borrowed
-//! environment; the lifetime transmute below is justified by exactly
-//! that barrier.
+//! [`ScanPool::parallel_indexed`] is the one fan-out primitive every
+//! query path uses: it runs a typed job per index on the pool and
+//! returns the results in index order. The work-stealing cursor,
+//! panic propagation, and first-error capture all live here — call
+//! sites never hand-roll `AtomicUsize` cursors or `Mutex` collectors.
+//!
+//! Jobs *borrow from the caller's stack* (the read transaction, the
+//! query vectors, the result heaps). Soundness follows the classic
+//! scoped-pool argument: the dispatch blocks on a [`WaitGroup`] until
+//! every submitted job has finished (or panicked), so no job can
+//! outlive the borrowed environment; the lifetime transmute below is
+//! justified by exactly that barrier.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::sync::WaitGroup;
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -49,15 +57,84 @@ impl ScanPool {
         ScanPool { sender, workers }
     }
 
-    /// Number of worker threads.
-    pub fn workers(&self) -> usize {
-        self.workers
+    /// Runs `f(0)..f(n - 1)` across the pool and returns the results
+    /// **in index order**.
+    ///
+    /// Work distribution is a shared atomic cursor: each worker claims
+    /// the next unclaimed index, so large items naturally steal less
+    /// work from their neighbours. On failure the *lowest-index* error
+    /// is returned, deterministically: the cursor hands out indexes in
+    /// ascending order and claimed jobs always run to completion, so
+    /// the minimum failing index is always reached regardless of the
+    /// worker count or scheduling. (Later indexes may be skipped once
+    /// a failure is observed.) A panicking job propagates the panic to
+    /// the caller after all in-flight jobs have settled.
+    ///
+    /// With one worker (or one item) the closure runs inline on the
+    /// caller thread, stopping at the first error — the same
+    /// first-error-by-index contract. Must not be called from a pool
+    /// worker itself (jobs scheduling jobs could deadlock a
+    /// single-worker pool).
+    pub fn parallel_indexed<'env, T, F>(&self, n: usize, f: F) -> Result<Vec<T>>
+    where
+        T: Send + 'env,
+        F: Fn(usize) -> Result<T> + Sync + 'env,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let first_error: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+        let jobs: Vec<_> = (0..workers)
+            .map(|_| {
+                let (cursor, failed) = (&cursor, &failed);
+                let (results, first_error, f) = (&results, &first_error, &f);
+                move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    while !failed.load(Ordering::Relaxed) {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match f(i) {
+                            Ok(v) => local.push((i, v)),
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                let mut slot = first_error.lock();
+                                match &*slot {
+                                    Some((j, _)) if *j <= i => {}
+                                    _ => *slot = Some((i, e)),
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    if !local.is_empty() {
+                        results.lock().append(&mut local);
+                    }
+                }
+            })
+            .collect();
+        self.run_scoped(jobs);
+        if let Some((_, e)) = first_error.into_inner() {
+            return Err(e);
+        }
+        let mut indexed = results.into_inner();
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(indexed.len(), n, "every index produced a result");
+        Ok(indexed.into_iter().map(|(_, v)| v).collect())
     }
 
     /// Executes `jobs` on the pool and blocks until all complete.
     /// Panics if any job panicked (after all jobs have settled, so no
     /// borrowed state is left in use).
-    pub fn run_scoped<'env, F>(&self, jobs: Vec<F>)
+    fn run_scoped<'env, F>(&self, jobs: Vec<F>)
     where
         F: FnOnce() + Send + 'env,
     {
@@ -93,39 +170,54 @@ impl ScanPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
 
     #[test]
-    fn executes_all_jobs_with_borrowed_state() {
+    fn results_come_back_in_index_order() {
         let pool = ScanPool::new(4);
-        let counter = AtomicUsize::new(0); // stack-borrowed by jobs
-        let jobs: Vec<_> = (0..64)
-            .map(|_| {
-                let counter = &counter;
-                move || {
-                    counter.fetch_add(1, Ordering::Relaxed);
+        let base = 100usize; // stack-borrowed by jobs
+        let got = pool
+            .parallel_indexed(64, |i| {
+                // Stagger completion so out-of-order finishes are likely.
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
                 }
+                Ok(base + i)
             })
-            .collect();
-        pool.run_scoped(jobs);
-        assert_eq!(counter.load(Ordering::Relaxed), 64);
+            .unwrap();
+        assert_eq!(got, (100..164).collect::<Vec<_>>());
         // Reusable.
-        let jobs: Vec<_> = (0..8)
-            .map(|_| {
-                let counter = &counter;
-                move || {
-                    counter.fetch_add(10, Ordering::Relaxed);
-                }
-            })
-            .collect();
-        pool.run_scoped(jobs);
-        assert_eq!(counter.load(Ordering::Relaxed), 64 + 80);
+        let again = pool.parallel_indexed(3, |i| Ok(i * 2)).unwrap();
+        assert_eq!(again, vec![0, 2, 4]);
     }
 
     #[test]
-    fn empty_job_list_is_a_noop() {
+    fn empty_and_single_item_run_inline() {
         let pool = ScanPool::new(2);
-        pool.run_scoped(Vec::<fn()>::new());
+        assert!(pool.parallel_indexed(0, |_| Ok(0u8)).unwrap().is_empty());
+        assert_eq!(pool.parallel_indexed(1, |i| Ok(i + 41)).unwrap(), vec![41]);
+    }
+
+    #[test]
+    fn first_error_by_index_is_deterministic() {
+        for workers in [1, 2, 8] {
+            let pool = ScanPool::new(workers);
+            for _ in 0..16 {
+                let err = pool
+                    .parallel_indexed(32, |i| {
+                        if i == 5 || i == 19 {
+                            Err(Error::Config(format!("boom at {i}")))
+                        } else {
+                            Ok(i)
+                        }
+                    })
+                    .unwrap_err();
+                assert_eq!(
+                    err.to_string(),
+                    Error::Config("boom at 5".into()).to_string(),
+                    "workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -133,21 +225,18 @@ mod tests {
         let pool = ScanPool::new(2);
         let done = AtomicUsize::new(0);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![
-                Box::new(|| panic!("boom")),
-                Box::new(|| {
-                    done.fetch_add(1, Ordering::Relaxed);
-                }),
-            ];
-            pool.run_scoped(jobs);
+            let _ = pool.parallel_indexed(2, |i| {
+                if i == 0 {
+                    panic!("boom");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                Ok(i)
+            });
         }));
         assert!(result.is_err(), "panic must propagate to the caller");
         assert_eq!(done.load(Ordering::Relaxed), 1, "other jobs still ran");
         // The pool survives a panicked job.
-        let ok = AtomicUsize::new(0);
-        pool.run_scoped(vec![|| {
-            ok.fetch_add(1, Ordering::Relaxed);
-        }]);
-        assert_eq!(ok.load(Ordering::Relaxed), 1);
+        let ok = pool.parallel_indexed(2, Ok).unwrap();
+        assert_eq!(ok, vec![0, 1]);
     }
 }

@@ -1,36 +1,35 @@
-//! ANN and exact KNN search — the paper's Algorithm 2, behind the
-//! pluggable vector-codec scan pipeline.
+//! ANN and exact KNN search — the paper's Algorithm 2, expressed as
+//! orchestration over the unified scan-executor layer.
 //!
 //! A search (1) scans the centroid table for the `n` nearest
-//! partitions, (2) always adds the delta partition, (3) scans the
-//! selected partitions in parallel worker threads — each worker keeps a
-//! private bounded [`TopK`] heap and computes distances over batched
-//! row chunks with the SIMD-friendly kernels — and (4) merges the
-//! per-thread heaps and sorts ("Parallel Sort" in Figure 3).
+//! partitions, (2) always adds the delta partition, (3) fans the
+//! selected partitions out across the persistent worker pool with the
+//! typed `parallel_indexed` primitive — each job runs the executor's
+//! shared `PartitionScanner` frame into a private bounded `TopK` heap
+//! — and (4) merges the per-partition heaps and sorts ("Parallel
+//! Sort" in Figure 3).
 //!
-//! Under [`crate::codec::VectorCodec::F32`] (the default) workers
-//! decode raw f32 rows, exactly as before. Under
-//! [`crate::codec::VectorCodec::Sq8`] workers scan the separately
+//! Under [`crate::codec::VectorCodec::F32`] (the default) the frame
+//! decodes raw f32 rows, exactly as before. Under
+//! [`crate::codec::VectorCodec::Sq8`] it scans the separately
 //! clustered `codes` table — ~4× fewer payload bytes — scoring u8
-//! codes with the asymmetric kernels, keep an enlarged
+//! codes with the batched asymmetric kernels, keeps an enlarged
 //! `rerank_factor·k` candidate pool, and a final re-rank pass
 //! recomputes exact f32 distances for the survivors. The delta
 //! partition never has codes and is always scanned in full precision.
 //!
-//! The post-filtering join of §3.5 happens *inside* the scan: rows
-//! whose attributes fail the predicate are dropped before any distance
-//! computation, exactly as the paper describes ("vectors in the
-//! requested partitions that don't satisfy the predicate filter are
-//! therefore filtered before being considered in the top-K").
+//! The post-filtering join of §3.5 happens *inside* the scan frame:
+//! rows whose attributes fail the predicate are dropped before any
+//! distance computation, exactly as the paper describes ("vectors in
+//! the requested partitions that don't satisfy the predicate filter
+//! are therefore filtered before being considered in the top-K").
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use micronn_linalg::{distances_one_to_many, merge_all, Neighbor, Sq8Scorer, TopK};
-use micronn_rel::{blob_into_f32, Compiled, RowDecoder, Table, Value};
+use micronn_linalg::{merge_all, Neighbor, TopK};
 use micronn_storage::ReadTxn;
 
 use crate::db::{Inner, DELTA_PARTITION};
 use crate::error::{Error, Result};
+use crate::exec::{rerank_exact, scan_pool_k, FilterCtx, PartitionScanner, Queries, ScanMetrics};
 use crate::stats::{PlanUsed, QueryInfo};
 
 /// One search hit.
@@ -49,26 +48,13 @@ pub struct SearchResponse {
     pub info: QueryInfo,
 }
 
-/// Attribute-filter context applied during partition scans.
-pub(crate) struct FilterCtx<'a> {
-    pub attrs: &'a Table,
-    pub compiled: Compiled,
-}
-
-#[derive(Default)]
-pub(crate) struct ScanCounters {
-    pub vectors_scanned: AtomicUsize,
-    pub filtered_out: AtomicUsize,
-    pub bytes_scanned: AtomicUsize,
-    pub reranked: AtomicUsize,
-}
-
 /// Scans `partitions` in parallel at snapshot `r`, returning the
 /// per-codec candidate list (Algorithm 2 lines 3–11). `use_codec`
 /// selects the compressed-domain scan for quantized catalogs; callers
 /// needing exact semantics (exhaustive KNN) pass `false`. With the
 /// codec path active the returned list holds `rerank_factor·k`
-/// *approximate* candidates that must go through [`rerank_exact`].
+/// *approximate* candidates that must go through
+/// [`rerank_exact`](crate::exec::rerank_exact).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_partitions(
     inner: &Inner,
@@ -78,247 +64,23 @@ pub(crate) fn scan_partitions(
     k: usize,
     use_codec: bool,
     filter: Option<&FilterCtx<'_>>,
-    counters: &ScanCounters,
+    metrics: &ScanMetrics,
 ) -> Result<Vec<Neighbor>> {
     let scan_k = scan_pool_k(inner, k, use_codec);
-    let workers = inner.scan_pool.workers().min(partitions.len()).max(1);
-    if workers <= 1 || partitions.len() <= 1 {
-        // Single-threaded fast path (also used by tiny probe sets).
+    let scanner = PartitionScanner {
+        inner,
+        r,
+        filter,
+        metrics,
+        use_codec,
+    };
+    let queries = Queries::One(query);
+    let heaps = inner.scan_pool.parallel_indexed(partitions.len(), |i| {
         let mut top = TopK::new(scan_k);
-        for &p in partitions {
-            scan_one_partition(inner, r, p, query, &mut top, use_codec, filter, counters)?;
-        }
-        return Ok(top.into_sorted());
-    }
-    // Fan out over the persistent pool: workers pull partition indexes
-    // from a shared counter and keep private heaps (Algorithm 2).
-    let next = AtomicUsize::new(0);
-    let heaps: parking_lot::Mutex<Vec<Result<TopK>>> =
-        parking_lot::Mutex::new(Vec::with_capacity(workers));
-    let jobs: Vec<_> = (0..workers)
-        .map(|_| {
-            let next = &next;
-            let heaps = &heaps;
-            move || {
-                let mut top = TopK::new(scan_k);
-                let outcome = loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&p) = partitions.get(idx) else {
-                        break Ok(());
-                    };
-                    if let Err(e) = scan_one_partition(
-                        inner, r, p, query, &mut top, use_codec, filter, counters,
-                    ) {
-                        break Err(e);
-                    }
-                };
-                heaps.lock().push(outcome.map(|()| top));
-            }
-        })
-        .collect();
-    inner.scan_pool.run_scoped(jobs);
-    let mut collected = Vec::with_capacity(workers);
-    for h in heaps.into_inner() {
-        collected.push(h?);
-    }
-    Ok(merge_all(collected, scan_k))
-}
-
-/// Candidate-pool size per scan: `k` for exact payloads,
-/// `rerank_factor·k` when scoring quantized codes.
-pub(crate) fn scan_pool_k(inner: &Inner, k: usize, use_codec: bool) -> usize {
-    if use_codec && inner.quantized() {
-        k.saturating_mul(inner.cfg.rerank_factor).max(k)
-    } else {
-        k
-    }
-}
-
-/// Rows per batched distance computation.
-const SCAN_CHUNK: usize = 256;
-
-/// The post-filter join of §3.5, shared by the f32 and quantized scan
-/// loops: evaluates the predicate on the row's attributes (a missing
-/// attributes row never matches) and counts rejections.
-fn passes_filter(
-    r: &ReadTxn,
-    filter: Option<&FilterCtx<'_>>,
-    asset: i64,
-    counters: &ScanCounters,
-) -> Result<bool> {
-    let Some(f) = filter else {
-        return Ok(true);
-    };
-    let row = f.attrs.get(r, &[Value::Integer(asset)])?;
-    let matches = match &row {
-        Some(attr_row) => f.compiled.eval(attr_row),
-        None => false,
-    };
-    if !matches {
-        counters.filtered_out.fetch_add(1, Ordering::Relaxed);
-    }
-    Ok(matches)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn scan_one_partition(
-    inner: &Inner,
-    r: &ReadTxn,
-    partition: i64,
-    query: &[f32],
-    top: &mut TopK,
-    use_codec: bool,
-    filter: Option<&FilterCtx<'_>>,
-    counters: &ScanCounters,
-) -> Result<()> {
-    // Quantized catalogs scan the codes payload when the partition has
-    // trained ranges; the delta store (and any partition encoded
-    // before its first maintenance) falls through to full precision.
-    if use_codec && inner.quantized() && partition != DELTA_PARTITION {
-        if let Some(params) = inner.partition_params(r, partition)? {
-            return scan_one_partition_sq8(
-                inner, r, partition, query, &params, top, filter, counters,
-            );
-        }
-    }
-    let dim = inner.dim;
-    let mut ids: Vec<i64> = Vec::with_capacity(SCAN_CHUNK);
-    let mut flat: Vec<f32> = Vec::with_capacity(SCAN_CHUNK * dim);
-    let mut dists: Vec<f32> = Vec::with_capacity(SCAN_CHUNK);
-    let mut flush = |ids: &mut Vec<i64>, flat: &mut Vec<f32>, top: &mut TopK| {
-        dists.clear();
-        distances_one_to_many(inner.metric, query, flat, dim, &mut dists);
-        for (i, &d) in dists.iter().enumerate() {
-            top.push(ids[i] as u64, d);
-        }
-        ids.clear();
-        flat.clear();
-    };
-    for kv in inner
-        .tables
-        .vectors
-        .scan_pk_prefix_raw(r, &[Value::Integer(partition)])?
-    {
-        let (_, row_bytes) = kv?;
-        let mut dec = RowDecoder::new(&row_bytes)?;
-        dec.skip()?; // partition
-        dec.skip()?; // vid
-        let asset = dec
-            .next_value()?
-            .as_integer()
-            .ok_or_else(|| Error::Config("asset column is not an integer".into()))?;
-        // Post-filter join: evaluate the predicate before the vector is
-        // even decoded, skipping disqualified rows entirely.
-        if !passes_filter(r, filter, asset, counters)? {
-            continue;
-        }
-        let blob = dec.next_blob()?;
-        if blob.len() != dim * 4 {
-            return Err(Error::Config(format!(
-                "stored vector has {} bytes, expected {}",
-                blob.len(),
-                dim * 4
-            )));
-        }
-        ids.push(asset);
-        flat.extend(
-            blob.chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
-        );
-        counters.vectors_scanned.fetch_add(1, Ordering::Relaxed);
-        counters.bytes_scanned.fetch_add(dim * 4, Ordering::Relaxed);
-        if ids.len() == SCAN_CHUNK {
-            flush(&mut ids, &mut flat, top);
-        }
-    }
-    if !ids.is_empty() {
-        flush(&mut ids, &mut flat, top);
-    }
-    Ok(())
-}
-
-/// Compressed-domain partition scan: scores u8 codes with the
-/// asymmetric SQ8 kernels, never touching the f32 payload.
-#[allow(clippy::too_many_arguments)]
-fn scan_one_partition_sq8(
-    inner: &Inner,
-    r: &ReadTxn,
-    partition: i64,
-    query: &[f32],
-    params: &micronn_linalg::Sq8Params,
-    top: &mut TopK,
-    filter: Option<&FilterCtx<'_>>,
-    counters: &ScanCounters,
-) -> Result<()> {
-    let dim = inner.dim;
-    let codes = inner
-        .tables
-        .codes
-        .as_ref()
-        .ok_or_else(|| Error::Config("quantized scan without a codes table".into()))?;
-    let scorer = Sq8Scorer::new(inner.metric, query, params);
-    for kv in codes.scan_pk_prefix_raw(r, &[Value::Integer(partition)])? {
-        let (_, row_bytes) = kv?;
-        let (asset, code) = crate::codec::decode_code_row(&row_bytes, dim)?;
-        // Same post-filter join as the f32 path: disqualified rows are
-        // dropped before any scoring.
-        if !passes_filter(r, filter, asset, counters)? {
-            continue;
-        }
-        top.push(asset as u64, scorer.score(code));
-        counters.vectors_scanned.fetch_add(1, Ordering::Relaxed);
-        counters.bytes_scanned.fetch_add(dim, Ordering::Relaxed);
-    }
-    Ok(())
-}
-
-/// Exact re-rank pass of the quantized pipeline: recomputes full f32
-/// distances for the approximate candidate pool and keeps the best
-/// `k`. Uses the same scalar kernel as the exact scan, so F32-codec
-/// results and re-ranked results agree bit-for-bit on shared
-/// candidates.
-pub(crate) fn rerank_exact(
-    inner: &Inner,
-    r: &ReadTxn,
-    query: &[f32],
-    candidates: Vec<Neighbor>,
-    k: usize,
-    counters: &ScanCounters,
-) -> Result<Vec<Neighbor>> {
-    let mut top = TopK::new(k);
-    let mut v: Vec<f32> = Vec::with_capacity(inner.dim);
-    for n in candidates {
-        let asset = n.id as i64;
-        let Some(loc) = inner.tables.assets.get(r, &[Value::Integer(asset)])? else {
-            continue;
-        };
-        // Delta-store candidates were scanned in full precision with
-        // the same kernels: their distances are already exact, so
-        // re-fetching the vector would only repeat work (and
-        // double-count its bytes).
-        if loc[1].as_integer() == Some(DELTA_PARTITION) {
-            top.push(asset as u64, n.distance);
-            continue;
-        }
-        let Some(raw) = inner
-            .tables
-            .vectors
-            .get_raw(r, &[loc[1].clone(), loc[2].clone()])?
-        else {
-            continue;
-        };
-        let mut dec = RowDecoder::new(&raw)?;
-        dec.skip()?;
-        dec.skip()?;
-        dec.skip()?;
-        blob_into_f32(dec.next_blob()?, &mut v)?;
-        top.push(asset as u64, inner.metric.distance(query, &v));
-        counters.reranked.fetch_add(1, Ordering::Relaxed);
-        counters
-            .bytes_scanned
-            .fetch_add(inner.dim * 4, Ordering::Relaxed);
-    }
-    Ok(top.into_sorted())
+        scanner.scan(partitions[i], &queries, std::slice::from_mut(&mut top))?;
+        Ok(top)
+    })?;
+    Ok(merge_all(heaps, scan_k))
 }
 
 /// ANN search (Algorithm 2): probe the `n` nearest partitions plus the
@@ -400,18 +162,15 @@ fn run_scan(
     filter: Option<&FilterCtx<'_>>,
     plan: PlanUsed,
 ) -> Result<SearchResponse> {
-    let counters = ScanCounters::default();
+    let metrics = ScanMetrics::default();
     let mut neighbors =
-        scan_partitions(inner, r, partitions, query, k, use_codec, filter, &counters)?;
+        scan_partitions(inner, r, partitions, query, k, use_codec, filter, &metrics)?;
     if use_codec && inner.quantized() {
-        neighbors = rerank_exact(inner, r, query, neighbors, k, &counters)?;
+        neighbors = rerank_exact(inner, r, query, neighbors, k, &metrics)?;
     }
     let mut info = QueryInfo::new(plan);
     info.partitions_scanned = partitions.len();
-    info.vectors_scanned = counters.vectors_scanned.load(Ordering::Relaxed);
-    info.filtered_out = counters.filtered_out.load(Ordering::Relaxed);
-    info.bytes_scanned = counters.bytes_scanned.load(Ordering::Relaxed);
-    info.reranked = counters.reranked.load(Ordering::Relaxed);
+    metrics.apply_to(&mut info);
     Ok(SearchResponse {
         results: neighbors
             .into_iter()

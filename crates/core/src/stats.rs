@@ -32,7 +32,9 @@ impl std::fmt::Display for PlanUsed {
     }
 }
 
-/// Per-query execution statistics.
+/// Per-query execution statistics, populated from the unified
+/// executor's scan counters (one atomic block shared by every scan
+/// worker, whatever the path — single-query, batch, or hybrid).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryInfo {
     /// The plan that executed.

@@ -1,0 +1,59 @@
+//! Quick manual timing harness for `Sq8Scorer::score_chunk` vs the
+//! row-at-a-time `score` loop (best-of-5 trials, wall clock).
+use micronn_linalg::{Metric, Sq8Params, Sq8Scorer};
+
+fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..dim)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn main() {
+    let rows = 1024usize;
+    for dim in [96usize, 128, 256, 512] {
+        let data: Vec<f32> = (0..rows)
+            .flat_map(|i| pseudo_vec(7 + i as u64, dim))
+            .collect();
+        let params = Sq8Params::train(&data, dim);
+        let mut block: Vec<u8> = Vec::with_capacity(rows * dim);
+        for row in data.chunks_exact(dim) {
+            params.encode_into(row, &mut block);
+        }
+        let query = pseudo_vec(999, dim);
+        let scorer = Sq8Scorer::new(Metric::L2, &query, &params);
+        let mut out = Vec::with_capacity(rows);
+        let iters = 2000;
+        let mut best_row = f64::MAX;
+        let mut best_chunk = f64::MAX;
+        for _trial in 0..5 {
+            let t = std::time::Instant::now();
+            for _ in 0..iters {
+                out.clear();
+                for row in std::hint::black_box(&block[..]).chunks_exact(dim) {
+                    out.push(scorer.score(row));
+                }
+                std::hint::black_box(&out);
+            }
+            best_row = best_row.min(t.elapsed().as_secs_f64() / iters as f64);
+            let t = std::time::Instant::now();
+            for _ in 0..iters {
+                out.clear();
+                scorer.score_chunk(std::hint::black_box(&block[..]), &mut out);
+                std::hint::black_box(&out);
+            }
+            best_chunk = best_chunk.min(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        println!(
+            "dim {dim:4}: row {:8.2}us  chunk {:8.2}us  speedup {:.2}x",
+            best_row * 1e6,
+            best_chunk * 1e6,
+            best_row / best_chunk
+        );
+    }
+}

@@ -151,6 +151,39 @@ proptest! {
     }
 
     #[test]
+    fn merge_all_tie_heavy_is_shard_invariant(
+        ids in proptest::collection::vec(0u64..50, 1..400),
+        shards_a in 1usize..7,
+        shards_b in 1usize..7,
+        k in 1usize..20,
+    ) {
+        // Heavily tied input: distances drawn from three levels and
+        // ids from a tiny range, so almost every comparison ties on
+        // distance and falls through to the id tie-break. The merged
+        // top-k (a multiset under the total order) must not depend on
+        // how the items were sharded across worker heaps.
+        let items: Vec<(u64, f32)> = ids.iter().map(|&id| (id, (id % 3) as f32)).collect();
+        let run = |nsh: usize| {
+            let mut parts: Vec<TopK> = (0..nsh).map(|_| TopK::new(k)).collect();
+            for (i, &(id, d)) in items.iter().enumerate() {
+                parts[i % nsh].push(id, d);
+            }
+            merge_all(parts, k)
+        };
+        let a = run(shards_a);
+        prop_assert_eq!(&a, &run(shards_b));
+        prop_assert_eq!(&a, &run(1));
+        // And it really is the k smallest of the full multiset.
+        let mut want: Vec<micronn_linalg::Neighbor> = items
+            .iter()
+            .map(|&(id, distance)| micronn_linalg::Neighbor { id, distance })
+            .collect();
+        want.sort_unstable();
+        want.truncate(k);
+        prop_assert_eq!(a, want);
+    }
+
+    #[test]
     fn sharded_heaps_equal_single_heap(
         items in proptest::collection::vec((0u64..10_000, -1e6f32..1e6), 0..300),
         shards in 1usize..6,

@@ -18,7 +18,8 @@ pub enum StorageError {
     /// (e.g. a leaf where an interior node was expected). Indicates
     /// corruption or a logic bug.
     Corrupt(String),
-    /// A key exceeded [`crate::btree::MAX_KEY_LEN`].
+    /// A key exceeded the B+tree's maximum key length
+    /// (`MAX_KEY_LEN`).
     KeyTooLarge(usize),
     /// A page id outside the allocated file was referenced.
     PageOutOfBounds(u32),
