@@ -6,6 +6,8 @@
 //! micronnctl import  <db> <csv>            # rows: asset_id,v1,...,vD[,name=value...]
 //! micronnctl search  <db> --query "v1,..,vD" [-k N] [--probes N] [--filter EXPR] [--exact]
 //! micronnctl stats   <db>
+//! micronnctl status  <db>                   # monitor verdict + partition histogram
+//! micronnctl maintain <db>                  # run the maintenance ladder to Healthy
 //! micronnctl rebuild <db>
 //! micronnctl flush   <db>
 //! micronnctl analyze <db>
@@ -41,13 +43,15 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err("usage: micronnctl <create|import|search|stats|rebuild|flush|analyze|backup|checkpoint> ...".into());
+        return Err("usage: micronnctl <create|import|search|stats|status|maintain|rebuild|flush|analyze|backup|checkpoint> ...".into());
     };
     match cmd.as_str() {
         "create" => cmd_create(&args[1..]),
         "import" => cmd_import(&args[1..]),
         "search" => cmd_search(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "status" => cmd_status(&args[1..]),
+        "maintain" => cmd_maintain(&args[1..]),
         "rebuild" => cmd_simple(&args[1..], |db| {
             let r = db.rebuild().map_err(stringify)?;
             println!(
@@ -91,6 +95,91 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other}")),
     }
+}
+
+/// `micronnctl status`: the monitor's verdict, the lifecycle
+/// thresholds it applies, and a per-partition size histogram so an
+/// operator can see split/merge pressure at a glance.
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let db = open(&path, rest)?;
+    let s = db.stats().map_err(stringify)?;
+    println!(
+        "status:              {:?}",
+        db.maintenance_status().map_err(stringify)?
+    );
+    println!("partitions:          {}", s.partitions);
+    println!("delta vectors:       {}", s.delta_vectors);
+    println!(
+        "partition sizes:     min {} / avg {:.1} / max {}",
+        s.min_partition_size, s.avg_partition_size, s.max_partition_size
+    );
+    let sizes = db.partition_sizes().map_err(stringify)?;
+    if sizes.is_empty() {
+        println!("histogram:           (index not built)");
+        return Ok(());
+    }
+    // Fixed-width histogram over eight size buckets.
+    let max = sizes.iter().map(|&(_, s)| s).max().unwrap_or(0).max(1);
+    let buckets = 8usize;
+    let width = max.div_ceil(buckets as u64).max(1);
+    let mut counts = vec![0usize; buckets];
+    for &(_, s) in &sizes {
+        counts[((s / width) as usize).min(buckets - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("histogram (vectors per partition):");
+    for (b, &c) in counts.iter().enumerate() {
+        let lo = b as u64 * width;
+        let bar = "#".repeat((c * 40).div_ceil(peak).min(40));
+        // The last bucket also absorbs everything above its range.
+        if b == buckets - 1 {
+            println!("  {:>6}+{:<6} {c:>5}  {bar}", lo, "");
+        } else {
+            let hi = (b as u64 + 1) * width - 1;
+            println!("  {lo:>6}-{hi:<6} {c:>5}  {bar}");
+        }
+    }
+    Ok(())
+}
+
+/// `micronnctl maintain`: runs the full maintenance ladder (flush →
+/// split/merge → rebuild fallback) and prints every action taken.
+fn cmd_maintain(args: &[String]) -> Result<(), String> {
+    use micronn::MaintenanceAction;
+    let (path, rest) = take_path(args)?;
+    let db = open(&path, rest)?;
+    let report = db.maybe_maintain().map_err(stringify)?;
+    if report.actions.is_empty() {
+        println!("healthy; nothing to do");
+    }
+    for action in &report.actions {
+        match action {
+            MaintenanceAction::Flushed(f) => println!(
+                "flushed {} delta vectors into {} partitions in {:?}",
+                f.flushed, f.partitions_touched, f.total_time
+            ),
+            MaintenanceAction::Split(s) => println!(
+                "split partition {} -> +{:?} ({} rows moved) in {:?}",
+                s.partition, s.new_partitions, s.rows_moved, s.total_time
+            ),
+            MaintenanceAction::Merged(m) => println!(
+                "merged partition {} into {} ({} rows moved) in {:?}",
+                m.partition, m.target, m.rows_moved, m.total_time
+            ),
+            MaintenanceAction::Rebuilt(r) => println!(
+                "full rebuild: {} vectors -> {} partitions in {:?}",
+                r.vectors, r.partitions, r.total_time
+            ),
+        }
+    }
+    println!(
+        "final status: {:?} ({} actions in {:?})",
+        report.status,
+        report.actions.len(),
+        report.total_time
+    );
+    Ok(())
 }
 
 fn stringify(e: micronn::Error) -> String {

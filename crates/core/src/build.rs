@@ -16,7 +16,8 @@ use micronn_rel::{analyze_table, blob_into_f32, f32_to_blob, RowDecoder, Table, 
 use micronn_storage::PageRead;
 
 use crate::db::{
-    meta_int, set_meta_int, Inner, MicroNN, M_BASELINE_AVG, M_DELTA_COUNT, M_EPOCH, M_PARTITIONS,
+    meta_int, set_meta_int, Inner, MicroNN, M_BASELINE_AVG, M_DELTA_COUNT, M_EPOCH, M_NEXT_PID,
+    M_PARTITIONS,
 };
 use crate::error::{Error, Result};
 
@@ -289,6 +290,8 @@ impl MicroNN {
         set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
         set_meta_int(&mut txn, &inner.tables.meta, M_PARTITIONS, k as i64)?;
         set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, 0)?;
+        // Partition ids 1..=k are in use; splits allocate from here.
+        set_meta_int(&mut txn, &inner.tables.meta, M_NEXT_PID, k as i64 + 1)?;
         // Baseline average partition size, scaled ×1000 for integer
         // storage (the growth trigger compares ratios).
         let avg_x1000 = (keys.len() as f64 / k as f64 * 1000.0) as i64;

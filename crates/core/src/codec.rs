@@ -188,6 +188,40 @@ pub(crate) fn encode_partition(
     Ok(members.len())
 }
 
+/// Drops one partition's code rows and its quantization-range row —
+/// the codec-aware half of retiring a partition (lifecycle split and
+/// merge). No-op for non-quantized catalogs.
+pub(crate) fn clear_partition_codes(
+    txn: &mut WriteTxn,
+    tables: &Tables,
+    partition: i64,
+) -> Result<usize> {
+    let mut removed = 0usize;
+    if let Some(codes) = &tables.codes {
+        let vids: Vec<i64> = codes
+            .scan_pk_prefix_raw(txn, &[Value::Integer(partition)])?
+            .map(|kv| {
+                let (_, row) = kv?;
+                let mut dec = RowDecoder::new(&row)?;
+                dec.skip()?; // partition
+                dec.next_value()?
+                    .as_integer()
+                    .ok_or_else(|| Error::Config("code vid column is not an integer".into()))
+            })
+            .collect::<Result<_>>()?;
+        for vid in vids {
+            codes.delete(txn, &[Value::Integer(partition), Value::Integer(vid)])?;
+            removed += 1;
+        }
+    }
+    if let Some(quants) = &tables.quants {
+        if quants.delete(txn, &[Value::Integer(partition)])?.is_some() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 /// Drops every code and quantization-range row (a rebuild re-encodes
 /// all partitions from scratch).
 pub(crate) fn clear_codes(txn: &mut WriteTxn, tables: &Tables) -> Result<()> {

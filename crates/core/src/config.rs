@@ -79,7 +79,21 @@ pub struct Config {
     pub delta_flush_threshold: usize,
     /// Trigger a full rebuild when the average partition size exceeds
     /// this multiple of its post-build baseline (paper: 1.5 = +50%).
+    /// With [`Config::lifecycle`] enabled this becomes a rare fallback:
+    /// local splits keep partition growth in check first.
     pub growth_limit: f64,
+    /// Enable local partition lifecycle maintenance (§3.6 extended):
+    /// oversized partitions are split by local re-clustering and
+    /// undersized partitions merged into their nearest neighbour, so
+    /// growth rarely escalates to a full rebuild.
+    pub lifecycle: bool,
+    /// Split a partition once it holds more than
+    /// `split_limit × target_partition_size` vectors (must exceed 1.0).
+    pub split_limit: f64,
+    /// Merge a partition once it holds fewer than
+    /// `merge_limit × target_partition_size` vectors (in `[0, 1)`;
+    /// `0` disables merging).
+    pub merge_limit: f64,
     /// Mini-batch size for index-construction clustering.
     pub clustering_batch_size: usize,
     /// Clustering iterations; `0` = auto.
@@ -111,6 +125,9 @@ impl Default for Config {
             workers: 0,
             delta_flush_threshold: 1024,
             growth_limit: 1.5,
+            lifecycle: true,
+            split_limit: 1.5,
+            merge_limit: 0.25,
             clustering_batch_size: 1024,
             clustering_iterations: 0,
             balance_lambda: 0.5,
@@ -150,6 +167,16 @@ impl Config {
         if self.rerank_factor == 0 {
             return Err(crate::error::Error::Config(
                 "rerank_factor must be positive".into(),
+            ));
+        }
+        if self.split_limit <= 1.0 {
+            return Err(crate::error::Error::Config(
+                "split_limit must exceed 1.0".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.merge_limit) {
+            return Err(crate::error::Error::Config(
+                "merge_limit must be in [0, 1)".into(),
             ));
         }
         let mut names = std::collections::HashSet::new();
@@ -267,6 +294,23 @@ mod tests {
         let mut c = Config::new(8, Metric::L2);
         c.rerank_factor = 0;
         assert!(c.validate().is_err(), "rerank_factor 0");
+        let mut c = Config::new(8, Metric::L2);
+        c.split_limit = 1.0;
+        assert!(c.validate().is_err(), "split_limit <= 1");
+        let mut c = Config::new(8, Metric::L2);
+        c.merge_limit = 1.0;
+        assert!(c.validate().is_err(), "merge_limit >= 1");
+    }
+
+    #[test]
+    fn lifecycle_defaults() {
+        let c = Config::new(8, Metric::L2);
+        assert!(c.lifecycle);
+        assert!(c.split_limit > 1.0);
+        assert!((0.0..1.0).contains(&c.merge_limit));
+        let mut c = Config::new(8, Metric::L2);
+        c.merge_limit = 0.0; // merging disabled
+        assert!(c.validate().is_ok());
     }
 
     #[test]

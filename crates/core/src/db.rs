@@ -53,6 +53,10 @@ pub(crate) const M_PARTITIONS: &str = "k";
 pub(crate) const M_DELTA_COUNT: &str = "delta_count";
 pub(crate) const M_BASELINE_AVG: &str = "baseline_avg";
 pub(crate) const M_TARGET: &str = "target_partition_size";
+/// Next partition id to allocate for a split (monotone; rebuild resets
+/// it to `k + 1`). `0` in pre-lifecycle files: consumers fall back to
+/// `max(pid) + 1`.
+pub(crate) const M_NEXT_PID: &str = "next_pid";
 
 /// One vector record: the unit of ingestion.
 #[derive(Debug, Clone, PartialEq)]
@@ -297,6 +301,7 @@ impl MicroNN {
         set(&mut txn, &meta, M_PARTITIONS, Some(0), None)?;
         set(&mut txn, &meta, M_DELTA_COUNT, Some(0), None)?;
         set(&mut txn, &meta, M_BASELINE_AVG, Some(0), None)?;
+        set(&mut txn, &meta, M_NEXT_PID, Some(1), None)?;
         set(
             &mut txn,
             &meta,
@@ -503,10 +508,23 @@ impl MicroNN {
                 let (p, v) = (prev[1].clone(), prev[2].clone());
                 if p.as_integer() == Some(DELTA_PARTITION) {
                     delta -= 1;
-                } else if let Some(codes) = &inner.tables.codes {
-                    // The replaced vector lived in an indexed partition:
-                    // its quantized code is stale too.
-                    if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
+                } else {
+                    if let Some(codes) = &inner.tables.codes {
+                        // The replaced vector lived in an indexed
+                        // partition: its quantized code is stale too.
+                        if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
+                            inner.row_changes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Keep the per-partition size stats exact: the
+                    // lifecycle policy reads them to pick split/merge
+                    // candidates.
+                    if adjust_partition_size(
+                        &mut txn,
+                        &inner.tables.centroids,
+                        p.as_integer().unwrap_or(0),
+                        -1,
+                    )? {
                         inner.row_changes.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -569,8 +587,18 @@ impl MicroNN {
             let (p, v) = (prev[1].clone(), prev[2].clone());
             if p.as_integer() == Some(DELTA_PARTITION) {
                 delta -= 1;
-            } else if let Some(codes) = &inner.tables.codes {
-                if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
+            } else {
+                if let Some(codes) = &inner.tables.codes {
+                    if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
+                        inner.row_changes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if adjust_partition_size(
+                    &mut txn,
+                    &inner.tables.centroids,
+                    p.as_integer().unwrap_or(0),
+                    -1,
+                )? {
                     inner.row_changes.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -655,6 +683,17 @@ impl MicroNN {
         let inner = &*self.inner;
         let r = inner.db.begin_read();
         Ok(meta_int(&r, &inner.tables.meta, M_DELTA_COUNT)? as u64)
+    }
+
+    /// Current `(partition id, vector count)` of every indexed
+    /// partition, ascending by partition id. Sizes are maintained
+    /// exactly across upserts, deletes, flushes, and lifecycle
+    /// operations; the lifecycle policy and the `micronnctl status`
+    /// histogram read them.
+    pub fn partition_sizes(&self) -> Result<Vec<(i64, u64)>> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        read_partition_sizes(&r, &inner.tables.centroids)
     }
 
     /// Drops all in-process and page caches: the paper's ColdStart
@@ -744,6 +783,40 @@ pub(crate) fn meta_int<R: PageRead + ?Sized>(r: &R, meta: &Table, key: &str) -> 
 pub(crate) fn set_meta_int(txn: &mut WriteTxn, meta: &Table, key: &str, v: i64) -> Result<()> {
     meta.upsert(txn, vec![Value::text(key), Value::Integer(v), Value::Null])?;
     Ok(())
+}
+
+/// Adjusts the stored size of one indexed partition by `delta`
+/// (clamped at zero). Returns whether the centroid row existed.
+pub(crate) fn adjust_partition_size(
+    txn: &mut WriteTxn,
+    centroids: &Table,
+    partition: i64,
+    delta: i64,
+) -> Result<bool> {
+    let Some(mut row) = centroids.get(txn, &[Value::Integer(partition)])? else {
+        return Ok(false);
+    };
+    let size = row[2].as_integer().unwrap_or(0) + delta;
+    row[2] = Value::Integer(size.max(0));
+    centroids.upsert(txn, row)?;
+    Ok(true)
+}
+
+/// Reads every indexed partition's `(id, size)` from the centroid
+/// table, ascending by partition id (the table's key order).
+pub(crate) fn read_partition_sizes<R: PageRead + ?Sized>(
+    r: &R,
+    centroids: &Table,
+) -> Result<Vec<(i64, u64)>> {
+    let mut sizes = Vec::new();
+    for row in centroids.scan(r)? {
+        let row = row?;
+        sizes.push((
+            row[0].as_integer().unwrap_or(0),
+            row[2].as_integer().unwrap_or(0).max(0) as u64,
+        ));
+    }
+    Ok(sizes)
 }
 
 /// Materializes one partition's rows as `(vid, asset, vector)` — the

@@ -10,8 +10,10 @@
 //!   contiguous on disk; queries run in bounded memory through a page
 //!   cache (§3.1–3.3).
 //! * **Streaming updates** with upsert/delete semantics through a delta
-//!   store that every query scans, plus incremental maintenance and a
-//!   growth-triggered full rebuild (§3.6).
+//!   store that every query scans, plus incremental maintenance: delta
+//!   flushes, local partition splits/merges (the [`maintain::lifecycle`]
+//!   subsystem with its background [`IndexMaintainer`]), and a
+//!   growth-triggered full rebuild as a rare fallback (§3.6).
 //! * **ACID semantics**: single serialized writer, snapshot-isolated
 //!   readers, WAL crash recovery — provided by the bundled storage
 //!   engine (the paper uses SQLite).
@@ -79,7 +81,10 @@ pub use db::{MicroNN, VectorRecord, DELTA_PARTITION};
 pub use error::{Error, Result};
 pub use hybrid::{PlanPreference, SearchRequest};
 pub use inmemory::InMemoryIndex;
-pub use maintain::{FlushReport, MaintenanceAction, MaintenanceStatus};
+pub use maintain::{
+    FlushReport, IndexMaintainer, MaintainerOptions, MaintainerStats, MaintenanceAction,
+    MaintenanceReport, MaintenanceStatus, MergeReport, SplitReport,
+};
 pub use search::{SearchResponse, SearchResult};
 pub use stats::{DbStats, PlanUsed, QueryInfo};
 

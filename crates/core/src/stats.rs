@@ -82,6 +82,14 @@ pub struct DbStats {
     pub partitions: u64,
     /// Mean vectors per main-index partition.
     pub avg_partition_size: f64,
+    /// Smallest indexed partition (0 before the first build). The
+    /// lifecycle monitor merges partitions below `merge_limit ×
+    /// target_partition_size`.
+    pub min_partition_size: u64,
+    /// Largest indexed partition (0 before the first build). The
+    /// lifecycle monitor splits partitions above `split_limit ×
+    /// target_partition_size`.
+    pub max_partition_size: u64,
     /// Mean partition size recorded right after the last full rebuild.
     pub baseline_partition_size: f64,
     /// Index epoch (bumped by rebuilds, flushes, analyze).

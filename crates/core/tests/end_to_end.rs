@@ -324,6 +324,10 @@ fn monitor_triggers_flush_then_growth_rebuild() {
     let mut cfg = config();
     cfg.delta_flush_threshold = 100;
     cfg.growth_limit = 1.5;
+    // The paper's baseline monitor: growth has exactly one answer — a
+    // full rebuild. Lifecycle split/merge maintenance is exercised by
+    // the dedicated `maintenance_churn` suite.
+    cfg.lifecycle = false;
     let db = MicroNN::create(dir.path().join("db.mnn"), cfg).unwrap();
     let vectors = clustered(1000, 4, 9);
     populate(&db, &vectors);
@@ -331,8 +335,10 @@ fn monitor_triggers_flush_then_growth_rebuild() {
         db.maintenance_status().unwrap(),
         MaintenanceStatus::NeedsBuild
     );
-    match db.maybe_maintain().unwrap() {
-        MaintenanceAction::Rebuilt(r) => assert_eq!(r.vectors, 1000),
+    let report = db.maybe_maintain().unwrap();
+    assert_eq!(report.status, MaintenanceStatus::Healthy);
+    match &report.actions[..] {
+        [MaintenanceAction::Rebuilt(r)] => assert_eq!(r.vectors, 1000),
         other => panic!("expected rebuild, got {other:?}"),
     }
     assert_eq!(db.maintenance_status().unwrap(), MaintenanceStatus::Healthy);
@@ -347,10 +353,18 @@ fn monitor_triggers_flush_then_growth_rebuild() {
         db.maintenance_status().unwrap(),
         MaintenanceStatus::NeedsFlush
     );
-    match db.maybe_maintain().unwrap() {
-        MaintenanceAction::Flushed(f) => assert_eq!(f.flushed, 150),
+    let report = db.maybe_maintain().unwrap();
+    match &report.actions[..] {
+        // A flush, plus — if folding the delta pushed average growth
+        // past the limit — the chained follow-up rebuild (the monitor
+        // never leaves work silently pending).
+        [MaintenanceAction::Flushed(f)] => assert_eq!(f.flushed, 150),
+        [MaintenanceAction::Flushed(f), MaintenanceAction::Rebuilt(_)] => {
+            assert_eq!(f.flushed, 150)
+        }
         other => panic!("expected flush, got {other:?}"),
     }
+    assert_eq!(report.status, MaintenanceStatus::Healthy);
 
     // Keep inserting + flushing until average partition size grows 50%
     // past baseline: the monitor must demand a full rebuild.
@@ -371,7 +385,10 @@ fn monitor_triggers_flush_then_growth_rebuild() {
                 db.flush_delta().unwrap();
             }
             MaintenanceStatus::Healthy => {}
-            MaintenanceStatus::NeedsBuild => unreachable!(),
+            // Lifecycle is disabled in this test.
+            MaintenanceStatus::NeedsBuild
+            | MaintenanceStatus::NeedsSplit
+            | MaintenanceStatus::NeedsMerge => unreachable!(),
         }
         // Growth check also applies post-flush.
         if db.maintenance_status().unwrap() == MaintenanceStatus::NeedsRebuild {
@@ -380,8 +397,8 @@ fn monitor_triggers_flush_then_growth_rebuild() {
         }
     }
     assert!(saw_rebuild_request, "growth limit must trigger a rebuild");
-    match db.maybe_maintain().unwrap() {
-        MaintenanceAction::Rebuilt(_) => {}
+    match &db.maybe_maintain().unwrap().actions[..] {
+        [MaintenanceAction::Rebuilt(_)] => {}
         other => panic!("expected rebuild, got {other:?}"),
     }
     assert_eq!(db.maintenance_status().unwrap(), MaintenanceStatus::Healthy);

@@ -145,18 +145,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 db.delete(i * 3).expect("delete");
             }
         }
-        // Background maintenance: flush the delta when the monitor asks.
-        match db.maybe_maintain().expect("maintain") {
-            MaintenanceAction::Flushed(f) => {
-                println!(
+        // Background maintenance: run whatever the monitor asks —
+        // flushes, local splits/merges, and (rarely) a full rebuild —
+        // chained until the index is healthy again.
+        let report = db.maybe_maintain().expect("maintain");
+        if report.actions.is_empty() {
+            println!("maintenance: healthy");
+        }
+        for action in &report.actions {
+            match action {
+                MaintenanceAction::Flushed(f) => println!(
                     "maintenance: flushed {} delta vectors into {} partitions",
                     f.flushed, f.partitions_touched
-                )
+                ),
+                MaintenanceAction::Split(s) => println!(
+                    "maintenance: split partition {} into {} new partitions",
+                    s.partition,
+                    s.new_partitions.len()
+                ),
+                MaintenanceAction::Merged(m) => println!(
+                    "maintenance: merged partition {} into {}",
+                    m.partition, m.target
+                ),
+                MaintenanceAction::Rebuilt(r) => {
+                    println!("maintenance: full rebuild into {} partitions", r.partitions)
+                }
             }
-            MaintenanceAction::Rebuilt(r) => {
-                println!("maintenance: full rebuild into {} partitions", r.partitions)
-            }
-            MaintenanceAction::None => println!("maintenance: healthy"),
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         let searches = reader.join().unwrap();
