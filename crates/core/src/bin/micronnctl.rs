@@ -8,6 +8,7 @@
 //! micronnctl stats   <db>
 //! micronnctl status  <db>                   # monitor verdict + partition histogram
 //! micronnctl maintain <db>                  # run the maintenance ladder to Healthy
+//! micronnctl fsck    <db>                   # cross-check all tables; exit 1 on corruption
 //! micronnctl rebuild <db>
 //! micronnctl flush   <db>
 //! micronnctl analyze <db>
@@ -43,7 +44,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err("usage: micronnctl <create|import|search|stats|status|maintain|rebuild|flush|analyze|backup|checkpoint> ...".into());
+        return Err("usage: micronnctl <create|import|search|stats|status|maintain|fsck|rebuild|flush|analyze|backup|checkpoint> ...".into());
     };
     match cmd.as_str() {
         "create" => cmd_create(&args[1..]),
@@ -52,6 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&args[1..]),
         "status" => cmd_status(&args[1..]),
         "maintain" => cmd_maintain(&args[1..]),
+        "fsck" => cmd_fsck(&args[1..]),
         "rebuild" => cmd_simple(&args[1..], |db| {
             let r = db.rebuild().map_err(stringify)?;
             println!(
@@ -180,6 +182,33 @@ fn cmd_maintain(args: &[String]) -> Result<(), String> {
         report.total_time
     );
     Ok(())
+}
+
+/// `micronnctl fsck`: runs [`MicroNN::verify_integrity`] — the same
+/// walker the crash-recovery harness asserts on — printing per-check
+/// counts and every violation, and failing (non-zero exit) on any
+/// corruption so scripts and operators share one code path.
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let db = open(&path, rest)?;
+    let report = db.verify_integrity().map_err(stringify)?;
+    println!("partitions walked:   {}", report.partitions_walked);
+    println!("vectors checked:     {}", report.vectors_checked);
+    println!("assets cross-checked:{:>5}", report.assets_checked);
+    println!("codes checked:       {}", report.codes_checked);
+    println!("orphans:             {}", report.orphans);
+    if report.is_clean() {
+        println!("ok: no corruption found");
+        Ok(())
+    } else {
+        for e in &report.errors {
+            eprintln!("corrupt: {e}");
+        }
+        Err(format!(
+            "fsck found {} violation(s) in {path}",
+            report.errors.len()
+        ))
+    }
 }
 
 fn stringify(e: micronn::Error) -> String {

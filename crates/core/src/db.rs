@@ -442,9 +442,11 @@ impl MicroNN {
         })
     }
 
-    /// Opens `path`, creating it first if missing.
+    /// Opens `path`, creating it first if missing. Existence is probed
+    /// through the configured [`micronn_storage::Vfs`], so this works
+    /// under the simulated file system too.
     pub fn open_or_create(path: impl AsRef<std::path::Path>, config: Config) -> Result<MicroNN> {
-        if path.as_ref().exists() {
+        if config.store.vfs.exists(path.as_ref()) {
             MicroNN::open(path, config)
         } else {
             MicroNN::create(path, config)
@@ -714,16 +716,18 @@ impl MicroNN {
     /// (plus the WAL if a pinned reader kept the checkpoint partial) to
     /// `dest`/`dest`-wal. The copy is taken under the writer lock via a
     /// brief write transaction, so it is a transactionally consistent
-    /// snapshot; readers are never blocked.
+    /// snapshot; readers are never blocked. The copy itself goes
+    /// through the configured [`micronn_storage::Vfs`], so backups work
+    /// (and are crash-testable) under the simulated file system too.
     pub fn backup_to(&self, dest: impl AsRef<std::path::Path>) -> Result<()> {
         let dest = dest.as_ref();
         let store = self.inner.db.store();
+        let vfs = &*self.inner.cfg.store.vfs;
         let _ = store.checkpoint()?;
         // Hold the writer lock (empty txn) while copying so no commit
         // lands mid-copy.
         let txn = self.inner.db.begin_write()?;
-        std::fs::copy(store.path(), dest)
-            .map_err(|e| Error::Config(format!("backup copy failed: {e}")))?;
+        vfs_copy(vfs, store.path(), dest)?;
         let wal_src = {
             let mut os = store.path().as_os_str().to_owned();
             os.push("-wal");
@@ -734,11 +738,17 @@ impl MicroNN {
             os.push("-wal");
             std::path::PathBuf::from(os)
         };
-        if wal_src.exists() {
-            std::fs::copy(&wal_src, &wal_dest)
-                .map_err(|e| Error::Config(format!("backup wal copy failed: {e}")))?;
-        } else {
-            let _ = std::fs::remove_file(&wal_dest);
+        if vfs.exists(&wal_src) {
+            vfs_copy(vfs, &wal_src, &wal_dest)?;
+        } else if vfs.exists(&wal_dest) {
+            // A stale WAL from an earlier backup at this destination
+            // would replay over the fresh copy: truncate it to empty
+            // (recovery treats a headerless WAL as absent).
+            let f = vfs
+                .open(&wal_dest, micronn_storage::OpenMode::CreateTruncate)
+                .map_err(|e| Error::Config(format!("backup wal truncate failed: {e}")))?;
+            f.sync()
+                .map_err(|e| Error::Config(format!("backup wal truncate failed: {e}")))?;
         }
         txn.rollback();
         Ok(())
@@ -770,6 +780,33 @@ impl std::fmt::Debug for MicroNN {
 // ---------------------------------------------------------------------------
 // Shared internal helpers
 // ---------------------------------------------------------------------------
+
+/// Copies `src` to `dest` (created/truncated) through the VFS, syncing
+/// the destination before returning.
+fn vfs_copy(
+    vfs: &dyn micronn_storage::Vfs,
+    src: &std::path::Path,
+    dest: &std::path::Path,
+) -> Result<()> {
+    let fail = |e: std::io::Error| Error::Config(format!("backup copy failed: {e}"));
+    let s = vfs
+        .open(src, micronn_storage::OpenMode::Open)
+        .map_err(fail)?;
+    let d = vfs
+        .open(dest, micronn_storage::OpenMode::CreateTruncate)
+        .map_err(fail)?;
+    let len = s.len().map_err(fail)?;
+    let mut buf = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < len {
+        let n = ((len - off) as usize).min(buf.len());
+        s.read_exact_at(&mut buf[..n], off).map_err(fail)?;
+        d.write_all_at(&buf[..n], off).map_err(fail)?;
+        off += n as u64;
+    }
+    d.sync().map_err(fail)?;
+    Ok(())
+}
 
 /// Reads an integer meta value (0 when NULL).
 pub(crate) fn meta_int<R: PageRead + ?Sized>(r: &R, meta: &Table, key: &str) -> Result<i64> {

@@ -1,0 +1,456 @@
+//! Whole-database consistency checking (`fsck`).
+//!
+//! Every mutating operation in MicroNN — upsert, delete, delta flush,
+//! partition split/merge, full rebuild — is one write transaction over
+//! *several* tables (`vectors`, `assets`, `attrs`, `centroids`, `meta`,
+//! and for SQ8 catalogs `codes` + `quants`). The WAL makes each such
+//! transaction atomic; [`MicroNN::verify_integrity`] is the other half
+//! of that durability claim: it walks the whole catalog from one read
+//! snapshot and cross-checks every inter-table invariant, so a crash
+//! test (or an operator via `micronnctl fsck`) can prove no partial
+//! transaction is ever observable.
+//!
+//! Checked invariants:
+//!
+//! * `assets` ↔ `vectors` is a bijection: every asset row points at a
+//!   live vector row whose `asset` column points back, and no vector
+//!   row is unreferenced.
+//! * Every asset has exactly one `attrs` row and vice versa.
+//! * Vector blobs decode to exactly the index dimension.
+//! * Every non-delta partition appearing in `vectors` has a centroid
+//!   row of the right dimension, and each centroid's persisted `size`
+//!   equals the partition's actual row count (the lifecycle policy
+//!   reads these sizes).
+//! * `meta` agrees with the data: `delta_count` equals the delta
+//!   store's row count, `k` equals the centroid row count, `next_pid`
+//!   exceeds every allocated partition id, `next_vid` exceeds every
+//!   stored vid.
+//! * SQ8 catalogs: `codes` mirrors the non-delta half of `vectors`
+//!   row-for-row (same `(partition, vid)` keys, same asset), every
+//!   code re-encodes bit-identically from its f32 row under the
+//!   partition's stored quantization ranges, and every encoded
+//!   partition has a well-formed `quants` row for an existing
+//!   centroid.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use micronn_rel::blob_to_f32;
+
+use crate::db::{
+    meta_int, MicroNN, DELTA_PARTITION, M_DELTA_COUNT, M_NEXT_PID, M_NEXT_VID, M_PARTITIONS,
+};
+use crate::error::Result;
+
+/// Outcome of [`MicroNN::verify_integrity`]: per-check counters plus
+/// every violation found. `micronnctl fsck` prints it and exits
+/// non-zero unless [`IntegrityReport::is_clean`].
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityReport {
+    /// Centroid rows walked (indexed partitions).
+    pub partitions_walked: u64,
+    /// Vector rows checked (delta store included).
+    pub vectors_checked: u64,
+    /// Asset rows cross-checked against their vector rows.
+    pub assets_checked: u64,
+    /// Quantized code rows cross-checked (SQ8 catalogs; `0` for F32).
+    pub codes_checked: u64,
+    /// Dangling or missing cross-references (each also appends to
+    /// [`IntegrityReport::errors`]).
+    pub orphans: u64,
+    /// Human-readable description of every violation, in walk order.
+    pub errors: Vec<String>,
+}
+
+impl IntegrityReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    fn error(&mut self, msg: String) {
+        self.errors.push(msg);
+    }
+
+    fn orphan(&mut self, msg: String) {
+        self.orphans += 1;
+        self.errors.push(msg);
+    }
+}
+
+impl std::fmt::Display for IntegrityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partitions walked: {}, vectors checked: {}, assets cross-checked: {}, \
+             codes checked: {}, orphans: {}, errors: {}",
+            self.partitions_walked,
+            self.vectors_checked,
+            self.assets_checked,
+            self.codes_checked,
+            self.orphans,
+            self.errors.len()
+        )
+    }
+}
+
+impl MicroNN {
+    /// Walks the whole catalog from one read snapshot and cross-checks
+    /// every inter-table invariant (see the [module docs](crate::integrity)
+    /// for the list). Returns the counters and violations; errors only
+    /// on I/O or row-decoding failures that prevent the walk itself.
+    pub fn verify_integrity(&self) -> Result<IntegrityReport> {
+        let inner = &*self.inner;
+        let r = inner.db.begin_read();
+        let dim = inner.dim;
+        let mut rep = IntegrityReport::default();
+
+        // Pass 1 — vectors: decode every row, index (partition, vid) →
+        // asset, count rows per partition. SQ8 catalogs also keep the
+        // decoded f32s for the code re-encoding check below.
+        let mut by_key: BTreeMap<(i64, i64), i64> = BTreeMap::new();
+        let mut f32s: BTreeMap<(i64, i64), Vec<f32>> = BTreeMap::new();
+        let mut part_counts: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut max_vid = 0i64;
+        for row in inner.tables.vectors.scan(&r)? {
+            let row = row?;
+            rep.vectors_checked += 1;
+            let p = row[0].as_integer().unwrap_or(0);
+            let vid = row[1].as_integer().unwrap_or(0);
+            let asset = row[2].as_integer().unwrap_or(0);
+            max_vid = max_vid.max(vid);
+            *part_counts.entry(p).or_insert(0) += 1;
+            match row[3].as_blob().map(blob_to_f32) {
+                Some(Ok(v)) if v.len() == dim => {
+                    if inner.quantized() {
+                        f32s.insert((p, vid), v);
+                    }
+                }
+                Some(Ok(v)) => rep.error(format!(
+                    "vector ({p},{vid}): dimension {} != index dimension {dim}",
+                    v.len()
+                )),
+                _ => rep.error(format!("vector ({p},{vid}): payload is not an f32 blob")),
+            }
+            if by_key.insert((p, vid), asset).is_some() {
+                rep.error(format!("vector ({p},{vid}): duplicate primary key"));
+            }
+        }
+
+        // Pass 2 — assets ↔ vectors bijection, and assets ↔ attrs.
+        let mut referenced: BTreeSet<(i64, i64)> = BTreeSet::new();
+        let mut asset_ids: BTreeSet<i64> = BTreeSet::new();
+        for row in inner.tables.assets.scan(&r)? {
+            let row = row?;
+            rep.assets_checked += 1;
+            let asset = row[0].as_integer().unwrap_or(0);
+            let p = row[1].as_integer().unwrap_or(0);
+            let vid = row[2].as_integer().unwrap_or(0);
+            asset_ids.insert(asset);
+            match by_key.get(&(p, vid)) {
+                Some(&a) if a == asset => {
+                    referenced.insert((p, vid));
+                }
+                Some(&a) => rep.orphan(format!(
+                    "asset {asset} points at vector ({p},{vid}) which belongs to asset {a}"
+                )),
+                None => rep.orphan(format!(
+                    "asset {asset} points at missing vector ({p},{vid})"
+                )),
+            }
+        }
+        for (&(p, vid), &asset) in &by_key {
+            if !referenced.contains(&(p, vid)) {
+                rep.orphan(format!(
+                    "vector ({p},{vid}) of asset {asset} has no asset row pointing at it"
+                ));
+            }
+        }
+        let mut attr_ids: BTreeSet<i64> = BTreeSet::new();
+        for row in inner.tables.attrs.scan(&r)? {
+            let row = row?;
+            attr_ids.insert(row[0].as_integer().unwrap_or(0));
+        }
+        for &asset in &asset_ids {
+            if !attr_ids.contains(&asset) {
+                rep.orphan(format!("asset {asset} has no attributes row"));
+            }
+        }
+        for &asset in &attr_ids {
+            if !asset_ids.contains(&asset) {
+                rep.orphan(format!("attributes row for {asset} has no asset row"));
+            }
+        }
+
+        // Pass 3 — centroids: dimensions, exact sizes, id coverage.
+        let mut centroid_pids: BTreeSet<i64> = BTreeSet::new();
+        let mut max_pid = 0i64;
+        for row in inner.tables.centroids.scan(&r)? {
+            let row = row?;
+            rep.partitions_walked += 1;
+            let pid = row[0].as_integer().unwrap_or(0);
+            centroid_pids.insert(pid);
+            max_pid = max_pid.max(pid);
+            if pid == DELTA_PARTITION {
+                rep.error("centroid row for the reserved delta partition 0".into());
+            }
+            match row[1].as_blob().map(blob_to_f32) {
+                Some(Ok(c)) if c.len() == dim => {}
+                _ => rep.error(format!("centroid {pid}: payload is not a {dim}-d f32 blob")),
+            }
+            let stored = row[2].as_integer().unwrap_or(0);
+            let actual = part_counts.get(&pid).copied().unwrap_or(0);
+            if stored != actual {
+                rep.error(format!(
+                    "centroid {pid}: persisted size {stored} != actual row count {actual}"
+                ));
+            }
+        }
+        for (&p, &n) in &part_counts {
+            if p != DELTA_PARTITION && !centroid_pids.contains(&p) {
+                rep.orphan(format!(
+                    "{n} vector rows in partition {p} without a centroid"
+                ));
+            }
+        }
+
+        // Pass 4 — meta consistency.
+        let delta_meta = meta_int(&r, &inner.tables.meta, M_DELTA_COUNT)?;
+        let delta_actual = part_counts.get(&DELTA_PARTITION).copied().unwrap_or(0);
+        if delta_meta != delta_actual {
+            rep.error(format!(
+                "meta delta_count {delta_meta} != delta store row count {delta_actual}"
+            ));
+        }
+        let k_meta = meta_int(&r, &inner.tables.meta, M_PARTITIONS)?;
+        if k_meta != centroid_pids.len() as i64 {
+            rep.error(format!(
+                "meta k {k_meta} != centroid row count {}",
+                centroid_pids.len()
+            ));
+        }
+        let next_pid = meta_int(&r, &inner.tables.meta, M_NEXT_PID)?;
+        if next_pid != 0 && next_pid <= max_pid {
+            rep.error(format!(
+                "meta next_pid {next_pid} is not past the largest partition id {max_pid}"
+            ));
+        }
+        let next_vid = meta_int(&r, &inner.tables.meta, M_NEXT_VID)?;
+        if next_vid <= max_vid {
+            rep.error(format!(
+                "meta next_vid {next_vid} is not past the largest stored vid {max_vid}"
+            ));
+        }
+
+        // Pass 5 — SQ8 catalogs: codes mirror the indexed vectors
+        // bit-for-bit under each partition's stored ranges.
+        if let (Some(codes), Some(quants)) = (&inner.tables.codes, &inner.tables.quants) {
+            let mut params: BTreeMap<i64, micronn_linalg::Sq8Params> = BTreeMap::new();
+            for row in quants.scan(&r)? {
+                let row = row?;
+                let pid = row[0].as_integer().unwrap_or(0);
+                if !centroid_pids.contains(&pid) {
+                    rep.orphan(format!("quantization ranges for unknown partition {pid}"));
+                }
+                match row[1]
+                    .as_blob()
+                    .map(|b| crate::codec::params_from_blob(b, dim))
+                {
+                    Some(Ok(p)) => {
+                        params.insert(pid, p);
+                    }
+                    _ => rep.error(format!("quants {pid}: malformed ranges blob")),
+                }
+            }
+            let mut code_keys: BTreeSet<(i64, i64)> = BTreeSet::new();
+            let mut code_buf = Vec::with_capacity(dim);
+            for row in codes.scan(&r)? {
+                let row = row?;
+                rep.codes_checked += 1;
+                let p = row[0].as_integer().unwrap_or(0);
+                let vid = row[1].as_integer().unwrap_or(0);
+                let asset = row[2].as_integer().unwrap_or(0);
+                code_keys.insert((p, vid));
+                if p == DELTA_PARTITION {
+                    rep.error(format!("code row ({p},{vid}) in the delta store"));
+                    continue;
+                }
+                match by_key.get(&(p, vid)) {
+                    Some(&a) if a == asset => {}
+                    Some(&a) => rep.orphan(format!(
+                        "code ({p},{vid}) carries asset {asset}, vector row says {a}"
+                    )),
+                    None => {
+                        rep.orphan(format!("code ({p},{vid}) has no vector row"));
+                        continue;
+                    }
+                }
+                let Some(code) = row[3].as_blob() else {
+                    rep.error(format!("code ({p},{vid}): payload is not a blob"));
+                    continue;
+                };
+                if code.len() != dim {
+                    rep.error(format!(
+                        "code ({p},{vid}): {} bytes, expected {dim}",
+                        code.len()
+                    ));
+                    continue;
+                }
+                match (params.get(&p), f32s.get(&(p, vid))) {
+                    (Some(pr), Some(v)) => {
+                        code_buf.clear();
+                        pr.encode_into(v, &mut code_buf);
+                        if code_buf != code {
+                            rep.error(format!(
+                                "code ({p},{vid}) does not re-encode from its f32 row \
+                                 under partition {p}'s stored ranges"
+                            ));
+                        }
+                    }
+                    (None, _) => rep.orphan(format!(
+                        "code ({p},{vid}) in partition without quantization ranges"
+                    )),
+                    _ => {} // undecodable vector already reported
+                }
+            }
+            for &(p, vid) in by_key.keys() {
+                if p != DELTA_PARTITION && !code_keys.contains(&(p, vid)) {
+                    rep.orphan(format!("indexed vector ({p},{vid}) has no code row"));
+                }
+            }
+        }
+
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::Config;
+    use crate::db::{set_meta_int, MicroNN, VectorRecord, M_DELTA_COUNT};
+    use micronn_linalg::Metric;
+    use micronn_rel::Value;
+    use micronn_storage::SyncMode;
+
+    fn build(dir: &std::path::Path, codec: crate::VectorCodec) -> MicroNN {
+        let mut cfg = Config::new(8, Metric::L2);
+        cfg.store.sync = SyncMode::Off;
+        cfg.target_partition_size = 8;
+        cfg.codec = codec;
+        let db = MicroNN::create(dir.join("i.mnn"), cfg).unwrap();
+        for i in 0..40i64 {
+            db.upsert(VectorRecord::new(i, vec![(i % 5) as f32; 8]))
+                .unwrap();
+        }
+        db.rebuild().unwrap();
+        db
+    }
+
+    #[test]
+    fn clean_database_passes_with_counts() {
+        let dir = tempfile::tempdir().unwrap();
+        for codec in [crate::VectorCodec::F32, crate::VectorCodec::Sq8] {
+            let d = dir.path().join(codec.name());
+            std::fs::create_dir(&d).unwrap();
+            let db = build(&d, codec);
+            let rep = db.verify_integrity().unwrap();
+            assert!(rep.is_clean(), "{codec}: {:?}", rep.errors);
+            assert_eq!(rep.vectors_checked, 40);
+            assert_eq!(rep.assets_checked, 40);
+            assert!(rep.partitions_walked > 0);
+            assert_eq!(rep.orphans, 0);
+            if codec.is_quantized() {
+                assert_eq!(rep.codes_checked, 40, "every indexed row has a code");
+            } else {
+                assert_eq!(rep.codes_checked, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_asset_row_is_reported() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = build(dir.path(), crate::VectorCodec::F32);
+        // Hand-corrupt: delete one vector row without its asset row.
+        let inner = &*db.inner;
+        let mut txn = inner.db.begin_write().unwrap();
+        let loc = inner
+            .tables
+            .assets
+            .get(&txn, &[Value::Integer(7)])
+            .unwrap()
+            .unwrap();
+        inner
+            .tables
+            .vectors
+            .delete(&mut txn, &[loc[1].clone(), loc[2].clone()])
+            .unwrap();
+        txn.commit().unwrap();
+
+        let rep = db.verify_integrity().unwrap();
+        assert!(!rep.is_clean());
+        assert!(rep.orphans >= 1);
+        assert!(
+            rep.errors.iter().any(|e| e.contains("asset 7")),
+            "{:?}",
+            rep.errors
+        );
+    }
+
+    #[test]
+    fn wrong_partition_size_and_meta_drift_are_reported() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = build(dir.path(), crate::VectorCodec::F32);
+        let inner = &*db.inner;
+        let mut txn = inner.db.begin_write().unwrap();
+        // Drift one centroid's persisted size and the delta counter.
+        let mut row = inner
+            .tables
+            .centroids
+            .scan(&txn)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        row[2] = Value::Integer(row[2].as_integer().unwrap() + 3);
+        inner.tables.centroids.upsert(&mut txn, row).unwrap();
+        set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, 99).unwrap();
+        txn.commit().unwrap();
+
+        let rep = db.verify_integrity().unwrap();
+        assert!(!rep.is_clean());
+        assert!(
+            rep.errors.iter().any(|e| e.contains("persisted size")),
+            "{:?}",
+            rep.errors
+        );
+        assert!(
+            rep.errors.iter().any(|e| e.contains("delta_count")),
+            "{:?}",
+            rep.errors
+        );
+    }
+
+    #[test]
+    fn stale_code_row_is_reported() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = build(dir.path(), crate::VectorCodec::Sq8);
+        let inner = &*db.inner;
+        let mut txn = inner.db.begin_write().unwrap();
+        // Remove one code row: the mirrored tables now disagree.
+        let codes = inner.tables.codes.as_ref().unwrap();
+        let key = {
+            let row = codes.scan(&txn).unwrap().next().unwrap().unwrap();
+            [row[0].clone(), row[1].clone()]
+        };
+        codes.delete(&mut txn, &key).unwrap();
+        txn.commit().unwrap();
+
+        let rep = db.verify_integrity().unwrap();
+        assert!(!rep.is_clean());
+        assert!(
+            rep.errors.iter().any(|e| e.contains("no code row")),
+            "{:?}",
+            rep.errors
+        );
+    }
+}

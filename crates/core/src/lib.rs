@@ -16,7 +16,10 @@
 //!   growth-triggered full rebuild as a rare fallback (§3.6).
 //! * **ACID semantics**: single serialized writer, snapshot-isolated
 //!   readers, WAL crash recovery — provided by the bundled storage
-//!   engine (the paper uses SQLite).
+//!   engine (the paper uses SQLite). The claims are enforced by a
+//!   crash-injection harness that cuts power at every write/fsync and
+//!   by [`MicroNN::verify_integrity`] (`micronnctl fsck`), which
+//!   cross-checks every inter-table invariant (see [`integrity`]).
 //! * **Hybrid queries**: attribute filters (comparisons + full-text
 //!   `MATCH`) combined with vector search, with a selectivity-based
 //!   optimizer choosing pre- vs post-filtering (§3.5).
@@ -68,6 +71,7 @@ pub mod error;
 mod exec;
 pub mod hybrid;
 pub mod inmemory;
+pub mod integrity;
 pub mod maintain;
 mod pool;
 pub mod search;
@@ -81,6 +85,7 @@ pub use db::{MicroNN, VectorRecord, DELTA_PARTITION};
 pub use error::{Error, Result};
 pub use hybrid::{PlanPreference, SearchRequest};
 pub use inmemory::InMemoryIndex;
+pub use integrity::IntegrityReport;
 pub use maintain::{
     FlushReport, IndexMaintainer, MaintainerOptions, MaintainerStats, MaintenanceAction,
     MaintenanceReport, MaintenanceStatus, MergeReport, SplitReport,

@@ -166,7 +166,10 @@ impl MicroNN {
         let staged =
             crate::db::read_partition_members(&txn, &inner.tables.vectors, DELTA_PARTITION)?;
 
-        let mut touched = std::collections::HashSet::new();
+        // BTreeSet: centroid/code rows are persisted in ascending
+        // partition order, keeping the page-write stream deterministic
+        // (the crash-injection harness enumerates its operations).
+        let mut touched = std::collections::BTreeSet::new();
         for (vid, asset, vec) in &staged {
             let (ci, _) = clustering.nearest(vec);
             let pid = partitions[ci];

@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use micronn::{Config, Metric, MicroNN, SyncMode, VectorRecord};
+use micronn_storage::{CrashPlan, PowerCut, SimVfs};
 
 const DIM: usize = 8;
 
@@ -129,5 +130,96 @@ proptest! {
             let v = db.get_vector(id).unwrap();
             prop_assert_eq!(v, Some(vec_for(tag)));
         }
+    }
+
+    /// Crash-point property: a random op sequence interrupted at a
+    /// random injection point — with a seeded arbitrary subset of
+    /// unsynced writes surviving the power cut — recovers to a
+    /// prefix-consistent state: exactly the model after the acked
+    /// prefix (the in-flight op may additionally have committed), with
+    /// a clean integrity walk.
+    #[test]
+    fn random_crash_point_recovers_to_acked_prefix(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                5 => (0i64..40, any::<u8>()).prop_map(|(id, t)| Op::Upsert(id, t)),
+                2 => (0i64..40).prop_map(Op::Delete),
+                1 => Just(Op::Rebuild),
+                1 => Just(Op::Flush),
+            ],
+            5..60,
+        ),
+        crash_at in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        let sim = SimVfs::new();
+        let mut cfg = Config::new(DIM, Metric::L2);
+        cfg.store.sync = SyncMode::Normal; // acked commits must survive
+        cfg.store.vfs = sim.handle();
+        cfg.target_partition_size = 8;
+        cfg.workers = 1;
+        let path = std::path::Path::new("/sim/prop-crash.mnn");
+        let db = MicroNN::create(path, cfg.clone()).unwrap();
+        let mut model: HashMap<i64, u8> = HashMap::new();
+        let mut built = false;
+        sim.arm(CrashPlan { at_op: crash_at, torn_eighths: Some(3) });
+
+        let mut acked_model = model.clone();
+        let mut crashed = false;
+        for op in &ops {
+            // The in-flight op's effect, in case its commit lands
+            // before the ack would have.
+            let mut next = acked_model.clone();
+            let r = match op {
+                Op::Upsert(id, tag) => {
+                    next.insert(*id, *tag);
+                    db.upsert(VectorRecord::new(*id, vec_for(*tag))).map(|_| ())
+                }
+                Op::Delete(id) => {
+                    next.remove(id);
+                    db.delete(*id).map(|_| ())
+                }
+                Op::Rebuild => db.rebuild().map(|r| { built = built || r.vectors > 0; }),
+                Op::Flush => {
+                    if built { db.flush_delta().map(|_| ()) } else { Ok(()) }
+                }
+                _ => Ok(()),
+            };
+            match r {
+                Ok(()) => { acked_model = next; }
+                Err(e) => {
+                    prop_assert!(
+                        e.to_string().contains("simulated crash"),
+                        "non-crash failure: {e}"
+                    );
+                    model = next; // candidate "in-flight committed" state
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        drop(db);
+        sim.power_cut(PowerCut::KeepSeeded(seed));
+        let db = MicroNN::open(path, cfg).unwrap();
+        let report = db.verify_integrity().unwrap();
+        prop_assert!(report.is_clean(), "fsck: {:?}", report.errors);
+        let matches = |m: &HashMap<i64, u8>| -> bool {
+            db.len().unwrap() == m.len() as u64
+                && m.iter().all(|(&id, &t)| {
+                    db.get_vector(id).unwrap() == Some(vec_for(t))
+                })
+        };
+        if crashed {
+            prop_assert!(
+                matches(&acked_model) || matches(&model),
+                "recovered state is not a prefix: len {} vs acked {} / in-flight {}",
+                db.len().unwrap(), acked_model.len(), model.len()
+            );
+        } else {
+            prop_assert!(matches(&acked_model), "uncrashed run must match the model");
+        }
+        // Recovered database stays writable.
+        db.upsert(VectorRecord::new(500, vec_for(0))).unwrap();
+        prop_assert!(db.contains(500).unwrap());
     }
 }

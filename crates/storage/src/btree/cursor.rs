@@ -14,7 +14,7 @@ use crate::page::{page_type, PageData, PageId};
 use crate::store::PageRead;
 
 use super::node;
-use super::{read_val, BTree};
+use super::{fetch_node, read_val, BTree};
 
 /// A forward iterator over `(key, value)` pairs in key order.
 pub struct Cursor<'r, R: PageRead + ?Sized> {
@@ -76,7 +76,7 @@ impl BTree {
         };
         let mut id: PageId = self.root();
         let leaf = loop {
-            let p = reader.page(id)?;
+            let p = fetch_node(reader, id)?;
             match p.page_type() {
                 page_type::BTREE_INTERIOR => id = node::interior_descend(&p, seek_key),
                 _ => break p,
@@ -148,7 +148,7 @@ impl<R: PageRead + ?Sized> Cursor<'_, R> {
                 self.leaf = None;
                 return Ok(None);
             }
-            self.leaf = Some(self.reader.page(next)?);
+            self.leaf = Some(fetch_node(self.reader, next)?);
             self.idx = 0;
         }
     }

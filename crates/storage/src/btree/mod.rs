@@ -37,6 +37,20 @@ use node::{
 /// Bytes of payload stored per overflow page.
 const OVERFLOW_CAPACITY: usize = PAGE_SIZE - 8;
 
+/// Fetches a B+tree node page and structurally validates it
+/// ([`node::validate`]): corrupted bytes become a
+/// [`StorageError::Corrupt`] at the fetch boundary — where recovery
+/// and `fsck` can report them — instead of a panic inside the
+/// zero-copy cell accessors. Every traversal goes through this.
+pub(crate) fn fetch_node<R: PageRead + ?Sized>(
+    r: &R,
+    id: PageId,
+) -> Result<std::sync::Arc<crate::page::PageData>> {
+    let p = r.page(id)?;
+    node::validate(&p, id)?;
+    Ok(p)
+}
+
 /// A handle to a B+tree rooted at a fixed page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BTree {
@@ -66,7 +80,7 @@ impl BTree {
     pub fn get<R: PageRead + ?Sized>(&self, r: &R, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut id = self.root;
         loop {
-            let p = r.page(id)?;
+            let p = fetch_node(r, id)?;
             match p.page_type() {
                 page_type::BTREE_INTERIOR => id = node::interior_descend(&p, key),
                 page_type::BTREE_LEAF => {
@@ -88,7 +102,7 @@ impl BTree {
     pub fn contains_key<R: PageRead + ?Sized>(&self, r: &R, key: &[u8]) -> Result<bool> {
         let mut id = self.root;
         loop {
-            let p = r.page(id)?;
+            let p = fetch_node(r, id)?;
             match p.page_type() {
                 page_type::BTREE_INTERIOR => id = node::interior_descend(&p, key),
                 page_type::BTREE_LEAF => return Ok(node::leaf_search(&p, key).is_ok()),
@@ -129,7 +143,7 @@ impl BTree {
     pub fn delete(&self, txn: &mut WriteTxn, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let res = delete_rec(txn, self.root, key, true)?.old;
         // Collapse an interior root with a single remaining child.
-        let p = txn.page(self.root)?;
+        let p = fetch_node(txn, self.root)?;
         if p.page_type() == page_type::BTREE_INTERIOR && node::ncells(&p) == 0 {
             let child = node::right_ptr(&p);
             let child_img = txn.page(child)?;
@@ -158,7 +172,7 @@ impl BTree {
         let mut id = self.root;
         let mut d = 1;
         loop {
-            let p = r.page(id)?;
+            let p = fetch_node(r, id)?;
             match p.page_type() {
                 page_type::BTREE_INTERIOR => {
                     id = node::right_ptr(&p);
@@ -180,7 +194,7 @@ impl BTree {
         let mut n = 0u64;
         let mut id = leftmost_leaf(r, self.root)?;
         loop {
-            let p = r.page(id)?;
+            let p = fetch_node(r, id)?;
             n += node::ncells(&p) as u64;
             let next = node::right_ptr(&p);
             if next == 0 {
@@ -194,7 +208,7 @@ impl BTree {
 /// Finds the leftmost leaf under `id`.
 pub(crate) fn leftmost_leaf<R: PageRead + ?Sized>(r: &R, mut id: PageId) -> Result<PageId> {
     loop {
-        let p = r.page(id)?;
+        let p = fetch_node(r, id)?;
         match p.page_type() {
             page_type::BTREE_INTERIOR => {
                 id = if node::ncells(&p) > 0 {
@@ -222,12 +236,22 @@ pub(crate) fn read_val<R: PageRead + ?Sized>(r: &R, v: ValRef<'_>) -> Result<Vec
 }
 
 fn read_overflow<R: PageRead + ?Sized>(r: &R, head: PageId, total: u32) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(total as usize);
+    // `total` comes from a cell on disk: cap the pre-allocation and
+    // bail as soon as the chain outgrows it, so a corrupted length or
+    // a cycle in the chain is an error, not an unbounded allocation.
+    let mut out = Vec::with_capacity((total as usize).min(OVERFLOW_CAPACITY * 4));
     let mut id = head;
     while id != 0 {
         let p = r.page(id)?;
         expect_type(&p, page_type::OVERFLOW, id)?;
         let len = p.get_u16(2) as usize;
+        // Chunks are never empty (a zero-length chunk would also let a
+        // cycle in the chain spin forever).
+        if len == 0 || len > OVERFLOW_CAPACITY || out.len() + len > total as usize {
+            return Err(StorageError::Corrupt(format!(
+                "overflow chain {head}: malformed chunk on page {id}"
+            )));
+        }
         out.extend_from_slice(&p[8..8 + len]);
         id = p.get_u32(4);
     }
@@ -313,7 +337,7 @@ enum Ins {
 }
 
 fn insert_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], val: &[u8]) -> Result<Ins> {
-    let p = txn.page(id)?;
+    let p = fetch_node(txn, id)?;
     match p.page_type() {
         page_type::BTREE_LEAF => {
             let mut leaf = LeafNode::parse(&p);
@@ -356,7 +380,7 @@ fn insert_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], val: &[u8]) -> Result<
             match insert_rec(txn, child, key, val)? {
                 Ins::Done(old) => Ok(Ins::Done(old)),
                 Ins::Split { sep, right, old } => {
-                    let p = txn.page(id)?;
+                    let p = fetch_node(txn, id)?;
                     let mut interior = InteriorNode::parse(&p);
                     drop(p);
                     if idx == interior.cells.len() {
@@ -400,7 +424,7 @@ struct Removed {
 }
 
 fn delete_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], is_root: bool) -> Result<Removed> {
-    let p = txn.page(id)?;
+    let p = fetch_node(txn, id)?;
     match p.page_type() {
         page_type::BTREE_LEAF => {
             let mut leaf = LeafNode::parse(&p);
@@ -439,7 +463,7 @@ fn delete_rec(txn: &mut WriteTxn, id: PageId, key: &[u8], is_root: bool) -> Resu
                 });
             }
             // The child went underfull: rebalance it with a sibling.
-            let p = txn.page(id)?;
+            let p = fetch_node(txn, id)?;
             let mut interior = InteriorNode::parse(&p);
             drop(p);
             rebalance_child(txn, &mut interior, idx)?;
@@ -476,13 +500,13 @@ fn rebalance_child(txn: &mut WriteTxn, parent: &mut InteriorNode, pos: usize) ->
     };
     let left_id = child_at(parent, left_pos);
     let right_id = child_at(parent, left_pos + 1);
-    let lp = txn.page(left_id)?;
+    let lp = fetch_node(txn, left_id)?;
     let kind = lp.page_type();
 
     if kind == page_type::BTREE_LEAF {
         let mut left = LeafNode::parse(&lp);
         drop(lp);
-        let rp = txn.page(right_id)?;
+        let rp = fetch_node(txn, right_id)?;
         expect_type(&rp, page_type::BTREE_LEAF, right_id)?;
         let right = LeafNode::parse(&rp);
         drop(rp);
@@ -509,7 +533,7 @@ fn rebalance_child(txn: &mut WriteTxn, parent: &mut InteriorNode, pos: usize) ->
     } else {
         let mut left = InteriorNode::parse(&lp);
         drop(lp);
-        let rp = txn.page(right_id)?;
+        let rp = fetch_node(txn, right_id)?;
         expect_type(&rp, page_type::BTREE_INTERIOR, right_id)?;
         let right = InteriorNode::parse(&rp);
         drop(rp);
@@ -552,7 +576,7 @@ fn remove_child(parent: &mut InteriorNode, pos: usize, merged_id: PageId) {
 }
 
 fn free_subtree(txn: &mut WriteTxn, id: PageId, free_self: bool) -> Result<()> {
-    let p = txn.page(id)?;
+    let p = fetch_node(txn, id)?;
     match p.page_type() {
         page_type::BTREE_LEAF => {
             let leaf = LeafNode::parse(&p);

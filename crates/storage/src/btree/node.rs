@@ -197,6 +197,62 @@ pub fn expect_type(p: &PageData, want: u8, page: PageId) -> Result<()> {
     Ok(())
 }
 
+/// Structural validation of a node page: every cell pointer, and every
+/// length those cells imply, must stay inside the page. Once a page
+/// passes, the zero-copy accessors above cannot slice out of bounds —
+/// so corrupted bytes surface as [`StorageError::Corrupt`] at the
+/// fetch boundary (where `fsck` and recovery can report them) instead
+/// of panicking mid-traversal. `O(cells)` of u16 reads per call.
+pub fn validate(p: &PageData, page: PageId) -> Result<()> {
+    let corrupt = |what: &str| {
+        Err(StorageError::Corrupt(format!(
+            "page {page}: malformed node ({what})"
+        )))
+    };
+    let n = ncells(p);
+    let content_floor = PTR_ARRAY + 2 * n;
+    if content_floor > PAGE_SIZE {
+        return corrupt("cell pointer array exceeds page");
+    }
+    let kind = p.page_type();
+    for i in 0..n {
+        let o = cell_offset(p, i);
+        if o < content_floor {
+            return corrupt("cell offset inside pointer array");
+        }
+        match kind {
+            page_type::BTREE_LEAF => {
+                if o + 5 > PAGE_SIZE {
+                    return corrupt("leaf cell header exceeds page");
+                }
+                let klen = p.get_u16(o) as usize;
+                let end = match p[o + 2] {
+                    0 => o + 5 + klen + p.get_u16(o + 3) as usize,
+                    1 => o + 11 + klen,
+                    _ => return corrupt("unknown leaf cell kind"),
+                };
+                if end > PAGE_SIZE {
+                    return corrupt("leaf cell exceeds page");
+                }
+            }
+            page_type::BTREE_INTERIOR => {
+                if o + 6 > PAGE_SIZE {
+                    return corrupt("interior cell header exceeds page");
+                }
+                if o + 6 + p.get_u16(o + 4) as usize > PAGE_SIZE {
+                    return corrupt("interior cell exceeds page");
+                }
+            }
+            t => {
+                return Err(StorageError::Corrupt(format!(
+                    "page {page}: unexpected type {t} during descent"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Materialized nodes (mutation path)
 // ---------------------------------------------------------------------------

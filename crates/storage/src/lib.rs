@@ -11,6 +11,9 @@
 //!   log ([`wal`]), a bounded buffer pool ([`pool`]) with eviction and
 //!   I/O accounting, and single-writer / multi-reader transactions with
 //!   snapshot isolation ([`Store::begin_read`] / [`Store::begin_write`]).
+//!   All file I/O flows through the [`vfs`] boundary: [`StdVfs`] in
+//!   production, and the deterministic crash-injecting [`sim::SimVfs`]
+//!   in the recovery harnesses.
 //! * [`BTree`] — an ordered byte-key/byte-value B+tree with range scans,
 //!   overflow chains for large values, and delete rebalancing. Tables in
 //!   `micronn-rel` cluster rows on their encoded primary key through this
@@ -43,12 +46,16 @@ pub mod checksum;
 pub mod error;
 pub mod page;
 pub mod pool;
+pub mod sim;
 pub mod stats;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use btree::{BTree, Cursor};
 pub use error::{Result, StorageError};
 pub use page::{PageData, PageId, PAGE_SIZE};
+pub use sim::{CrashPlan, PowerCut, SimVfs};
 pub use stats::{IoStats, StoreStats};
 pub use store::{PageRead, ReadTxn, Store, StoreOptions, SyncMode, WriteTxn, NUM_ROOTS};
+pub use vfs::{OpenMode, StdVfs, Vfs, VfsFile};

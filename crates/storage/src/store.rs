@@ -19,10 +19,19 @@
 //!   without committing discards it (rollback).
 //! * A checkpoint folds committed frames into the main file when no
 //!   reader holds an older snapshot, bounding WAL growth.
+//!
+//! ## Durability
+//!
+//! Both files are accessed exclusively through the
+//! [`crate::vfs::Vfs`] layer. Under [`SyncMode::Normal`] every
+//! commit fsyncs the WAL before acknowledging, and a checkpoint syncs
+//! the main file before truncating the log — the ordering the
+//! crash-injection harness ([`crate::sim::SimVfs`], the
+//! `failure_injection` suite, and `crates/core/tests/crash_recovery.rs`
+//! above this crate) verifies by cutting power at every write and
+//! fsync and dropping arbitrary subsets of unsynced writes.
 
 use std::collections::{BTreeMap, HashMap};
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -33,6 +42,7 @@ use crate::page::page_type;
 use crate::page::{PageData, PageId, PAGE_SIZE};
 use crate::pool::BufferPool;
 use crate::stats::{IoStats, StoreStats};
+use crate::vfs::{OpenMode, StdVfs, Vfs, VfsFile};
 use crate::wal::Wal;
 
 /// Magic prefix of the main database file.
@@ -67,7 +77,7 @@ pub enum SyncMode {
 }
 
 /// Tunables for opening a [`Store`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StoreOptions {
     /// Buffer-pool budget in bytes. This is the paper's main memory
     /// lever: the "Small DUT" and "Large DUT" profiles differ in pool
@@ -84,6 +94,10 @@ pub struct StoreOptions {
     /// spill SQLite performs for transactions larger than its page
     /// cache. `0` disables spilling.
     pub spill_after_pages: usize,
+    /// The file system every byte of store I/O goes through:
+    /// [`StdVfs`] in production, [`crate::sim::SimVfs`] in the
+    /// crash-injection harnesses.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for StoreOptions {
@@ -93,7 +107,20 @@ impl Default for StoreOptions {
             sync: SyncMode::Normal,
             checkpoint_after_frames: 2048,
             spill_after_pages: 4096,
+            vfs: StdVfs::handle(),
         }
+    }
+}
+
+impl std::fmt::Debug for StoreOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreOptions")
+            .field("pool_bytes", &self.pool_bytes)
+            .field("sync", &self.sync)
+            .field("checkpoint_after_frames", &self.checkpoint_after_frames)
+            .field("spill_after_pages", &self.spill_after_pages)
+            .field("vfs", &self.vfs.name())
+            .finish()
     }
 }
 
@@ -157,7 +184,7 @@ struct Committed {
 }
 
 struct StoreInner {
-    main: File,
+    main: Box<dyn VfsFile>,
     path: PathBuf,
     wal: Wal,
     pool: BufferPool,
@@ -194,27 +221,23 @@ impl Store {
     /// Creates a new database at `path` (fails if it already exists).
     pub fn create(path: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
         let path = path.as_ref().to_owned();
-        let main = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create_new(true)
-            .open(&path)?;
+        let main = opts.vfs.open(&path, OpenMode::CreateNew)?;
         let meta = Meta::fresh();
         let mut header = PageData::zeroed();
         meta.encode(&mut header);
         main.write_all_at(&header[..], 0)?;
         if !matches!(opts.sync, SyncMode::Off) {
-            main.sync_all()?;
+            main.sync()?;
         }
-        let wal = Wal::create(&wal_path(&path))?;
+        let wal = Wal::create(&*opts.vfs, &wal_path(&path))?;
         Ok(Store::assemble(main, path, wal, meta, 0, opts))
     }
 
     /// Opens an existing database, running WAL crash recovery.
     pub fn open(path: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
         let path = path.as_ref().to_owned();
-        let main = OpenOptions::new().read(true).write(true).open(&path)?;
-        let opened = Wal::open(&wal_path(&path))?;
+        let main = opts.vfs.open(&path, OpenMode::Open)?;
+        let opened = Wal::open(&*opts.vfs, &wal_path(&path))?;
         let wal = opened.wal;
         // The authoritative header is the newest committed version of
         // page 0, which may live in the WAL.
@@ -233,7 +256,7 @@ impl Store {
 
     /// Opens `path`, creating it first if it does not exist.
     pub fn open_or_create(path: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
-        if path.as_ref().exists() {
+        if opts.vfs.exists(path.as_ref()) {
             Store::open(path, opts)
         } else {
             Store::create(path, opts)
@@ -241,7 +264,7 @@ impl Store {
     }
 
     fn assemble(
-        main: File,
+        main: Box<dyn VfsFile>,
         path: PathBuf,
         wal: Wal,
         meta: Meta,
@@ -433,7 +456,11 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
             }
         }
     }
-    let targets = inner.wal.index().latest_per_page(mx);
+    let mut targets = inner.wal.index().latest_per_page(mx);
+    // Ascending page order: better write locality, and — with the WAL
+    // index map being unordered — a deterministic operation stream for
+    // the crash-injection harness.
+    targets.sort_unstable_by_key(|&(page, _, _)| page);
     for &(page, frame, seq) in &targets {
         let data = match inner.pool.get((page, seq)) {
             Some(d) => d,
@@ -452,12 +479,12 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
     // tail pages were freed (never written back).
     let page_count = inner.committed.read().meta.page_count;
     let want_len = page_count as u64 * PAGE_SIZE as u64;
-    if inner.main.metadata()?.len() < want_len {
+    if inner.main.len()? < want_len {
         inner.main.set_len(want_len)?;
     }
     if !matches!(inner.opts.sync, SyncMode::Off) {
         // The main file must be durable before the WAL disappears.
-        inner.main.sync_data()?;
+        inner.main.sync()?;
         IoStats::bump(&inner.stats.syncs);
     }
     inner.wal.reset(!matches!(inner.opts.sync, SyncMode::Off))?;

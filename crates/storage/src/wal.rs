@@ -17,17 +17,19 @@
 //!
 //! On open, the WAL is scanned front to back; frames are accepted while
 //! their checksums validate and only up to the last commit marker —
-//! this is crash recovery, exercised by the failure-injection tests.
+//! this is crash recovery. All file I/O goes through the
+//! [`crate::vfs::Vfs`] layer, so the crash-injection backend
+//! ([`crate::sim::SimVfs`]) can interrupt any write or fsync and the
+//! recovery scan is exercised against torn frames, lost unsynced
+//! writes, and interrupted checkpoints — not just clean shutdowns.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
-use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
 use crate::checksum::fnv1a;
 use crate::error::{Result, StorageError};
 use crate::page::{PageData, PageId, PAGE_SIZE};
+use crate::vfs::{OpenMode, Vfs, VfsFile};
 
 /// Magic prefix of a WAL file.
 const WAL_MAGIC: u64 = 0x4D4E_4E57_414C_3031; // "MNNWAL01"
@@ -131,7 +133,7 @@ impl WalIndex {
 /// [`WalIndex`]. All mutating operations are called with the store's
 /// writer lock held; reads are lock-free on the file (pread).
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     index: parking_lot::RwLock<WalIndex>,
     /// Next sequence number to assign; strictly increasing for the
@@ -151,18 +153,13 @@ pub struct WalOpen {
 
 impl Wal {
     /// Creates a fresh WAL at `path`, truncating any existing file.
-    pub fn create(path: &Path) -> Result<Wal> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+    pub fn create(vfs: &dyn Vfs, path: &Path) -> Result<Wal> {
+        let file = vfs.open(path, OpenMode::CreateTruncate)?;
         let mut hdr = [0u8; WAL_HEADER as usize];
         hdr[..8].copy_from_slice(&WAL_MAGIC.to_le_bytes());
         hdr[8..12].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
-        file.write_all(&hdr)?;
-        file.sync_all()?;
+        file.write_all_at(&hdr, 0)?;
+        file.sync()?;
         Ok(Wal {
             file,
             path: path.to_owned(),
@@ -174,20 +171,20 @@ impl Wal {
 
     /// Opens an existing WAL, replaying committed frames into the index
     /// (crash recovery). Creates the file if missing.
-    pub fn open(path: &Path) -> Result<WalOpen> {
-        if !path.exists() {
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> Result<WalOpen> {
+        if !vfs.exists(path) {
             return Ok(WalOpen {
-                wal: Wal::create(path)?,
+                wal: Wal::create(vfs, path)?,
                 discarded_frames: 0,
             });
         }
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let len = file.metadata()?.len();
+        let file = vfs.open(path, OpenMode::Open)?;
+        let len = file.len()?;
         if len < WAL_HEADER {
             // Torn header: treat as empty.
             drop(file);
             return Ok(WalOpen {
-                wal: Wal::create(path)?,
+                wal: Wal::create(vfs, path)?,
                 discarded_frames: 0,
             });
         }
@@ -263,7 +260,7 @@ impl Wal {
         assert!(!pages.is_empty(), "empty commits are elided by the store");
         let appended = self.append_frames(pages, db_size)?;
         if sync {
-            self.file.sync_data()?;
+            self.file.sync()?;
         }
         let commit_seq = appended.last().expect("non-empty").1;
         self.publish(db_size, commit_seq)?;
@@ -381,7 +378,7 @@ impl Wal {
     pub fn reset(&self, sync: bool) -> Result<()> {
         self.file.set_len(WAL_HEADER)?;
         if sync {
-            self.file.sync_data()?;
+            self.file.sync()?;
         }
         *self.pending_tail.lock() = 0;
         let mut index = self.index.write();
@@ -414,6 +411,7 @@ fn frame_checksum(page: PageId, db_size: u32, seq: u64, img: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::StdVfs;
 
     fn page_filled(b: u8) -> PageData {
         let mut p = PageData::zeroed();
@@ -421,10 +419,18 @@ mod tests {
         p
     }
 
+    fn create(path: &Path) -> Wal {
+        Wal::create(&StdVfs, path).unwrap()
+    }
+
+    fn reopen(path: &Path) -> WalOpen {
+        Wal::open(&StdVfs, path).unwrap()
+    }
+
     #[test]
     fn commit_and_lookup() {
         let dir = tempfile::tempdir().unwrap();
-        let wal = Wal::create(&dir.path().join("w.wal")).unwrap();
+        let wal = create(&dir.path().join("w.wal"));
         let p1 = page_filled(1);
         let p2 = page_filled(2);
         let seq = wal.commit(&[(5, &p1), (9, &p2)], 10, false).unwrap();
@@ -442,7 +448,7 @@ mod tests {
     #[test]
     fn snapshot_sees_only_older_frames() {
         let dir = tempfile::tempdir().unwrap();
-        let wal = Wal::create(&dir.path().join("w.wal")).unwrap();
+        let wal = create(&dir.path().join("w.wal"));
         let old = page_filled(1);
         let new = page_filled(2);
         let snap1 = wal.commit(&[(5, &old)], 10, false).unwrap();
@@ -463,13 +469,13 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("w.wal");
         {
-            let wal = Wal::create(&path).unwrap();
+            let wal = create(&path);
             wal.commit(&[(1, &page_filled(7))], 3, true).unwrap();
             wal.commit(&[(2, &page_filled(8)), (1, &page_filled(9))], 3, true)
                 .unwrap();
             // Dropped without checkpoint: simulates a crash.
         }
-        let opened = Wal::open(&path).unwrap();
+        let opened = reopen(&path);
         assert_eq!(opened.discarded_frames, 0);
         let wal = opened.wal;
         let idx = wal.index();
@@ -485,18 +491,18 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("w.wal");
         {
-            let wal = Wal::create(&path).unwrap();
+            let wal = create(&path);
             wal.commit(&[(1, &page_filled(7))], 3, true).unwrap();
             wal.commit(&[(2, &page_filled(8))], 3, true).unwrap();
         }
         // Corrupt the second frame's payload byte -> checksum fails.
         {
             use std::os::unix::fs::FileExt;
-            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
             let off = WAL_HEADER + FRAME_SIZE + FRAME_HEADER + 100;
             f.write_all_at(&[0xFF], off).unwrap();
         }
-        let opened = Wal::open(&path).unwrap();
+        let opened = reopen(&path);
         assert_eq!(opened.discarded_frames, 1);
         let idx = opened.wal.index();
         assert_eq!(idx.frame_count(), 1);
@@ -512,7 +518,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("w.wal");
         {
-            let wal = Wal::create(&path).unwrap();
+            let wal = create(&path);
             wal.commit(&[(1, &page_filled(7))], 3, true).unwrap();
             // Hand-append a non-commit frame.
             let img = page_filled(9);
@@ -527,7 +533,7 @@ mod tests {
                 .write_all_at(&buf, WAL_HEADER + FRAME_SIZE)
                 .unwrap();
         }
-        let opened = Wal::open(&path).unwrap();
+        let opened = reopen(&path);
         assert_eq!(opened.discarded_frames, 1);
         assert_eq!(opened.wal.index().frame_count(), 1);
     }
@@ -535,7 +541,7 @@ mod tests {
     #[test]
     fn reset_preserves_watermark() {
         let dir = tempfile::tempdir().unwrap();
-        let wal = Wal::create(&dir.path().join("w.wal")).unwrap();
+        let wal = create(&dir.path().join("w.wal"));
         let snap = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
         wal.reset(false).unwrap();
         let idx = wal.index();
@@ -551,7 +557,7 @@ mod tests {
     #[test]
     fn latest_per_page_respects_upto() {
         let dir = tempfile::tempdir().unwrap();
-        let wal = Wal::create(&dir.path().join("w.wal")).unwrap();
+        let wal = create(&dir.path().join("w.wal"));
         let s1 = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
         let _s2 = wal.commit(&[(1, &page_filled(2))], 2, false).unwrap();
         let idx = wal.index();

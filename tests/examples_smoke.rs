@@ -96,4 +96,36 @@ fn quickstart_path_end_to_end() {
     for r in &hits.results {
         assert_eq!(r.asset_id % 3, 1);
     }
+
+    // The library-level integrity walk is clean...
+    assert!(db.verify_integrity().unwrap().is_clean());
+    drop(db);
+    // ...and so says the operator tool: `micronnctl fsck` shares the
+    // same walker and must exit zero with its per-check counts.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let out = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "micronn",
+            "--bin",
+            "micronnctl",
+            "--manifest-path",
+            manifest,
+            "--",
+            "fsck",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("failed to spawn cargo run micronnctl");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "micronnctl fsck failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("ok: no corruption found"), "{stdout}");
+    assert!(stdout.contains("partitions walked"), "{stdout}");
 }
