@@ -266,6 +266,22 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// Linear-interpolated percentile of a sample; `p` in `[0, 100]`.
+/// `percentile(xs, 50.0)` matches [`median`] on odd-length samples and
+/// interpolates identically on even ones.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    v[lo] + (v[hi] - v[lo]) * frac
+}
+
 /// Mean and standard deviation of a sample.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
@@ -316,6 +332,18 @@ mod tests {
         assert!((m - 5.0).abs() < 1e-12);
         assert!((s - 2.0).abs() < 1e-12);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn percentile_math() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), median(&xs));
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert!((percentile(&xs, 75.0) - 4.0).abs() < 1e-12);
+        let even = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&even, 50.0), median(&even));
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
     #[test]

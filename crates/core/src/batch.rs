@@ -123,6 +123,11 @@ impl MicroNN {
             let partitions = &partitions;
             let queries_flat = &queries_flat;
             inner.scan_pool.parallel_indexed(partitions.len(), |i| {
+                // Probe readahead: overlap the next partition's I/O
+                // with this partition's GEMM / code scoring.
+                if let Some(&next) = partitions.get(i + 1) {
+                    scanner.prefetch(next);
+                }
                 let group = &groups[&partitions[i]];
                 let mut heaps: Vec<TopK> = group.iter().map(|_| TopK::new(scan_k)).collect();
                 scanner.scan(

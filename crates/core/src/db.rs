@@ -698,6 +698,15 @@ impl MicroNN {
         read_partition_sizes(&r, &inner.tables.centroids)
     }
 
+    /// Cumulative storage-layer I/O counters (buffer-pool hit/miss,
+    /// evictions, WAL/main reads and writes, fsyncs, prefetch
+    /// activity). Benchmarks diff two snapshots via
+    /// [`micronn_storage::StoreStats::since`] to report cache hit
+    /// rates per phase.
+    pub fn io_stats(&self) -> micronn_storage::StoreStats {
+        self.inner.db.store().stats()
+    }
+
     /// Drops all in-process and page caches: the paper's ColdStart
     /// scenario (§4.1.4).
     pub fn purge_caches(&self) {

@@ -157,6 +157,32 @@ impl PartitionScanner<'_> {
         self.scan_vectors(partition, queries, heaps)
     }
 
+    /// Queues background readahead of the leaf pages [`scan`] would
+    /// read for `partition` — the codes table when the quantized path
+    /// would run, the f32 vectors table otherwise. Probe fan-out jobs
+    /// call this for the *next* partition before scoring the current
+    /// one, overlapping the next probe's I/O with this probe's
+    /// distance computations. Best-effort and infallible: readahead
+    /// must never fail or reorder a query.
+    ///
+    /// [`scan`]: PartitionScanner::scan
+    pub fn prefetch(&self, partition: i64) {
+        let prefix = [Value::Integer(partition)];
+        if self.use_codec && self.inner.quantized() && partition != DELTA_PARTITION {
+            if let (Some(codes), Ok(Some(_))) = (
+                self.inner.tables.codes.as_ref(),
+                self.inner.partition_params(self.r, partition),
+            ) {
+                codes.prefetch_pk_prefix(self.r, &prefix);
+                return;
+            }
+        }
+        self.inner
+            .tables
+            .vectors
+            .prefetch_pk_prefix(self.r, &prefix);
+    }
+
     /// The post-filter join of §3.5: evaluates the predicate on the
     /// row's attributes (a missing attributes row never matches) and
     /// counts rejections.

@@ -76,6 +76,11 @@ pub(crate) fn scan_partitions(
     };
     let queries = Queries::One(query);
     let heaps = inner.scan_pool.parallel_indexed(partitions.len(), |i| {
+        // Probe readahead: queue the next partition's leaves before
+        // scoring this one, so its I/O overlaps our compute.
+        if let Some(&next) = partitions.get(i + 1) {
+            scanner.prefetch(next);
+        }
         let mut top = TopK::new(scan_k);
         scanner.scan(partitions[i], &queries, std::slice::from_mut(&mut top))?;
         Ok(top)

@@ -413,6 +413,25 @@ impl Table {
         }))
     }
 
+    /// Queues background readahead of the leaf pages holding rows
+    /// whose primary key starts with `prefix`. Discovery touches
+    /// interior pages only; the leaves themselves are fetched by the
+    /// store's prefetch worker with the scan admission hint, so a
+    /// subsequent [`Table::scan_pk_prefix_raw`] of the same prefix hits
+    /// the buffer pool instead of the disk. Best-effort: errors are
+    /// swallowed (readahead must never fail a query).
+    pub fn prefetch_pk_prefix<R: PageRead + ?Sized>(&self, r: &R, prefix: &[Value]) {
+        // Bounds the discovery walk; the store additionally caps its
+        // own prefetch backlog.
+        const MAX_LEAVES: usize = 1024;
+        if let Ok(ids) = self
+            .data
+            .prefix_leaf_pages(r, &encode_key(prefix), MAX_LEAVES)
+        {
+            r.prefetch_pages(&ids);
+        }
+    }
+
     /// Persistent row count (O(1): reads the catalog counter).
     pub fn row_count<R: PageRead + ?Sized>(&self, r: &R) -> Result<u64> {
         Ok(match self.catalog.get(r, &self.count_key)? {

@@ -14,7 +14,7 @@ use crate::page::{page_type, PageData, PageId};
 use crate::store::PageRead;
 
 use super::node;
-use super::{fetch_node, read_val, BTree};
+use super::{fetch_node, fetch_node_scan, read_val_scan, BTree};
 
 /// A forward iterator over `(key, value)` pairs in key order.
 pub struct Cursor<'r, R: PageRead + ?Sized> {
@@ -69,7 +69,10 @@ impl BTree {
         start: Bound<Vec<u8>>,
         end: Bound<Vec<u8>>,
     ) -> Result<Cursor<'r, R>> {
-        // Descend to the leaf that would contain the start bound.
+        // Descend to the leaf that would contain the start bound. The
+        // descent (and the first leaf) uses the point hint: interior
+        // pages are the reusable working set the pool protects, and
+        // one point-admitted leaf per scan cannot displace it.
         let seek_key: &[u8] = match &start {
             Bound::Included(k) | Bound::Excluded(k) => k,
             Bound::Unbounded => &[],
@@ -138,17 +141,21 @@ impl<R: PageRead + ?Sized> Cursor<'_, R> {
                     return Ok(None);
                 }
                 let key = key.to_vec();
-                let value = read_val(self.reader, node::leaf_val(leaf, self.idx))?;
+                // Scan-hinted: cursor reads are sequential by
+                // construction, so leaves and their overflow chains
+                // must not displace the pool's protected segment.
+                let value = read_val_scan(self.reader, node::leaf_val(leaf, self.idx))?;
                 self.idx += 1;
                 return Ok(Some((key, value)));
             }
-            // Exhausted this leaf: follow the sibling chain.
+            // Exhausted this leaf: follow the sibling chain with the
+            // scan admission hint.
             let next = node::right_ptr(leaf);
             if next == 0 {
                 self.leaf = None;
                 return Ok(None);
             }
-            self.leaf = Some(fetch_node(self.reader, next)?);
+            self.leaf = Some(fetch_node_scan(self.reader, next)?);
             self.idx = 0;
         }
     }

@@ -55,6 +55,7 @@ pub mod wal;
 pub use btree::{BTree, Cursor};
 pub use error::{Result, StorageError};
 pub use page::{PageData, PageId, PAGE_SIZE};
+pub use pool::Access;
 pub use sim::{CrashPlan, PowerCut, SimVfs};
 pub use stats::{IoStats, StoreStats};
 pub use store::{PageRead, ReadTxn, Store, StoreOptions, SyncMode, WriteTxn, NUM_ROOTS};

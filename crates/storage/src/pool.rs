@@ -1,10 +1,25 @@
-//! Bounded buffer pool (page cache).
+//! Bounded buffer pool (page cache) with scan-resistant eviction.
 //!
 //! The paper's core constraint (§2.1) is that the index "cannot be
 //! buffered in memory unless it is serving an active use-case": memory
 //! for cached pages must be strictly bounded and reclaimable. This pool
-//! caches page images under a byte budget with CLOCK (second-chance)
-//! eviction.
+//! caches page images under a byte budget with a segmented,
+//! scan-resistant policy in the LRU-K / CLOCK-Pro family:
+//!
+//! * New pages enter a **probationary** segment. A probationary page is
+//!   promoted to the **protected** segment only after it is hit again
+//!   by a point access — one-touch pages (the long tail of a partition
+//!   sweep) never displace the hot set.
+//! * Callers tag accesses with [`Access`]: `Point` for demand reads on
+//!   the query path, `Scan` for bulk sequential reads (partition
+//!   sweeps, checkpoints, readahead). Scan-tagged entries are admitted
+//!   probationary with *no* second chance, so a scan of any length
+//!   recycles a small probationary window instead of flushing the pool.
+//!   A later point access "rescues" a scan page onto the normal
+//!   promotion path.
+//! * The protected segment is capped at 3/4 of the budget and evicts
+//!   with CLOCK (second chance) back into probation, so even the hot
+//!   set stays adaptive.
 //!
 //! Entries are keyed by `(page, version)`, where `version` is the WAL
 //! sequence number of the frame the image came from (`0` for images
@@ -27,17 +42,40 @@ use crate::page::{PageData, PageId, PAGE_SIZE};
 /// Cache key: page number plus the WAL version of its image.
 pub type PoolKey = (PageId, u64);
 
+/// How a page is being touched, for admission and promotion decisions.
+///
+/// `Point` is the default for demand reads on the query path. `Scan`
+/// marks bulk sequential access — full-partition sweeps, checkpoint
+/// reads, prefetch — whose pages should cycle through a probationary
+/// window without displacing the protected working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Access {
+    /// Demand read: eligible for promotion into the protected segment.
+    #[default]
+    Point,
+    /// Bulk read: admitted probationary with no second chance.
+    Scan,
+}
+
 struct Entry {
     data: Arc<PageData>,
     /// CLOCK reference bit: set on hit, cleared on eviction scan.
     referenced: bool,
+    /// True while the entry lives in the protected segment.
+    protected: bool,
+    /// True for scan-admitted entries that no point access has touched.
+    scan: bool,
 }
 
 struct PoolInner {
     map: HashMap<PoolKey, Entry>,
-    /// CLOCK hand order; keys may be stale (already removed from `map`).
-    queue: VecDeque<PoolKey>,
+    /// Probationary hand order; keys may be stale (removed from `map`
+    /// or since promoted to the protected segment).
+    probation: VecDeque<PoolKey>,
+    /// Protected hand order; keys may be stale symmetrically.
+    protected: VecDeque<PoolKey>,
     bytes: usize,
+    protected_bytes: usize,
 }
 
 /// A byte-bounded page cache shared by all transactions of a store.
@@ -58,25 +96,66 @@ impl BufferPool {
         BufferPool {
             inner: Mutex::new(PoolInner {
                 map: HashMap::new(),
-                queue: VecDeque::new(),
+                probation: VecDeque::new(),
+                protected: VecDeque::new(),
                 bytes: 0,
+                protected_bytes: 0,
             }),
             capacity: capacity_bytes,
             evictions: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
-    /// Looks up a page image, marking it recently used.
+    /// Protected segment cap: 3/4 of the budget, leaving a quarter as
+    /// the probationary window scans recycle through.
+    fn protected_cap(&self) -> usize {
+        self.capacity - self.capacity / 4
+    }
+
+    /// Looks up a page image as a point access, marking it recently
+    /// used and advancing it on the promotion path.
     pub fn get(&self, key: PoolKey) -> Option<Arc<PageData>> {
+        self.get_with(key, Access::Point)
+    }
+
+    /// Looks up a page image with an explicit access kind. `Scan` hits
+    /// refresh the reference bit but never promote, so bulk readers
+    /// (checkpoints, sweeps) leave segment membership untouched.
+    pub fn get_with(&self, key: PoolKey, access: Access) -> Option<Arc<PageData>> {
         let mut inner = self.inner.lock();
         let entry = inner.map.get_mut(&key)?;
         entry.referenced = true;
-        Some(Arc::clone(&entry.data))
+        let data = Arc::clone(&entry.data);
+        if access == Access::Point {
+            if entry.scan {
+                // First point touch rescues a scan page: it now earns
+                // a second chance, and the next touch promotes it.
+                entry.scan = false;
+            } else if !entry.protected {
+                entry.protected = true;
+                inner.protected_bytes += ENTRY_BYTES;
+                inner.protected.push_back(key);
+                self.demote_to_protected_cap(&mut inner);
+            }
+        }
+        Some(data)
+    }
+
+    /// Whether `key` is resident, without touching reference bits or
+    /// segment membership.
+    pub fn contains(&self, key: PoolKey) -> bool {
+        self.inner.lock().map.contains_key(&key)
+    }
+
+    /// Inserts a page image as a point access.
+    pub fn insert(&self, key: PoolKey, data: Arc<PageData>) {
+        self.insert_with(key, data, Access::Point);
     }
 
     /// Inserts a page image, evicting cold entries if over budget.
-    /// Inserting an already-present key refreshes its data.
-    pub fn insert(&self, key: PoolKey, data: Arc<PageData>) {
+    /// Inserting an already-present key refreshes its data (and a
+    /// `Point` insert rescues a scan-tagged entry).
+    pub fn insert_with(&self, key: PoolKey, data: Arc<PageData>, access: Access) {
         if self.capacity == 0 {
             return;
         }
@@ -84,6 +163,9 @@ impl BufferPool {
         if let Some(e) = inner.map.get_mut(&key) {
             e.data = data;
             e.referenced = true;
+            if access == Access::Point {
+                e.scan = false;
+            }
             return;
         }
         inner.map.insert(
@@ -91,28 +173,60 @@ impl BufferPool {
             Entry {
                 data,
                 referenced: false,
+                protected: false,
+                scan: access == Access::Scan,
             },
         );
         inner.bytes += ENTRY_BYTES;
-        inner.queue.push_back(key);
+        inner.probation.push_back(key);
         self.evict_to_budget(&mut inner);
+        self.maybe_compact(&mut inner);
     }
 
-    fn evict_to_budget(&self, inner: &mut PoolInner) {
-        // CLOCK sweep: give each referenced entry one second chance.
-        // The loop terminates because every pass either evicts or
-        // clears a reference bit, and stale queue keys are dropped.
-        let mut guard = inner.queue.len() * 2 + 8;
-        while inner.bytes > self.capacity && guard > 0 {
+    /// Shrinks the protected segment back under its cap by demoting
+    /// CLOCK victims into probation (they get one more chance there).
+    fn demote_to_protected_cap(&self, inner: &mut PoolInner) {
+        let cap = self.protected_cap();
+        let mut guard = inner.protected.len() * 2 + 8;
+        while inner.protected_bytes > cap && guard > 0 {
             guard -= 1;
-            let Some(key) = inner.queue.pop_front() else {
+            let Some(key) = inner.protected.pop_front() else {
                 break;
             };
             match inner.map.get_mut(&key) {
-                None => {} // stale: entry already replaced/purged
+                // Stale: removed, or demoted and re-admitted probationary.
+                None => {}
+                Some(e) if !e.protected => {}
                 Some(e) if e.referenced => {
                     e.referenced = false;
-                    inner.queue.push_back(key);
+                    inner.protected.push_back(key);
+                }
+                Some(e) => {
+                    e.protected = false;
+                    inner.protected_bytes -= ENTRY_BYTES;
+                    inner.probation.push_back(key);
+                }
+            }
+        }
+    }
+
+    fn evict_to_budget(&self, inner: &mut PoolInner) {
+        // Probation first: scan-tagged entries go immediately, point
+        // entries get one second chance. Each pass either evicts,
+        // clears a bit, or drops a stale key, so the guard is ample.
+        let mut guard = inner.probation.len() * 2 + 8;
+        while inner.bytes > self.capacity && guard > 0 {
+            guard -= 1;
+            let Some(key) = inner.probation.pop_front() else {
+                break;
+            };
+            match inner.map.get_mut(&key) {
+                // Stale: entry already replaced/purged or promoted.
+                None => {}
+                Some(e) if e.protected => {}
+                Some(e) if e.referenced && !e.scan => {
+                    e.referenced = false;
+                    inner.probation.push_back(key);
                 }
                 Some(_) => {
                     inner.map.remove(&key);
@@ -122,6 +236,60 @@ impl BufferPool {
                 }
             }
         }
+        // Still over budget (probation drained): evict from the
+        // protected segment with plain CLOCK.
+        let mut guard = inner.protected.len() * 2 + 8;
+        while inner.bytes > self.capacity && guard > 0 {
+            guard -= 1;
+            let Some(key) = inner.protected.pop_front() else {
+                break;
+            };
+            match inner.map.get_mut(&key) {
+                None => {}
+                Some(e) if !e.protected => {}
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    inner.protected.push_back(key);
+                }
+                Some(_) => {
+                    inner.map.remove(&key);
+                    inner.bytes -= ENTRY_BYTES;
+                    inner.protected_bytes -= ENTRY_BYTES;
+                    self.evictions
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds both hand queues without stale or duplicate keys once
+    /// bookkeeping outgrows the resident set, bounding queue memory at
+    /// `O(resident pages)` regardless of churn.
+    fn maybe_compact(&self, inner: &mut PoolInner) {
+        if inner.probation.len() + inner.protected.len() > inner.map.len() * 2 + 32 {
+            Self::compact(inner);
+        }
+    }
+
+    fn compact(inner: &mut PoolInner) {
+        let mut seen: HashMap<PoolKey, ()> = HashMap::with_capacity(inner.map.len());
+        let rebuild = |queue: &mut VecDeque<PoolKey>,
+                       want_protected: bool,
+                       map: &HashMap<PoolKey, Entry>,
+                       seen: &mut HashMap<PoolKey, ()>| {
+            let mut fresh = VecDeque::with_capacity(map.len());
+            for key in queue.drain(..) {
+                let live = map.get(&key).is_some_and(|e| e.protected == want_protected);
+                if live && seen.insert(key, ()).is_none() {
+                    fresh.push_back(key);
+                }
+            }
+            *queue = fresh;
+        };
+        let map = std::mem::take(&mut inner.map);
+        rebuild(&mut inner.probation, false, &map, &mut seen);
+        rebuild(&mut inner.protected, true, &map, &mut seen);
+        inner.map = map;
     }
 
     /// Drops every cached page. Models a cold application start
@@ -129,27 +297,33 @@ impl BufferPool {
     pub fn purge(&self) {
         let mut inner = self.inner.lock();
         inner.map.clear();
-        inner.queue.clear();
+        inner.probation.clear();
+        inner.protected.clear();
         inner.bytes = 0;
+        inner.protected_bytes = 0;
     }
 
-    /// Removes cached versions of pages that a checkpoint reset made
-    /// unreachable is unnecessary — versioned keys never alias — but
-    /// old versions become dead weight; this trims entries whose
-    /// version is below `min_live_version` (0-version entries stay:
-    /// they mirror the main file, which remains authoritative).
+    /// Trims entries whose version is below `min_live_version`
+    /// (0-version entries stay: they mirror the main file, which
+    /// remains authoritative) after a checkpoint reset makes old WAL
+    /// versions unreachable. Queues are compacted in the same pass so
+    /// repeated checkpoint/trim cycles leave no stale-key residue.
     pub fn trim_below(&self, min_live_version: u64) {
         let mut inner = self.inner.lock();
-        let dead: Vec<PoolKey> = inner
+        let dead: Vec<(PoolKey, bool)> = inner
             .map
-            .keys()
-            .filter(|(_, v)| *v != 0 && *v < min_live_version)
-            .copied()
+            .iter()
+            .filter(|((_, v), _)| *v != 0 && *v < min_live_version)
+            .map(|(k, e)| (*k, e.protected))
             .collect();
-        for k in dead {
+        for (k, was_protected) in dead {
             inner.map.remove(&k);
             inner.bytes -= ENTRY_BYTES;
+            if was_protected {
+                inner.protected_bytes -= ENTRY_BYTES;
+            }
         }
+        Self::compact(&mut inner);
     }
 
     /// Bytes currently resident.
@@ -165,6 +339,18 @@ impl BufferPool {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total keys across both hand queues, including stale ones. Tests
+    /// use this to assert bookkeeping stays bounded by the resident set.
+    pub fn queue_len(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.probation.len() + inner.protected.len()
+    }
+
+    /// Bytes resident in the protected segment.
+    pub fn protected_bytes(&self) -> usize {
+        self.inner.lock().protected_bytes
     }
 
     /// Configured byte budget.
@@ -229,6 +415,58 @@ mod tests {
     }
 
     #[test]
+    fn scan_inserts_do_not_evict_protected_working_set() {
+        let pool = BufferPool::new(8 * ENTRY_BYTES);
+        // Build a hot set: insert + touch promotes into protected.
+        for i in 0..4u32 {
+            pool.insert((i, 0), page(i as u8));
+            pool.get((i, 0));
+        }
+        assert_eq!(pool.protected_bytes(), 4 * ENTRY_BYTES);
+        // A "full partition sweep" far larger than the budget.
+        for i in 100..400u32 {
+            pool.insert_with((i, 0), page(i as u8), Access::Scan);
+        }
+        for i in 0..4u32 {
+            assert!(pool.contains((i, 0)), "hot page {i} survived the scan");
+        }
+        assert!(pool.resident_bytes() <= 8 * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn point_access_rescues_scan_page() {
+        let pool = BufferPool::new(4 * ENTRY_BYTES);
+        pool.insert_with((1, 0), page(1), Access::Scan);
+        // Two point touches: untag, then promote.
+        pool.get((1, 0));
+        pool.get((1, 0));
+        for i in 10..30u32 {
+            pool.insert_with((i, 0), page(i as u8), Access::Scan);
+        }
+        assert!(pool.contains((1, 0)), "rescued page is protected");
+    }
+
+    #[test]
+    fn scan_get_does_not_promote() {
+        let pool = BufferPool::new(4 * ENTRY_BYTES);
+        pool.insert((1, 0), page(1));
+        pool.get_with((1, 0), Access::Scan);
+        pool.get_with((1, 0), Access::Scan);
+        assert_eq!(pool.protected_bytes(), 0, "scan hits never promote");
+    }
+
+    #[test]
+    fn protected_segment_stays_under_cap() {
+        let pool = BufferPool::new(8 * ENTRY_BYTES);
+        for i in 0..50u32 {
+            pool.insert((i, 0), page(i as u8));
+            pool.get((i, 0));
+        }
+        assert!(pool.protected_bytes() <= 6 * ENTRY_BYTES);
+        assert!(pool.resident_bytes() <= 8 * ENTRY_BYTES);
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let pool = BufferPool::new(0);
         pool.insert((1, 0), page(1));
@@ -262,6 +500,27 @@ mod tests {
     }
 
     #[test]
+    fn trim_cycles_keep_queue_bounded() {
+        // Regression: trim_below used to remove map entries but leave
+        // their keys in the hand queue, growing it without bound across
+        // checkpoint/trim cycles while the pool stayed under budget.
+        let pool = BufferPool::new(64 * ENTRY_BYTES);
+        for cycle in 1..=200u64 {
+            for pg in 0..8u32 {
+                pool.insert((pg, cycle), page(pg as u8));
+            }
+            pool.trim_below(cycle);
+        }
+        assert!(pool.len() <= 8);
+        assert!(
+            pool.queue_len() <= pool.len() * 2 + 32,
+            "queue grew unboundedly: {} keys for {} resident pages",
+            pool.queue_len(),
+            pool.len()
+        );
+    }
+
+    #[test]
     fn reinsert_refreshes_without_double_accounting() {
         let pool = BufferPool::new(10 * ENTRY_BYTES);
         pool.insert((1, 0), page(1));
@@ -269,5 +528,57 @@ mod tests {
         pool.insert((1, 0), page(2));
         assert_eq!(pool.resident_bytes(), before);
         assert_eq!(pool.get((1, 0)).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn concurrent_stress_holds_budget_invariant() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = Arc::new(BufferPool::new(16 * ENTRY_BYTES));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                for i in 0..4000u64 {
+                    // xorshift: cheap deterministic per-thread stream.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let pg = (x % 64) as u32;
+                    let ver = x % 8;
+                    match x % 10 {
+                        0..=3 => {
+                            pool.get((pg, ver));
+                        }
+                        4..=7 => {
+                            let kind = if x % 2 == 0 {
+                                Access::Point
+                            } else {
+                                Access::Scan
+                            };
+                            pool.insert_with((pg, ver), page(pg as u8), kind);
+                        }
+                        8 => pool.trim_below(ver),
+                        _ => {
+                            if i % 512 == 0 {
+                                pool.purge();
+                            }
+                        }
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(pool.resident_bytes() <= 16 * ENTRY_BYTES);
+        assert_eq!(pool.resident_bytes(), pool.len() * ENTRY_BYTES);
+        assert!(pool.protected_bytes() <= pool.resident_bytes());
     }
 }

@@ -122,6 +122,10 @@ struct SimState {
     total_writes: u64,
     total_syncs: u64,
     total_set_lens: u64,
+    /// Artificial latency per `sync`, slept *outside* the state lock so
+    /// concurrent writes proceed during a slow sync — used to widen the
+    /// group-commit batching window in tests.
+    sync_delay: std::time::Duration,
 }
 
 /// The simulated file system. Cheap to clone (shared state); pass
@@ -173,6 +177,14 @@ impl SimVfs {
     pub fn recorded(&self) -> (u64, u64, u64) {
         let s = self.state.lock();
         (s.total_writes, s.total_syncs, s.total_set_lens)
+    }
+
+    /// Makes every subsequent `sync` take at least `delay` of wall
+    /// time (slept before the sync applies, without holding the state
+    /// lock). Models a slow disk so tests can observe several
+    /// committers sharing one group fsync.
+    pub fn set_sync_delay(&self, delay: std::time::Duration) {
+        self.state.lock().sync_delay = delay;
     }
 
     /// Arms a crash and resets the operation counter.
@@ -381,6 +393,10 @@ impl VfsFile for SimFileHandle {
     }
 
     fn sync(&self) -> io::Result<()> {
+        let delay = self.vfs.state.lock().sync_delay;
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
         self.vfs.mutate(&self.path, PendingKind::SetLen(0), true)
     }
 

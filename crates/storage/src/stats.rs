@@ -36,6 +36,10 @@ pub struct IoStats {
     pub pages_freed: AtomicU64,
     /// fsync calls issued.
     pub syncs: AtomicU64,
+    /// Pages loaded into the pool by the readahead worker.
+    pub prefetch_reads: AtomicU64,
+    /// Readahead requests skipped because the page was already resident.
+    pub prefetch_skipped: AtomicU64,
 }
 
 impl IoStats {
@@ -64,6 +68,8 @@ impl IoStats {
             pages_allocated: self.pages_allocated.load(Ordering::Relaxed),
             pages_freed: self.pages_freed.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
+            prefetch_reads: self.prefetch_reads.load(Ordering::Relaxed),
+            prefetch_skipped: self.prefetch_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,6 +89,8 @@ pub struct StoreStats {
     pub pages_allocated: u64,
     pub pages_freed: u64,
     pub syncs: u64,
+    pub prefetch_reads: u64,
+    pub prefetch_skipped: u64,
 }
 
 impl StoreStats {
@@ -121,6 +129,8 @@ impl StoreStats {
             pages_allocated: self.pages_allocated - earlier.pages_allocated,
             pages_freed: self.pages_freed - earlier.pages_freed,
             syncs: self.syncs - earlier.syncs,
+            prefetch_reads: self.prefetch_reads - earlier.prefetch_reads,
+            prefetch_skipped: self.prefetch_skipped - earlier.prefetch_skipped,
         }
     }
 }

@@ -24,15 +24,30 @@
 //!
 //! Both files are accessed exclusively through the
 //! [`crate::vfs::Vfs`] layer. Under [`SyncMode::Normal`] every
-//! commit fsyncs the WAL before acknowledging, and a checkpoint syncs
-//! the main file before truncating the log — the ordering the
+//! commit publishes its frames under the writer lock, then — with the
+//! lock released — joins a **group fsync** ([`crate::wal::Wal`]'s
+//! group commit) before acknowledging; a checkpoint syncs the main
+//! file before truncating the log. This ordering is what the
 //! crash-injection harness ([`crate::sim::SimVfs`], the
 //! `failure_injection` suite, and `crates/core/tests/crash_recovery.rs`
 //! above this crate) verifies by cutting power at every write and
-//! fsync and dropping arbitrary subsets of unsynced writes.
+//! fsync and dropping arbitrary subsets of unsynced writes: an
+//! acknowledged commit is always durable, while a published-but-
+//! unsynced commit may be lost (it was never acked).
+//!
+//! ## Readahead
+//!
+//! [`ReadTxn::prefetch_pages`] hands page ids to a background worker
+//! that loads them into the buffer pool with the `Scan` admission
+//! hint. The worker performs reads only — never writes or fsyncs — so
+//! it cannot perturb the deterministic mutation stream the crash
+//! harness depends on, and every image it caches is validated against
+//! a checkpoint generation counter so a concurrent checkpoint can
+//! never poison the pool with a mismatched version.
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -40,7 +55,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::error::{Result, StorageError};
 use crate::page::page_type;
 use crate::page::{PageData, PageId, PAGE_SIZE};
-use crate::pool::BufferPool;
+use crate::pool::{Access, BufferPool};
 use crate::stats::{IoStats, StoreStats};
 use crate::vfs::{OpenMode, StdVfs, Vfs, VfsFile};
 use crate::wal::Wal;
@@ -68,8 +83,9 @@ pub enum SyncMode {
     /// Never fsync. Fast; safe against process crash (the WAL is still
     /// written) but not against power loss. Used by tests and benches.
     Off,
-    /// fsync the WAL on every commit and the main file before WAL
-    /// truncation. Survives power loss. The default.
+    /// Group-fsync the WAL before acknowledging each commit, and sync
+    /// the main file before WAL truncation. Survives power loss. The
+    /// default.
     Normal,
     /// Like `Normal` plus an fsync of the WAL header on creation and
     /// the main file on every checkpoint write batch.
@@ -94,6 +110,11 @@ pub struct StoreOptions {
     /// spill SQLite performs for transactions larger than its page
     /// cache. `0` disables spilling.
     pub spill_after_pages: usize,
+    /// Upper bound on page ids queued for background readahead
+    /// ([`ReadTxn::prefetch_pages`]); requests past the bound are
+    /// dropped rather than queued. `0` disables the prefetch worker
+    /// entirely.
+    pub prefetch_queue_pages: usize,
     /// The file system every byte of store I/O goes through:
     /// [`StdVfs`] in production, [`crate::sim::SimVfs`] in the
     /// crash-injection harnesses.
@@ -107,6 +128,7 @@ impl Default for StoreOptions {
             sync: SyncMode::Normal,
             checkpoint_after_frames: 2048,
             spill_after_pages: 4096,
+            prefetch_queue_pages: 256,
             vfs: StdVfs::handle(),
         }
     }
@@ -119,6 +141,7 @@ impl std::fmt::Debug for StoreOptions {
             .field("sync", &self.sync)
             .field("checkpoint_after_frames", &self.checkpoint_after_frames)
             .field("spill_after_pages", &self.spill_after_pages)
+            .field("prefetch_queue_pages", &self.prefetch_queue_pages)
             .field("vfs", &self.vfs.name())
             .finish()
     }
@@ -199,6 +222,23 @@ struct StoreInner {
     /// seq of the image now in the main file. Pages absent here carry
     /// version `0` (unchanged since open).
     base_version: RwLock<HashMap<PageId, u64>>,
+    /// Queue into the background readahead worker; `None` when
+    /// prefetching is disabled.
+    prefetch_tx: Option<crossbeam::channel::Sender<PrefetchBatch>>,
+    /// Pages queued but not yet processed by the readahead worker;
+    /// bounds the queue at `opts.prefetch_queue_pages`.
+    prefetch_backlog: AtomicUsize,
+    /// Checkpoint generation seqlock: odd while a checkpoint is
+    /// rewriting the main file / resetting the WAL. The prefetch
+    /// worker rejects any image whose read overlapped a checkpoint,
+    /// since the image may no longer match its resolved version.
+    ckpt_gen: AtomicU64,
+}
+
+/// One readahead request: page ids to warm at a reader's snapshot.
+struct PrefetchBatch {
+    snapshot: u64,
+    pages: Vec<PageId>,
 }
 
 /// Read access to pages at some transaction's snapshot. Implemented by
@@ -207,6 +247,15 @@ struct StoreInner {
 pub trait PageRead {
     /// Fetches the page image visible to this transaction.
     fn page(&self, id: PageId) -> Result<Arc<PageData>>;
+    /// Like [`PageRead::page`], but tagged as part of a bulk scan:
+    /// implementations backed by a cache admit the image with the
+    /// scan hint so sweeps cannot displace the hot working set.
+    fn page_scan(&self, id: PageId) -> Result<Arc<PageData>> {
+        self.page(id)
+    }
+    /// Hints that `ids` are likely to be read soon; implementations
+    /// may warm a cache asynchronously. Best-effort, default no-op.
+    fn prefetch_pages(&self, _ids: &[PageId]) {}
     /// Root page stored in header slot `slot`.
     fn root(&self, slot: usize) -> PageId;
 }
@@ -229,7 +278,11 @@ impl Store {
         if !matches!(opts.sync, SyncMode::Off) {
             main.sync()?;
         }
-        let wal = Wal::create(&*opts.vfs, &wal_path(&path))?;
+        let wal = Wal::create(
+            &*opts.vfs,
+            &wal_path(&path),
+            matches!(opts.sync, SyncMode::Full),
+        )?;
         Ok(Store::assemble(main, path, wal, meta, 0, opts))
     }
 
@@ -237,7 +290,11 @@ impl Store {
     pub fn open(path: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
         let path = path.as_ref().to_owned();
         let main = opts.vfs.open(&path, OpenMode::Open)?;
-        let opened = Wal::open(&*opts.vfs, &wal_path(&path))?;
+        let opened = Wal::open(
+            &*opts.vfs,
+            &wal_path(&path),
+            matches!(opts.sync, SyncMode::Full),
+        )?;
         let wal = opened.wal;
         // The authoritative header is the newest committed version of
         // page 0, which may live in the WAL.
@@ -271,8 +328,27 @@ impl Store {
         seq: u64,
         opts: StoreOptions,
     ) -> Store {
-        Store {
-            inner: Arc::new(StoreInner {
+        let channel = if opts.prefetch_queue_pages > 0 {
+            Some(crossbeam::channel::unbounded::<PrefetchBatch>())
+        } else {
+            None
+        };
+        let (prefetch_tx, prefetch_rx) = match channel {
+            Some((tx, rx)) => (Some(tx), Some(rx)),
+            None => (None, None),
+        };
+        // The worker holds only a Weak reference: dropping the last
+        // Store handle drops the Sender inside StoreInner, which
+        // disconnects the channel and lets the worker exit.
+        let inner = Arc::new_cyclic(|weak: &std::sync::Weak<StoreInner>| {
+            if let Some(rx) = prefetch_rx {
+                let weak = weak.clone();
+                // Spawn failure just leaves prefetching inert.
+                let _ = std::thread::Builder::new()
+                    .name("micronn-prefetch".into())
+                    .spawn(move || prefetch_worker(rx, weak));
+            }
+            StoreInner {
                 main,
                 path,
                 pool: BufferPool::new(opts.pool_bytes),
@@ -281,10 +357,14 @@ impl Store {
                 writer: Arc::new(Mutex::new(())),
                 readers: Mutex::new(BTreeMap::new()),
                 base_version: RwLock::new(HashMap::new()),
+                prefetch_tx,
+                prefetch_backlog: AtomicUsize::new(0),
+                ckpt_gen: AtomicU64::new(0),
                 wal,
                 opts,
-            }),
-        }
+            }
+        });
+        Store { inner }
     }
 
     /// Begins a snapshot-isolated read transaction. Never blocks.
@@ -333,9 +413,12 @@ impl Store {
         checkpoint_locked(&self.inner)
     }
 
-    /// Current I/O counters.
+    /// Current I/O counters. Evictions are tallied inside the pool;
+    /// surface them here so stats deltas report cache pressure.
     pub fn stats(&self) -> StoreStats {
-        self.inner.stats.snapshot()
+        let mut s = self.inner.stats.snapshot();
+        s.pool_evictions = self.inner.pool.evictions();
+        s
     }
 
     /// Bytes of page images resident in the buffer pool.
@@ -393,48 +476,142 @@ fn wal_path(main: &Path) -> PathBuf {
 }
 
 /// Resolves a page image at `snapshot`, going through the buffer pool.
-fn resolve_page(inner: &StoreInner, id: PageId, snapshot: u64) -> Result<Arc<PageData>> {
-    // Newest WAL frame at or below the snapshot wins.
-    let wal_hit = {
-        let index = inner.wal.index();
-        index.find(id, snapshot)
-    };
+/// `access` is the cache-admission hint: `Scan` for bulk sweeps.
+fn resolve_page(
+    inner: &StoreInner,
+    id: PageId,
+    snapshot: u64,
+    access: Access,
+) -> Result<Arc<PageData>> {
+    // Two attempts: when the oldest registered reader sits exactly at
+    // the checkpoint watermark, a concurrent checkpoint may reset the
+    // WAL between version resolution and the frame read. The second
+    // attempt re-resolves against the post-reset state (the image now
+    // lives in the main file).
+    let mut last_err = None;
+    for attempt in 0..2 {
+        // Newest WAL frame at or below the snapshot wins. Frame index
+        // and seq come from one index lookup so a concurrent reset
+        // cannot slip between them.
+        let wal_hit = inner.wal.index().find_versioned(id, snapshot);
+        let (version, from_wal) = match wal_hit {
+            Some((frame, seq)) => (seq, Some(frame)),
+            None => {
+                let base = inner.base_version.read().get(&id).copied().unwrap_or(0);
+                (base, None)
+            }
+        };
+        if let Some(data) = inner.pool.get_with((id, version), access) {
+            IoStats::bump(&inner.stats.pool_hits);
+            return Ok(data);
+        }
+        if attempt == 0 {
+            IoStats::bump(&inner.stats.pool_misses);
+        }
+        let read = match from_wal {
+            Some(frame) => {
+                IoStats::bump(&inner.stats.wal_reads);
+                inner.wal.read_frame(frame)
+            }
+            None => {
+                IoStats::bump(&inner.stats.main_reads);
+                let mut p = PageData::zeroed();
+                inner
+                    .main
+                    .read_exact_at(&mut p[..], id as u64 * PAGE_SIZE as u64)
+                    .map_err(|e| {
+                        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                            StorageError::Corrupt(format!("page {id} missing from main file"))
+                        } else {
+                            StorageError::Io(e)
+                        }
+                    })
+                    .map(|()| p)
+            }
+        };
+        match read {
+            Ok(p) => {
+                let data = Arc::new(p);
+                inner
+                    .pool
+                    .insert_with((id, version), Arc::clone(&data), access);
+                return Ok(data);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("two attempts always record an error"))
+}
+
+/// Background readahead: drains [`PrefetchBatch`]es, loading each page
+/// into the pool with the `Scan` hint. Performs reads only. Exits when
+/// the channel disconnects (the last `Store` handle dropped) or the
+/// store is gone.
+fn prefetch_worker(
+    rx: crossbeam::channel::Receiver<PrefetchBatch>,
+    weak: std::sync::Weak<StoreInner>,
+) {
+    // Never hold a strong reference while blocked on `recv`: the
+    // Sender lives inside StoreInner, so that would deadlock shutdown.
+    while let Ok(batch) = rx.recv() {
+        let Some(inner) = weak.upgrade() else { return };
+        for &id in &batch.pages {
+            prefetch_one(&inner, id, batch.snapshot);
+        }
+        inner
+            .prefetch_backlog
+            .fetch_sub(batch.pages.len(), Ordering::Relaxed);
+    }
+}
+
+/// Loads one page at `snapshot` into the pool, best-effort. Validated
+/// by the checkpoint-generation seqlock: resolving a version and
+/// reading its image are not atomic against a checkpoint rewriting the
+/// main file or resetting the WAL, so any overlap discards the image
+/// instead of risking a (page, version) -> wrong-bytes cache entry.
+fn prefetch_one(inner: &StoreInner, id: PageId, snapshot: u64) {
+    let gen = inner.ckpt_gen.load(Ordering::Acquire);
+    if gen & 1 == 1 {
+        return; // checkpoint in flight
+    }
+    let wal_hit = inner.wal.index().find_versioned(id, snapshot);
     let (version, from_wal) = match wal_hit {
-        Some(frame) => (inner.wal.frame_seq(frame), Some(frame)),
+        Some((frame, seq)) => (seq, Some(frame)),
         None => {
             let base = inner.base_version.read().get(&id).copied().unwrap_or(0);
             (base, None)
         }
     };
-    if let Some(data) = inner.pool.get((id, version)) {
-        IoStats::bump(&inner.stats.pool_hits);
-        return Ok(data);
+    if inner.pool.contains((id, version)) {
+        IoStats::bump(&inner.stats.prefetch_skipped);
+        return;
     }
-    IoStats::bump(&inner.stats.pool_misses);
-    let data = match from_wal {
-        Some(frame) => {
-            IoStats::bump(&inner.stats.wal_reads);
-            inner.wal.read_frame(frame)?
-        }
+    let read = match from_wal {
+        Some(frame) => inner.wal.read_frame(frame),
         None => {
-            IoStats::bump(&inner.stats.main_reads);
             let mut p = PageData::zeroed();
             inner
                 .main
                 .read_exact_at(&mut p[..], id as u64 * PAGE_SIZE as u64)
-                .map_err(|e| {
-                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                        StorageError::Corrupt(format!("page {id} missing from main file"))
-                    } else {
-                        StorageError::Io(e)
-                    }
-                })?;
-            p
+                .map(|()| p)
+                .map_err(StorageError::Io)
         }
     };
-    let data = Arc::new(data);
-    inner.pool.insert((id, version), Arc::clone(&data));
-    Ok(data)
+    let Ok(page) = read else {
+        return; // best-effort: the demand read will surface real errors
+    };
+    if inner.ckpt_gen.load(Ordering::Acquire) != gen {
+        return;
+    }
+    IoStats::bump(&inner.stats.prefetch_reads);
+    IoStats::bump(if from_wal.is_some() {
+        &inner.stats.wal_reads
+    } else {
+        &inner.stats.main_reads
+    });
+    inner
+        .pool
+        .insert_with((id, version), Arc::new(page), Access::Scan);
 }
 
 /// Folds WAL frames into the main file. Caller holds the writer lock.
@@ -461,8 +638,30 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
     // index map being unordered — a deterministic operation stream for
     // the crash-injection harness.
     targets.sort_unstable_by_key(|&(page, _, _)| page);
-    for &(page, frame, seq) in &targets {
-        let data = match inner.pool.get((page, seq)) {
+    // Seqlock around the mutating section (odd = in progress): the
+    // prefetch worker discards any image whose read overlapped it.
+    inner.ckpt_gen.fetch_add(1, Ordering::AcqRel);
+    let res = checkpoint_copy(inner, &targets);
+    inner.ckpt_gen.fetch_add(1, Ordering::Release);
+    res?;
+    if !matches!(inner.opts.sync, SyncMode::Off) {
+        // Frames up to the watermark are now durable via the main
+        // file; committers waiting on a group fsync for them can ack
+        // without one.
+        inner.wal.note_durable(mx);
+    }
+    IoStats::bump(&inner.stats.checkpoints);
+    Ok(true)
+}
+
+/// The mutating body of a checkpoint: copy frames into the main file,
+/// sync it, then truncate the WAL. Split out so the caller can wrap it
+/// in the checkpoint-generation seqlock on all exit paths.
+fn checkpoint_copy(inner: &StoreInner, targets: &[(PageId, u32, u64)]) -> Result<()> {
+    for &(page, frame, seq) in targets {
+        // Scan access: folding frames back must not perturb which
+        // entries the pool considers hot.
+        let data = match inner.pool.get_with((page, seq), Access::Scan) {
             Some(d) => d,
             None => {
                 IoStats::bump(&inner.stats.wal_reads);
@@ -488,8 +687,7 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
         IoStats::bump(&inner.stats.syncs);
     }
     inner.wal.reset(!matches!(inner.opts.sync, SyncMode::Off))?;
-    IoStats::bump(&inner.stats.checkpoints);
-    Ok(true)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -522,7 +720,46 @@ impl PageRead for ReadTxn {
         if id >= self.meta.page_count {
             return Err(StorageError::PageOutOfBounds(id));
         }
-        resolve_page(&self.inner, id, self.snapshot)
+        resolve_page(&self.inner, id, self.snapshot, Access::Point)
+    }
+
+    fn page_scan(&self, id: PageId) -> Result<Arc<PageData>> {
+        if id >= self.meta.page_count {
+            return Err(StorageError::PageOutOfBounds(id));
+        }
+        resolve_page(&self.inner, id, self.snapshot, Access::Scan)
+    }
+
+    fn prefetch_pages(&self, ids: &[PageId]) {
+        let Some(tx) = &self.inner.prefetch_tx else {
+            return;
+        };
+        let limit = self.inner.opts.prefetch_queue_pages;
+        let backlog = self.inner.prefetch_backlog.load(Ordering::Relaxed);
+        if backlog >= limit {
+            return; // best-effort: drop rather than queue unboundedly
+        }
+        let pages: Vec<PageId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| id < self.meta.page_count)
+            .take(limit - backlog)
+            .collect();
+        if pages.is_empty() {
+            return;
+        }
+        self.inner
+            .prefetch_backlog
+            .fetch_add(pages.len(), Ordering::Relaxed);
+        let n = pages.len();
+        let batch = PrefetchBatch {
+            snapshot: self.snapshot,
+            pages,
+        };
+        if tx.send(batch).is_err() {
+            // Worker already gone (shutdown path): undo the accounting.
+            self.inner.prefetch_backlog.fetch_sub(n, Ordering::Relaxed);
+        }
     }
 
     fn root(&self, slot: usize) -> PageId {
@@ -658,11 +895,14 @@ impl WriteTxn {
         if id >= self.meta.page_count {
             return Err(StorageError::PageOutOfBounds(id));
         }
-        resolve_page(&self.inner, id, self.snapshot)
+        resolve_page(&self.inner, id, self.snapshot, Access::Point)
     }
 
     /// Atomically publishes all dirty pages (including any spilled
-    /// earlier). A transaction with no writes commits for free.
+    /// earlier), then joins the group fsync (under [`SyncMode::Normal`]
+    /// and up) before acknowledging. The writer lock is released before
+    /// the fsync wait, so the next committer appends concurrently and
+    /// shares a sync with this one instead of issuing its own.
     pub fn commit(mut self) -> Result<()> {
         if self.dirty.is_empty() && self.spilled.is_empty() {
             self.done = true;
@@ -677,15 +917,8 @@ impl WriteTxn {
         let mut pages: Vec<(PageId, Arc<PageData>)> = self.dirty.drain().collect();
         pages.sort_by_key(|(id, _)| *id);
         let refs: Vec<(PageId, &PageData)> = pages.iter().map(|(id, p)| (*id, &**p)).collect();
-        let commit_seq = self.inner.wal.commit(
-            &refs,
-            self.meta.page_count,
-            !matches!(self.inner.opts.sync, SyncMode::Off),
-        )?;
+        let commit_seq = self.inner.wal.append_commit(&refs, self.meta.page_count)?;
         IoStats::add(&self.inner.stats.wal_writes, refs.len() as u64);
-        if !matches!(self.inner.opts.sync, SyncMode::Off) {
-            IoStats::bump(&self.inner.stats.syncs);
-        }
         IoStats::bump(&self.inner.stats.commits);
 
         // Warm the pool with the images we just wrote: the next reads
@@ -703,10 +936,25 @@ impl WriteTxn {
         self.done = true;
 
         // Opportunistic auto-checkpoint while we still hold the writer
-        // lock (the guard lives until `self` drops below).
+        // lock. A synced checkpoint advances the durable watermark, so
+        // the group-sync wait below usually returns immediately.
         let threshold = self.inner.opts.checkpoint_after_frames;
         if threshold > 0 && self.inner.wal.index().frame_count() >= threshold {
             let _ = checkpoint_locked(&self.inner)?;
+        }
+
+        // Release the writer lock (Drop is a no-op now that `done` is
+        // set), then make the commit durable before acknowledging. An
+        // error here means *unacked*, not rolled back: the commit is
+        // published and will survive unless power is lost.
+        let inner = Arc::clone(&self.inner);
+        let sync_off = matches!(inner.opts.sync, SyncMode::Off);
+        drop(self);
+        if !sync_off {
+            let issued = inner.wal.sync_committed(commit_seq)?;
+            if issued {
+                IoStats::bump(&inner.stats.syncs);
+            }
         }
         Ok(())
     }
@@ -1093,6 +1341,104 @@ mod tests {
         let r = store.begin_read();
         assert_eq!(store.page_count(), 2, "uncommitted allocations discarded");
         assert_eq!(r.page(1).unwrap()[100], 42);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        use crate::sim::SimVfs;
+        let sim = SimVfs::new();
+        let o = StoreOptions {
+            sync: SyncMode::Normal,
+            checkpoint_after_frames: 0, // keep checkpoint syncs out of the count
+            vfs: sim.handle(),
+            ..Default::default()
+        };
+        let store = Store::create("/gc-db", o).unwrap();
+        let mut txn = store.begin_write().unwrap();
+        let p = txn.allocate_page().unwrap();
+        fill(&mut txn, p, 0);
+        txn.commit().unwrap();
+
+        // A slow disk widens the window in which committers pile up
+        // behind the in-flight leader fsync.
+        sim.set_sync_delay(std::time::Duration::from_millis(2));
+        let (_, syncs_before, _) = sim.recorded();
+        const THREADS: usize = 8;
+        const COMMITS: usize = 6;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..COMMITS {
+                        let mut txn = store.begin_write().unwrap();
+                        let q = txn.allocate_page().unwrap();
+                        fill(&mut txn, q, (t * COMMITS + i) as u8);
+                        txn.commit().unwrap();
+                    }
+                });
+            }
+        });
+        let (_, syncs_after, _) = sim.recorded();
+        let issued = syncs_after - syncs_before;
+        let total = (THREADS * COMMITS) as u64;
+        assert!(issued > 0, "durable commits must fsync");
+        assert!(
+            issued * 2 <= total,
+            "group commit must batch: {issued} fsyncs for {total} commits"
+        );
+        // Every commit's allocation landed.
+        assert_eq!(store.page_count(), 2 + total as u32);
+    }
+
+    #[test]
+    fn stats_report_pool_evictions_under_budget_pressure() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut o = opts();
+        o.pool_bytes = 4 * PAGE_SIZE; // room for only a few pages
+        let store = Store::create(dir.path().join("db"), o).unwrap();
+        let before = store.stats();
+        let mut txn = store.begin_write().unwrap();
+        for i in 0..32u8 {
+            let p = txn.allocate_page().unwrap();
+            fill(&mut txn, p, i);
+        }
+        txn.commit().unwrap(); // warming the pool overflows the budget
+        let evicted = store.stats().since(&before).pool_evictions;
+        assert!(evicted > 0, "evictions must surface in StoreStats");
+    }
+
+    #[test]
+    fn prefetch_warms_pool_in_background() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::create(dir.path().join("db"), opts()).unwrap();
+        let mut txn = store.begin_write().unwrap();
+        let mut ids = Vec::new();
+        for i in 0..16u8 {
+            let p = txn.allocate_page().unwrap();
+            fill(&mut txn, p, i);
+            ids.push(p);
+        }
+        txn.commit().unwrap();
+        store.checkpoint().unwrap();
+        store.purge_cache();
+
+        let r = store.begin_read();
+        r.prefetch_pages(&ids);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            let s = store.stats();
+            if s.prefetch_reads + s.prefetch_skipped >= ids.len() as u64 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let warm = store.stats();
+        assert!(warm.prefetch_reads > 0, "worker loaded pages");
+        for (i, &p) in ids.iter().enumerate() {
+            assert_eq!(r.page(p).unwrap()[100], i as u8);
+        }
+        let after = store.stats().since(&warm);
+        assert_eq!(after.disk_reads(), 0, "prefetched pages served from pool");
     }
 
     #[test]

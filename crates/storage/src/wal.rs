@@ -22,6 +22,21 @@
 //! ([`crate::sim::SimVfs`]) can interrupt any write or fsync and the
 //! recovery scan is exercised against torn frames, lost unsynced
 //! writes, and interrupted checkpoints — not just clean shutdowns.
+//!
+//! # Group commit
+//!
+//! Durability is decoupled from publication. A committer appends and
+//! publishes its frames under the writer lock ([`Wal::append_commit`]),
+//! then — with the lock released — waits for its sequence number to
+//! become durable ([`Wal::sync_committed`]). The first committer to
+//! arrive becomes the **leader**: it snapshots the published watermark
+//! and issues one fsync covering every frame appended so far.
+//! Committers that arrive while a sync is in flight wait for the next
+//! group sync instead of issuing their own, so N concurrent commits
+//! cost far fewer than N fsyncs. A commit is only acknowledged after
+//! its sequence number is at or below the synced watermark; a
+//! published-but-not-yet-synced commit is visible to concurrent
+//! readers but unacked, exactly the window a power cut may lose.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -89,6 +104,15 @@ impl WalIndex {
         }
     }
 
+    /// Like [`WalIndex::find`], but also returns the frame's sequence
+    /// number from the same lookup — callers must not fetch the seq
+    /// through a second index acquisition, since a checkpoint reset
+    /// could empty the index in between.
+    pub fn find_versioned(&self, page: PageId, snapshot: u64) -> Option<(u32, u64)> {
+        let fi = self.find(page, snapshot)?;
+        Some((fi, self.frames[fi as usize].seq))
+    }
+
     /// Latest committed sequence number.
     pub fn committed_seq(&self) -> u64 {
         self.committed_seq
@@ -131,7 +155,9 @@ impl WalIndex {
 
 /// The write-ahead log: an append-only file plus the in-memory
 /// [`WalIndex`]. All mutating operations are called with the store's
-/// writer lock held; reads are lock-free on the file (pread).
+/// writer lock held; reads are lock-free on the file (pread). The one
+/// exception is [`Wal::sync_committed`], which runs *outside* the
+/// writer lock so concurrent committers can share one group fsync.
 pub struct Wal {
     file: Box<dyn VfsFile>,
     path: PathBuf,
@@ -142,6 +168,34 @@ pub struct Wal {
     /// Number of frames physically in the file, including appended but
     /// not yet published (spilled) frames. Always `>= index.frames.len()`.
     pending_tail: parking_lot::Mutex<u64>,
+    /// Group-commit state: the durable watermark and the leader flag.
+    /// Uses `std::sync` because waiters need a condition variable.
+    group: GroupCommit,
+}
+
+struct GroupState {
+    /// Highest sequence number known durable (covered by an fsync of
+    /// the WAL, or carried into the main file by a synced checkpoint).
+    synced_seq: u64,
+    /// True while some committer's fsync is in flight.
+    leader_active: bool,
+}
+
+struct GroupCommit {
+    state: std::sync::Mutex<GroupState>,
+    cv: std::sync::Condvar,
+}
+
+impl GroupCommit {
+    fn new(synced_seq: u64) -> GroupCommit {
+        GroupCommit {
+            state: std::sync::Mutex::new(GroupState {
+                synced_seq,
+                leader_active: false,
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
 }
 
 /// Outcome of opening a WAL file.
@@ -153,28 +207,35 @@ pub struct WalOpen {
 
 impl Wal {
     /// Creates a fresh WAL at `path`, truncating any existing file.
-    pub fn create(vfs: &dyn Vfs, path: &Path) -> Result<Wal> {
+    /// `sync_header` makes the header durable immediately — the extra
+    /// safety of [`crate::SyncMode::Full`]; under `Normal`/`Off` the
+    /// header reaches disk with the first group fsync instead.
+    pub fn create(vfs: &dyn Vfs, path: &Path, sync_header: bool) -> Result<Wal> {
         let file = vfs.open(path, OpenMode::CreateTruncate)?;
         let mut hdr = [0u8; WAL_HEADER as usize];
         hdr[..8].copy_from_slice(&WAL_MAGIC.to_le_bytes());
         hdr[8..12].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
         file.write_all_at(&hdr, 0)?;
-        file.sync()?;
+        if sync_header {
+            file.sync()?;
+        }
         Ok(Wal {
             file,
             path: path.to_owned(),
             index: parking_lot::RwLock::new(WalIndex::default()),
             next_seq: parking_lot::Mutex::new(1),
             pending_tail: parking_lot::Mutex::new(0),
+            group: GroupCommit::new(0),
         })
     }
 
     /// Opens an existing WAL, replaying committed frames into the index
-    /// (crash recovery). Creates the file if missing.
-    pub fn open(vfs: &dyn Vfs, path: &Path) -> Result<WalOpen> {
+    /// (crash recovery). Creates the file if missing (`sync_header` as
+    /// in [`Wal::create`]).
+    pub fn open(vfs: &dyn Vfs, path: &Path, sync_header: bool) -> Result<WalOpen> {
         if !vfs.exists(path) {
             return Ok(WalOpen {
-                wal: Wal::create(vfs, path)?,
+                wal: Wal::create(vfs, path, sync_header)?,
                 discarded_frames: 0,
             });
         }
@@ -184,7 +245,7 @@ impl Wal {
             // Torn header: treat as empty.
             drop(file);
             return Ok(WalOpen {
-                wal: Wal::create(vfs, path)?,
+                wal: Wal::create(vfs, path, sync_header)?,
                 discarded_frames: 0,
             });
         }
@@ -238,6 +299,9 @@ impl Wal {
         // Truncate any torn tail so future appends are contiguous.
         file.set_len(WAL_HEADER + committed_upto * FRAME_SIZE)?;
         let next = max_seq.max(index.committed_seq) + 1;
+        // Everything recovery accepted is on disk by definition; seed
+        // the durable watermark there so only new commits fsync.
+        let synced = index.committed_seq;
         Ok(WalOpen {
             wal: Wal {
                 file,
@@ -245,6 +309,7 @@ impl Wal {
                 index: parking_lot::RwLock::new(index),
                 next_seq: parking_lot::Mutex::new(next),
                 pending_tail: parking_lot::Mutex::new(committed_upto),
+                group: GroupCommit::new(synced),
             },
             discarded_frames: discarded,
         })
@@ -255,16 +320,74 @@ impl Wal {
     /// transaction spilled earlier via [`Wal::spill`]) to the index.
     /// Returns the new committed sequence number. `db_size` is the
     /// database page count after this commit. Called with the writer
-    /// lock held.
-    pub fn commit(&self, pages: &[(PageId, &PageData)], db_size: u32, sync: bool) -> Result<u64> {
+    /// lock held. Durability is separate: call [`Wal::sync_committed`]
+    /// (after releasing the writer lock) before acking.
+    pub fn append_commit(&self, pages: &[(PageId, &PageData)], db_size: u32) -> Result<u64> {
         assert!(!pages.is_empty(), "empty commits are elided by the store");
         let appended = self.append_frames(pages, db_size)?;
-        if sync {
-            self.file.sync()?;
-        }
         let commit_seq = appended.last().expect("non-empty").1;
         self.publish(db_size, commit_seq)?;
         Ok(commit_seq)
+    }
+
+    /// Convenience: [`Wal::append_commit`] followed, when `sync` is
+    /// set, by [`Wal::sync_committed`].
+    pub fn commit(&self, pages: &[(PageId, &PageData)], db_size: u32, sync: bool) -> Result<u64> {
+        let commit_seq = self.append_commit(pages, db_size)?;
+        if sync {
+            self.sync_committed(commit_seq)?;
+        }
+        Ok(commit_seq)
+    }
+
+    /// Blocks until every frame up to `upto` is durable, issuing at
+    /// most one fsync per *group* of waiting committers: the first
+    /// arrival leads and syncs the whole published log; later arrivals
+    /// wait for that sync (or the next) to cover them. Returns whether
+    /// this caller issued an fsync itself, for I/O accounting. Called
+    /// *without* the writer lock, so commits already published keep
+    /// flowing while a sync is in flight.
+    pub fn sync_committed(&self, upto: u64) -> Result<bool> {
+        let mut issued = false;
+        let mut st = self.group.state.lock().expect("group lock poisoned");
+        loop {
+            if st.synced_seq >= upto {
+                return Ok(issued);
+            }
+            if st.leader_active {
+                st = self.group.cv.wait(st).expect("group lock poisoned");
+                continue;
+            }
+            st.leader_active = true;
+            drop(st);
+            // Snapshot the published watermark after taking leadership:
+            // the fsync below makes every frame appended before this
+            // point durable, so the whole group is covered at once.
+            let target = self.index.read().committed_seq();
+            let res = self.file.sync();
+            st = self.group.state.lock().expect("group lock poisoned");
+            st.leader_active = false;
+            self.group.cv.notify_all();
+            match res {
+                Ok(()) => {
+                    st.synced_seq = st.synced_seq.max(target);
+                    issued = true;
+                }
+                // Waiters retake leadership and surface their own error.
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Advances the durable watermark without an fsync of the WAL —
+    /// used when a synced checkpoint has already carried frames up to
+    /// `seq` into the main file, making a WAL fsync for them redundant.
+    pub fn note_durable(&self, seq: u64) {
+        let mut st = self.group.state.lock().expect("group lock poisoned");
+        if seq > st.synced_seq {
+            st.synced_seq = seq;
+            self.group.cv.notify_all();
+        }
     }
 
     /// Appends frames *without* a commit marker and without publishing:
@@ -420,11 +543,11 @@ mod tests {
     }
 
     fn create(path: &Path) -> Wal {
-        Wal::create(&StdVfs, path).unwrap()
+        Wal::create(&StdVfs, path, true).unwrap()
     }
 
     fn reopen(path: &Path) -> WalOpen {
-        Wal::open(&StdVfs, path).unwrap()
+        Wal::open(&StdVfs, path, true).unwrap()
     }
 
     #[test]
@@ -552,6 +675,28 @@ mod tests {
         // Sequence numbers keep increasing after a reset.
         let snap2 = wal.commit(&[(1, &page_filled(2))], 2, false).unwrap();
         assert!(snap2 > snap);
+    }
+
+    #[test]
+    fn sync_committed_is_idempotent_past_watermark() {
+        let dir = tempfile::tempdir().unwrap();
+        let wal = create(&dir.path().join("w.wal"));
+        let seq = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
+        assert!(wal.sync_committed(seq).unwrap(), "first caller syncs");
+        assert!(
+            !wal.sync_committed(seq).unwrap(),
+            "watermark already covers seq: no second fsync"
+        );
+    }
+
+    #[test]
+    fn note_durable_satisfies_waiters_without_fsync() {
+        let dir = tempfile::tempdir().unwrap();
+        let wal = create(&dir.path().join("w.wal"));
+        let seq = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
+        // A synced checkpoint would advance the watermark like this.
+        wal.note_durable(seq);
+        assert!(!wal.sync_committed(seq).unwrap());
     }
 
     #[test]
