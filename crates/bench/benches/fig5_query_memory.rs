@@ -7,9 +7,10 @@
 //! buffer-pool residency is reported alongside.
 //!
 //! A second table compares vector-payload bytes scanned per query
-//! under the F32 and SQ8 codecs: quantized scans read u8 codes (plus a
-//! small exact re-rank pool) instead of full f32 rows, so the same
-//! probe budget touches ≥ 3× fewer bytes.
+//! under the F32, SQ8, and SQ4 codecs: quantized scans read u8 codes
+//! (or register-interleaved 4-bit blocks) plus a small exact re-rank
+//! pool instead of full f32 rows, so the same probe budget touches
+//! ≥ 3× fewer bytes under SQ8 and ≥ 6× fewer scan bytes under SQ4.
 
 use micronn::{DeviceProfile, InMemoryIndex, SearchRequest, VectorCodec};
 use micronn_bench::{
@@ -126,23 +127,27 @@ fn main() {
         }
         println!();
     }
-    // --- Bytes scanned per query: F32 vs SQ8 codec (same probes). ---
-    // Measured at k = 10: the quantized pipeline reads u8 codes plus a
-    // fixed `rerank_factor·k` exact pool, so the reduction approaches
-    // 4× as the scanned set grows past the pool. Tiny smoke-scale
-    // datasets can sit below that regime; the ≥ 3× assertion applies
-    // once a query scans meaningfully more rows than it re-ranks.
-    println!("== bytes scanned per query: F32 vs SQ8 codec (k=10) ==");
+    // --- Bytes scanned per query: F32 vs SQ8 vs SQ4 (same probes). ---
+    // Measured at k = 10: the quantized pipelines read u8 codes (SQ8)
+    // or 16·dim-byte interleaved blocks (SQ4) plus a fixed
+    // `rerank_factor·k` exact pool, so the reduction approaches 4×
+    // (SQ8) / 8× (SQ4, block-padding aside) as the scanned set grows
+    // past the pool. Tiny smoke-scale datasets can sit below that
+    // regime; the assertions apply once a query scans meaningfully
+    // more rows than it re-ranks.
+    println!("== bytes scanned per query: F32 vs SQ8 vs SQ4 codec (k=10) ==");
     const K_BYTES: usize = 10;
-    let widths = [12usize, 8, 12, 12, 12, 8];
+    let widths = [12usize, 8, 12, 12, 12, 12, 7, 7];
     micronn_bench::print_header(
         &[
             "dataset",
             "n",
             "F32 KiB/q",
             "SQ8 KiB/q",
+            "SQ4 KiB/q",
             "reranked/q",
-            "ratio",
+            "sq8",
+            "sq4",
         ],
         &widths,
     );
@@ -151,6 +156,7 @@ fn main() {
         let gt = sample_ground_truth(&dataset, K_BYTES, nq.min(10));
         let f32_db = build_micronn(&dataset, DeviceProfile::Large, 100);
         let sq8_db = build_micronn_codec(&dataset, DeviceProfile::Large, 100, VectorCodec::Sq8);
+        let sq4_db = build_micronn_codec(&dataset, DeviceProfile::Large, 100, VectorCodec::Sq4);
         let partitions = f32_db.db.stats().unwrap().partitions.max(1) as usize;
         let (tuned, _) = tune_probes(&f32_db.db, &dataset, &gt, K_BYTES, gt.len(), 0.9);
         // Probe enough rows that the scan, not the re-rank tail,
@@ -158,6 +164,7 @@ fn main() {
         let probes = tuned.max(16).min(partitions);
         let (mut f32_bytes, mut sq8_bytes, mut reranked, mut scanned) =
             (0usize, 0usize, 0usize, 0usize);
+        let (mut sq4_bytes, mut reranked4, mut scanned4) = (0usize, 0usize, 0usize);
         for qi in 0..gt.len() {
             let req = SearchRequest::new(dataset.query(qi).to_vec(), K_BYTES).with_probes(probes);
             f32_bytes += f32_db.db.search_with(&req).unwrap().info.bytes_scanned;
@@ -165,16 +172,23 @@ fn main() {
             sq8_bytes += got.info.bytes_scanned;
             reranked += got.info.reranked;
             scanned += got.info.vectors_scanned;
+            let got4 = sq4_db.db.search_with(&req).unwrap();
+            sq4_bytes += got4.info.bytes_scanned;
+            reranked4 += got4.info.reranked;
+            scanned4 += got4.info.vectors_scanned;
         }
         let ratio = f32_bytes as f64 / sq8_bytes.max(1) as f64;
+        let ratio4 = f32_bytes as f64 / sq4_bytes.max(1) as f64;
         micronn_bench::print_row(
             &[
                 spec.name.to_string(),
                 dataset.len().to_string(),
                 format!("{:.1}", f32_bytes as f64 / gt.len() as f64 / 1024.0),
                 format!("{:.1}", sq8_bytes as f64 / gt.len() as f64 / 1024.0),
+                format!("{:.1}", sq4_bytes as f64 / gt.len() as f64 / 1024.0),
                 format!("{:.1}", reranked as f64 / gt.len() as f64),
                 format!("{ratio:.1}x"),
+                format!("{ratio4:.1}x"),
             ],
             &widths,
         );
@@ -185,6 +199,19 @@ fn main() {
                 spec.name
             );
         }
+        if scanned4 >= 12 * reranked4.max(1) {
+            // The SQ4 acceptance bound is on the *scan* payload (the
+            // nibble blocks themselves): the exact re-rank tail is a
+            // fixed per-query cost shared by every quantized codec, so
+            // it is subtracted before comparing against the 1/6 bound.
+            let sq4_scan = sq4_bytes.saturating_sub(4 * spec.dim * reranked4);
+            let scan_ratio4 = f32_bytes as f64 / sq4_scan.max(1) as f64;
+            assert!(
+                scan_ratio4 >= 6.0,
+                "{}: SQ4 must scan >= 6x fewer payload bytes ({scan_ratio4:.2}x)",
+                spec.name
+            );
+        }
     }
     println!();
     println!(
@@ -192,4 +219,5 @@ fn main() {
     );
     println!("(the 'two orders of magnitude' gap appears at paper scale: rerun with FULL_SCALE=1)");
     println!("SQ8 codec: same probes, >= 3x fewer payload bytes scanned (codes + exact re-rank)");
+    println!("SQ4 codec: same probes, >= 6x fewer scan bytes (nibble blocks + exact re-rank)");
 }

@@ -4,7 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use micronn_linalg::{batch_distances, dot, l2_sq, Metric, Sq8Params, Sq8Scorer, TopK};
+use micronn_linalg::{
+    backend, batch_distances, dot, l2_sq, scalar_kernels, set_block_code, sq4_block_bytes,
+    sq4_train, Metric, Sq4Scorer, Sq8Params, Sq8Scorer, TopK, SQ4_BLOCK, SQ4_LEVELS,
+};
 use micronn_rel::{encode_key, Value};
 use micronn_storage::{BTree, Store, StoreOptions, SyncMode};
 
@@ -97,6 +100,125 @@ fn bench_sq8_scan(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// Runtime-dispatched SIMD kernels against the scalar reference on the
+/// same inputs — the dispatched backend is in the group header, so a
+/// report from any machine says what it measured. All pairs produce
+/// bit-identical outputs (the dispatch contract); only the clock
+/// differs.
+fn bench_simd_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("simd_dispatch[{}]", backend()));
+    let scalar = scalar_kernels();
+    for dim in [128usize, 960] {
+        let a = pseudo_vec(1, dim);
+        let b = pseudo_vec(2, dim);
+        g.throughput(Throughput::Elements(dim as u64));
+        g.bench_with_input(BenchmarkId::new("l2_sq/dispatched", dim), &dim, |bch, _| {
+            bch.iter(|| l2_sq(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("l2_sq/scalar", dim), &dim, |bch, _| {
+            bch.iter(|| (scalar.l2_sq)(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    // The acceptance row: chunked SQ8 scoring at 128d, dispatched vs
+    // scalar-pinned scorer over the same 1024-row code block.
+    let (rows, dim) = (1024usize, 128usize);
+    let data: Vec<f32> = (0..rows)
+        .flat_map(|i| pseudo_vec(7 + i as u64, dim))
+        .collect();
+    let params = Sq8Params::train(&data, dim);
+    let mut block: Vec<u8> = Vec::with_capacity(rows * dim);
+    for row in data.chunks_exact(dim) {
+        params.encode_into(row, &mut block);
+    }
+    let query = pseudo_vec(999, dim);
+    let fast = Sq8Scorer::new(Metric::L2, &query, &params);
+    let slow = Sq8Scorer::with_kernels(Metric::L2, &query, &params, scalar);
+    let mut out = Vec::with_capacity(rows);
+    g.throughput(Throughput::Elements(rows as u64));
+    for (name, scorer) in [("dispatched", &fast), ("scalar", &slow)] {
+        g.bench_with_input(BenchmarkId::new("sq8_chunk_1024", name), &name, |bch, _| {
+            bch.iter(|| {
+                out.clear();
+                scorer.score_chunk(std::hint::black_box(&block[..]), &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Per-row scan cost of the three codecs on the same 1024 logical rows:
+/// F32 GEMM-path distances, SQ8 chunked asymmetric scoring, and SQ4
+/// fastscan block lookups. Throughput is rows/s, so the per-row ratios
+/// read straight off the report.
+fn bench_codec_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("codec_scan[{}]", backend()));
+    let (rows, dim) = (1024usize, 128usize);
+    let data: Vec<f32> = (0..rows)
+        .flat_map(|i| pseudo_vec(7 + i as u64, dim))
+        .collect();
+    let query = pseudo_vec(999, dim);
+    g.throughput(Throughput::Elements(rows as u64));
+
+    let mut f32_out = vec![0f32; rows];
+    g.bench_function("f32_rows_1024_128d", |bch| {
+        bch.iter(|| {
+            batch_distances(
+                Metric::L2,
+                std::hint::black_box(&query),
+                1,
+                std::hint::black_box(&data),
+                rows,
+                dim,
+                &mut f32_out,
+            )
+        })
+    });
+
+    let sq8_params = Sq8Params::train(&data, dim);
+    let mut sq8_block: Vec<u8> = Vec::with_capacity(rows * dim);
+    for row in data.chunks_exact(dim) {
+        sq8_params.encode_into(row, &mut sq8_block);
+    }
+    let sq8 = Sq8Scorer::new(Metric::L2, &query, &sq8_params);
+    let mut sq8_out = Vec::with_capacity(rows);
+    g.bench_function("sq8_rows_1024_128d", |bch| {
+        bch.iter(|| {
+            sq8_out.clear();
+            sq8.score_chunk(std::hint::black_box(&sq8_block[..]), &mut sq8_out);
+            sq8_out.len()
+        })
+    });
+
+    let sq4_params = sq4_train(&data, dim);
+    let enc = sq4_params.encoder(SQ4_LEVELS);
+    let n_blocks = rows / SQ4_BLOCK;
+    let mut sq4_blocks = vec![0u8; n_blocks * sq4_block_bytes(dim)];
+    let mut codes = Vec::with_capacity(dim);
+    for (i, row) in data.chunks_exact(dim).enumerate() {
+        codes.clear();
+        enc.encode_row(row, &mut codes);
+        let block = &mut sq4_blocks
+            [(i / SQ4_BLOCK) * sq4_block_bytes(dim)..(i / SQ4_BLOCK + 1) * sq4_block_bytes(dim)];
+        for (d, &c) in codes.iter().enumerate() {
+            set_block_code(block, d, i % SQ4_BLOCK, c);
+        }
+    }
+    let sq4 = Sq4Scorer::new(Metric::L2, &query, &sq4_params);
+    let mut sq4_out = [0f32; SQ4_BLOCK];
+    g.bench_function("sq4_rows_1024_128d", |bch| {
+        bch.iter(|| {
+            let mut sum = 0f32;
+            for block in std::hint::black_box(&sq4_blocks[..]).chunks_exact(sq4_block_bytes(dim)) {
+                sq4.score_block(block, &mut sq4_out);
+                sum += sq4_out[0];
+            }
+            sum
+        })
+    });
     g.finish();
 }
 
@@ -214,6 +336,8 @@ criterion_group!(
     bench_distance_kernels,
     bench_batch_gemm,
     bench_sq8_scan,
+    bench_simd_dispatch,
+    bench_codec_scan,
     bench_topk,
     bench_key_codec,
     bench_btree,

@@ -1,7 +1,7 @@
 //! `micronnctl` — command-line administration for MicroNN databases.
 //!
 //! ```text
-//! micronnctl create  <db> --dim <D> [--metric l2|cosine|dot] [--codec f32|sq8]
+//! micronnctl create  <db> --dim <D> [--metric l2|cosine|dot] [--codec f32|sq8|sq4]
 //!                    [--attr name:type[:indexed][:fts]]...
 //! micronnctl import  <db> <csv>            # rows: asset_id,v1,...,vD[,name=value...]
 //! micronnctl search  <db> --query "v1,..,vD" [-k N] [--probes N] [--filter EXPR] [--exact]
@@ -172,6 +172,10 @@ fn cmd_maintain(args: &[String]) -> Result<(), String> {
             MaintenanceAction::Rebuilt(r) => println!(
                 "full rebuild: {} vectors -> {} partitions in {:?}",
                 r.vectors, r.partitions, r.total_time
+            ),
+            MaintenanceAction::Retrained(t) => println!(
+                "retrained quantizer ranges of partition {} ({} vectors re-encoded) in {:?}",
+                t.partition, t.encoded, t.total_time
             ),
         }
     }
@@ -414,7 +418,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     };
     let elapsed = t.elapsed();
     // The full execution counters, so codec and executor behaviour is
-    // inspectable from the CLI (bytes scanned shrink under SQ8; the
+    // inspectable from the CLI (bytes scanned shrink under SQ8/SQ4; the
     // re-rank and filter counters expose the pipeline's extra passes).
     println!(
         "plan={} partitions={} vectors_scanned={} bytes_scanned={} reranked={} \

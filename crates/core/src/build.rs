@@ -273,6 +273,7 @@ impl MicroNN {
                 encoded += crate::codec::encode_partition(
                     &mut txn,
                     &inner.tables,
+                    inner.cfg.codec,
                     inner.dim,
                     c as i64 + 1,
                 )?;
@@ -297,6 +298,8 @@ impl MicroNN {
         let avg_x1000 = (keys.len() as f64 / k as f64 * 1000.0) as i64;
         set_meta_int(&mut txn, &inner.tables.meta, M_BASELINE_AVG, avg_x1000)?;
         txn.commit()?;
+        // Every partition was re-encoded under fresh ranges.
+        inner.clear_drift();
 
         Ok(RebuildReport {
             vectors: keys.len(),

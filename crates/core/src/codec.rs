@@ -11,17 +11,28 @@
 //!   quantized scan reads ~4× fewer bytes. Scans score codes with the
 //!   asymmetric kernels of [`micronn_linalg::sq8`], then re-rank the
 //!   top `rerank_factor · k` candidates against the exact vectors.
+//! * [`VectorCodec::Sq4`] — 4-bit fastscan codes (~8× smaller than
+//!   f32). The `codes` table is keyed `(partition, block)` instead of
+//!   `(partition, vid)`: each row is one register-interleaved 32-row
+//!   block ([`micronn_linalg::sq4`]) plus a `members` directory blob
+//!   mapping slots to `(vid, asset)`. Scans score whole blocks via
+//!   in-register shuffle lookups and re-rank exactly, like SQ8.
 //!
 //! The codec choice is part of the index catalog (persisted in the
 //! `meta` table at creation, validated when a database is opened) and
 //! is honoured by every layer that touches vector bytes: ingestion,
 //! rebuild, delta flush, single-query search, batch MQO, and hybrid
 //! plans. Per-partition quantization ranges live in the `quants`
-//! table and are retrained whenever maintenance rewrites a partition
-//! (rebuild retrains everything; a delta flush retrains each touched
-//! partition).
+//! table (both quantized codecs share the [`Sq8Params`] affine-range
+//! representation; only the level count differs). Ranges are
+//! retrained whenever maintenance rewrites a partition wholesale
+//! (rebuild, split, merge, drift retrain); a delta flush appends new
+//! rows *under the existing ranges* and reports how many clamped, so
+//! the maintainer can schedule a retrain when ranges drift.
 
-use micronn_linalg::Sq8Params;
+use micronn_linalg::{
+    set_block_code, sq4_block_bytes, sq4_train, Sq8Params, SQ4_BLOCK, SQ4_LEVELS, SQ8_LEVELS,
+};
 use micronn_rel::{blob_to_f32, RowDecoder, Value};
 use micronn_storage::{PageRead, WriteTxn};
 
@@ -37,6 +48,9 @@ pub enum VectorCodec {
     /// f32 vectors plus per-partition scalar-quantized u8 codes;
     /// scans run in the compressed domain and re-rank exactly.
     Sq8,
+    /// f32 vectors plus blocked 4-bit fastscan codes; scans run LUT
+    /// lookups over packed 32-row blocks and re-rank exactly.
+    Sq4,
 }
 
 impl VectorCodec {
@@ -45,6 +59,7 @@ impl VectorCodec {
         match self {
             VectorCodec::F32 => "f32",
             VectorCodec::Sq8 => "sq8",
+            VectorCodec::Sq4 => "sq4",
         }
     }
 
@@ -53,13 +68,30 @@ impl VectorCodec {
         match name.to_ascii_lowercase().as_str() {
             "f32" => Some(VectorCodec::F32),
             "sq8" => Some(VectorCodec::Sq8),
+            "sq4" => Some(VectorCodec::Sq4),
             _ => None,
         }
     }
 
     /// Whether scans read quantized codes instead of raw vectors.
     pub fn is_quantized(&self) -> bool {
-        matches!(self, VectorCodec::Sq8)
+        matches!(self, VectorCodec::Sq8 | VectorCodec::Sq4)
+    }
+
+    /// Code levels per dimension for quantized codecs.
+    pub(crate) fn levels(&self) -> u32 {
+        match self {
+            VectorCodec::Sq4 => SQ4_LEVELS,
+            _ => SQ8_LEVELS,
+        }
+    }
+
+    /// Trains quantization ranges for this codec.
+    pub(crate) fn train(&self, data: &[f32], dim: usize) -> Sq8Params {
+        match self {
+            VectorCodec::Sq4 => sq4_train(data, dim),
+            _ => Sq8Params::train(data, dim),
+        }
     }
 }
 
@@ -137,13 +169,96 @@ pub(crate) fn decode_code_row(row_bytes: &[u8], dim: usize) -> Result<(i64, &[u8
     Ok((asset, code))
 }
 
+// ---------------------------------------------------------------------
+// SQ4 block storage.
+//
+// One `codes` row per (partition, block): a `members` directory blob
+// of SQ4_BLOCK slots × 16 bytes (vid i64 LE ++ asset i64 LE; vid 0
+// marks an empty or tombstoned slot — vids start at 1) and the packed
+// nibble payload (16·dim bytes, register-interleaved). Tombstoning a
+// slot leaves its stale nibbles in place; scans and fsck mask dead
+// slots via the directory.
+// ---------------------------------------------------------------------
+
+/// Byte length of an SQ4 block's `members` directory blob.
+pub(crate) const SQ4_MEMBERS_BYTES: usize = SQ4_BLOCK * 16;
+
+/// Reads slot `j` of a members directory as `(vid, asset)`.
+pub(crate) fn sq4_slot(members: &[u8], j: usize) -> (i64, i64) {
+    let off = j * 16;
+    let vid = i64::from_le_bytes(members[off..off + 8].try_into().expect("slot vid"));
+    let asset = i64::from_le_bytes(members[off + 8..off + 16].try_into().expect("slot asset"));
+    (vid, asset)
+}
+
+/// Writes slot `j` of a members directory.
+pub(crate) fn sq4_set_slot(members: &mut [u8], j: usize, vid: i64, asset: i64) {
+    let off = j * 16;
+    members[off..off + 8].copy_from_slice(&vid.to_le_bytes());
+    members[off + 8..off + 16].copy_from_slice(&asset.to_le_bytes());
+}
+
+/// Decodes one SQ4 `codes`-table row into `(block, members, packed)`,
+/// validating both blob lengths — shared by the scan loop, append
+/// path, and fsck.
+pub(crate) fn decode_block_row(row_bytes: &[u8], dim: usize) -> Result<(i64, &[u8], &[u8])> {
+    let mut dec = RowDecoder::new(row_bytes)?;
+    dec.skip()?; // partition
+    let block = dec
+        .next_value()?
+        .as_integer()
+        .ok_or_else(|| Error::Config("sq4 block column is not an integer".into()))?;
+    let members = dec.next_blob()?;
+    if members.len() != SQ4_MEMBERS_BYTES {
+        return Err(Error::Config(format!(
+            "sq4 members blob has {} bytes, expected {}",
+            members.len(),
+            SQ4_MEMBERS_BYTES
+        )));
+    }
+    let packed = dec.next_blob()?;
+    if packed.len() != sq4_block_bytes(dim) {
+        return Err(Error::Config(format!(
+            "sq4 packed blob has {} bytes, expected {}",
+            packed.len(),
+            sq4_block_bytes(dim)
+        )));
+    }
+    Ok((block, members, packed))
+}
+
+/// One partition's SQ4 blocks as owned `(block, members, packed)`
+/// triples, in block order.
+type BlockRows = Vec<(i64, Vec<u8>, Vec<u8>)>;
+
+/// Collects one partition's SQ4 blocks as owned `(block, members,
+/// packed)` triples, in block order.
+fn load_blocks<R: PageRead + ?Sized>(
+    r: &R,
+    codes: &micronn_rel::Table,
+    partition: i64,
+    dim: usize,
+) -> Result<BlockRows> {
+    codes
+        .scan_pk_prefix_raw(r, &[Value::Integer(partition)])?
+        .map(|kv| {
+            let (_, row) = kv?;
+            let (block, members, packed) = decode_block_row(&row, dim)?;
+            Ok((block, members.to_vec(), packed.to_vec()))
+        })
+        .collect()
+}
+
 /// Retrains the quantization ranges of `partition` from its current
 /// f32 rows and rewrites the partition's code rows — the codec-aware
-/// half of every maintenance operation. Returns the number of encoded
-/// vectors. No-op (returning 0) for non-quantized catalogs.
+/// half of every maintenance operation that rewrites a partition
+/// wholesale (rebuild, split, merge, drift retrain). Returns the
+/// number of encoded vectors. No-op (returning 0) for non-quantized
+/// catalogs.
 pub(crate) fn encode_partition(
     txn: &mut WriteTxn,
     tables: &Tables,
+    codec: VectorCodec,
     dim: usize,
     partition: i64,
 ) -> Result<usize> {
@@ -151,19 +266,15 @@ pub(crate) fn encode_partition(
         return Ok(0);
     };
 
-    // Phase 1 (read-only): collect the partition's members.
+    // Phase 1 (read-only): collect the partition's members (key order
+    // → ascending vid, so block/slot assignment is deterministic).
     let members = crate::db::read_partition_members(txn, &tables.vectors, partition)?;
-    // Phase 2 (write): retrain ranges, rewrite the code rows. Code
-    // rows are always a subset of the partition's current members —
-    // rebuild wipes them all first, a flush only adds rows, and
-    // upsert/delete remove a row's code in the same transaction — so
-    // upserting by (partition, vid) replaces every live code and no
-    // stale sweep is needed.
+    // Phase 2 (write): retrain ranges, rewrite the code rows.
     let mut flat = Vec::with_capacity(members.len() * dim);
     for (_, _, v) in &members {
         flat.extend_from_slice(v);
     }
-    let params = Sq8Params::train(&flat, dim);
+    let params = codec.train(&flat, dim);
     quants.upsert(
         txn,
         vec![
@@ -171,21 +282,230 @@ pub(crate) fn encode_partition(
             Value::Blob(params_to_blob(&params)),
         ],
     )?;
+    let enc = params.encoder(codec.levels());
     let mut code_buf = Vec::with_capacity(dim);
-    for (vid, asset, v) in &members {
-        code_buf.clear();
-        params.encode_into(v, &mut code_buf);
-        codes.upsert(
-            txn,
-            vec![
-                Value::Integer(partition),
-                Value::Integer(*vid),
-                Value::Integer(*asset),
-                Value::Blob(code_buf.clone()),
-            ],
-        )?;
+    match codec {
+        VectorCodec::Sq4 => {
+            // Blocks are rewritten wholesale: drop the partition's
+            // old blocks (slot occupancy may have shifted), then pack
+            // members 32 at a time.
+            let stale: Vec<i64> = load_blocks(txn, codes, partition, dim)?
+                .into_iter()
+                .map(|(b, _, _)| b)
+                .collect();
+            for b in stale {
+                codes.delete(txn, &[Value::Integer(partition), Value::Integer(b)])?;
+            }
+            for (block, chunk) in members.chunks(SQ4_BLOCK).enumerate() {
+                let mut dir = vec![0u8; SQ4_MEMBERS_BYTES];
+                let mut packed = vec![0u8; sq4_block_bytes(dim)];
+                for (slot, (vid, asset, v)) in chunk.iter().enumerate() {
+                    sq4_set_slot(&mut dir, slot, *vid, *asset);
+                    code_buf.clear();
+                    enc.encode_row(v, &mut code_buf);
+                    for (d, &c) in code_buf.iter().enumerate() {
+                        set_block_code(&mut packed, d, slot, c);
+                    }
+                }
+                codes.upsert(
+                    txn,
+                    vec![
+                        Value::Integer(partition),
+                        Value::Integer(block as i64),
+                        Value::Blob(dir),
+                        Value::Blob(packed),
+                    ],
+                )?;
+            }
+        }
+        _ => {
+            // SQ8: code rows are always a subset of the partition's
+            // current members — rebuild wipes them all first, a flush
+            // only adds rows, and upsert/delete remove a row's code in
+            // the same transaction — so upserting by (partition, vid)
+            // replaces every live code and no stale sweep is needed.
+            for (vid, asset, v) in &members {
+                code_buf.clear();
+                enc.encode_row(v, &mut code_buf);
+                codes.upsert(
+                    txn,
+                    vec![
+                        Value::Integer(partition),
+                        Value::Integer(*vid),
+                        Value::Integer(*asset),
+                        Value::Blob(code_buf.clone()),
+                    ],
+                )?;
+            }
+        }
     }
     Ok(members.len())
+}
+
+/// Encodes newly-flushed rows into `partition`'s code storage *under
+/// its existing ranges* (no retrain — that is the maintainer's drift
+/// decision). `rows` must be the `(vid, asset, vector)` triples just
+/// moved into the partition, in ascending-vid order. Returns
+/// `(appended, clamped)` where `clamped` counts rows with at least one
+/// out-of-range dimension — the quantizer range-drift signal.
+pub(crate) fn append_partition(
+    txn: &mut WriteTxn,
+    tables: &Tables,
+    codec: VectorCodec,
+    dim: usize,
+    partition: i64,
+    params: &Sq8Params,
+    rows: &[(i64, i64, Vec<f32>)],
+) -> Result<(usize, usize)> {
+    let Some(codes) = &tables.codes else {
+        return Ok((0, 0));
+    };
+    let enc = params.encoder(codec.levels());
+    let mut code_buf = Vec::with_capacity(dim);
+    let mut clamped = 0usize;
+    match codec {
+        VectorCodec::Sq4 => {
+            // Fill tombstoned/empty slots of existing blocks in
+            // (block, slot) order, then append fresh blocks.
+            let mut blocks = load_blocks(txn, codes, partition, dim)?;
+            let mut next_block = blocks.iter().map(|b| b.0).max().map_or(0, |m| m + 1);
+            let mut queue = rows.iter();
+            let mut pending = queue.next();
+            for (block, dir, packed) in &mut blocks {
+                if pending.is_none() {
+                    break;
+                }
+                let mut dirty = false;
+                for slot in 0..SQ4_BLOCK {
+                    let Some((vid, asset, v)) = pending else {
+                        break;
+                    };
+                    if sq4_slot(dir, slot).0 != 0 {
+                        continue;
+                    }
+                    sq4_set_slot(dir, slot, *vid, *asset);
+                    code_buf.clear();
+                    if enc.encode_row(v, &mut code_buf) {
+                        clamped += 1;
+                    }
+                    // set_block_code clears the slot's stale nibble
+                    // before writing, so tombstone leftovers vanish.
+                    for (d, &c) in code_buf.iter().enumerate() {
+                        set_block_code(packed, d, slot, c);
+                    }
+                    dirty = true;
+                    pending = queue.next();
+                }
+                if dirty {
+                    codes.upsert(
+                        txn,
+                        vec![
+                            Value::Integer(partition),
+                            Value::Integer(*block),
+                            Value::Blob(dir.clone()),
+                            Value::Blob(packed.clone()),
+                        ],
+                    )?;
+                }
+            }
+            while pending.is_some() {
+                let mut dir = vec![0u8; SQ4_MEMBERS_BYTES];
+                let mut packed = vec![0u8; sq4_block_bytes(dim)];
+                let mut slot = 0;
+                while let Some((vid, asset, v)) = pending {
+                    if slot == SQ4_BLOCK {
+                        break;
+                    }
+                    sq4_set_slot(&mut dir, slot, *vid, *asset);
+                    code_buf.clear();
+                    if enc.encode_row(v, &mut code_buf) {
+                        clamped += 1;
+                    }
+                    for (d, &c) in code_buf.iter().enumerate() {
+                        set_block_code(&mut packed, d, slot, c);
+                    }
+                    slot += 1;
+                    pending = queue.next();
+                }
+                codes.upsert(
+                    txn,
+                    vec![
+                        Value::Integer(partition),
+                        Value::Integer(next_block),
+                        Value::Blob(dir),
+                        Value::Blob(packed),
+                    ],
+                )?;
+                next_block += 1;
+            }
+        }
+        _ => {
+            for (vid, asset, v) in rows {
+                code_buf.clear();
+                if enc.encode_row(v, &mut code_buf) {
+                    clamped += 1;
+                }
+                codes.upsert(
+                    txn,
+                    vec![
+                        Value::Integer(partition),
+                        Value::Integer(*vid),
+                        Value::Integer(*asset),
+                        Value::Blob(code_buf.clone()),
+                    ],
+                )?;
+            }
+        }
+    }
+    Ok((rows.len(), clamped))
+}
+
+/// Removes one vector's code when it leaves an indexed partition
+/// (replacement or delete). SQ8 deletes the `(partition, vid)` row;
+/// SQ4 tombstones the vid's slot in its block directory (stale
+/// nibbles stay behind and are masked by liveness). Returns whether a
+/// code existed; no-op `false` for non-quantized catalogs.
+pub(crate) fn remove_code(
+    txn: &mut WriteTxn,
+    tables: &Tables,
+    codec: VectorCodec,
+    dim: usize,
+    partition: i64,
+    vid: i64,
+) -> Result<bool> {
+    let Some(codes) = &tables.codes else {
+        return Ok(false);
+    };
+    match codec {
+        VectorCodec::Sq4 => {
+            let mut hit: Option<(i64, Vec<u8>, Vec<u8>, usize)> = None;
+            for kv in codes.scan_pk_prefix_raw(txn, &[Value::Integer(partition)])? {
+                let (_, row) = kv?;
+                let (block, dir, packed) = decode_block_row(&row, dim)?;
+                if let Some(slot) = (0..SQ4_BLOCK).find(|&j| sq4_slot(dir, j).0 == vid) {
+                    hit = Some((block, dir.to_vec(), packed.to_vec(), slot));
+                    break;
+                }
+            }
+            let Some((block, mut dir, packed, slot)) = hit else {
+                return Ok(false);
+            };
+            sq4_set_slot(&mut dir, slot, 0, 0);
+            codes.upsert(
+                txn,
+                vec![
+                    Value::Integer(partition),
+                    Value::Integer(block),
+                    Value::Blob(dir),
+                    Value::Blob(packed),
+                ],
+            )?;
+            Ok(true)
+        }
+        _ => Ok(codes
+            .delete(txn, &[Value::Integer(partition), Value::Integer(vid)])?
+            .is_some()),
+    }
 }
 
 /// Drops one partition's code rows and its quantization-range row —
@@ -198,7 +518,9 @@ pub(crate) fn clear_partition_codes(
 ) -> Result<usize> {
     let mut removed = 0usize;
     if let Some(codes) = &tables.codes {
-        let vids: Vec<i64> = codes
+        // Second key column is the vid (SQ8) or block id (SQ4) —
+        // either way an integer, so one sweep serves both layouts.
+        let keys: Vec<i64> = codes
             .scan_pk_prefix_raw(txn, &[Value::Integer(partition)])?
             .map(|kv| {
                 let (_, row) = kv?;
@@ -206,11 +528,11 @@ pub(crate) fn clear_partition_codes(
                 dec.skip()?; // partition
                 dec.next_value()?
                     .as_integer()
-                    .ok_or_else(|| Error::Config("code vid column is not an integer".into()))
+                    .ok_or_else(|| Error::Config("code key column is not an integer".into()))
             })
             .collect::<Result<_>>()?;
-        for vid in vids {
-            codes.delete(txn, &[Value::Integer(partition), Value::Integer(vid)])?;
+        for key in keys {
+            codes.delete(txn, &[Value::Integer(partition), Value::Integer(key)])?;
             removed += 1;
         }
     }
@@ -258,14 +580,18 @@ mod tests {
 
     #[test]
     fn codec_names_round_trip() {
-        for codec in [VectorCodec::F32, VectorCodec::Sq8] {
+        for codec in [VectorCodec::F32, VectorCodec::Sq8, VectorCodec::Sq4] {
             assert_eq!(VectorCodec::parse(codec.name()), Some(codec));
         }
         assert_eq!(VectorCodec::parse("SQ8"), Some(VectorCodec::Sq8));
+        assert_eq!(VectorCodec::parse("SQ4"), Some(VectorCodec::Sq4));
         assert_eq!(VectorCodec::parse("pq"), None);
         assert_eq!(VectorCodec::default(), VectorCodec::F32);
         assert!(!VectorCodec::F32.is_quantized());
         assert!(VectorCodec::Sq8.is_quantized());
+        assert!(VectorCodec::Sq4.is_quantized());
+        assert_eq!(VectorCodec::Sq4.levels(), 15);
+        assert_eq!(VectorCodec::Sq8.levels(), 255);
     }
 
     #[test]

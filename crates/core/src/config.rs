@@ -67,6 +67,12 @@ pub struct Config {
     /// them against exact f32 vectors (ignored by [`VectorCodec::F32`];
     /// paper-style default: 4).
     pub rerank_factor: usize,
+    /// Quantizer range-drift threshold for quantized codecs: once the
+    /// fraction of flushed rows that clamped against a partition's
+    /// stored ranges exceeds this limit, the maintainer retrains that
+    /// partition's ranges (in `(0, 1]`; default 0.1). Ignored by
+    /// [`VectorCodec::F32`].
+    pub range_drift_limit: f64,
     /// Target vectors per IVF partition `t` (paper default: 100).
     pub target_partition_size: usize,
     /// Default number of partitions probed per ANN query `n`.
@@ -120,6 +126,7 @@ impl Default for Config {
             metric: Metric::L2,
             codec: VectorCodec::F32,
             rerank_factor: 4,
+            range_drift_limit: 0.1,
             target_partition_size: 100,
             default_probes: 8,
             workers: 0,
@@ -167,6 +174,11 @@ impl Config {
         if self.rerank_factor == 0 {
             return Err(crate::error::Error::Config(
                 "rerank_factor must be positive".into(),
+            ));
+        }
+        if !(self.range_drift_limit > 0.0 && self.range_drift_limit <= 1.0) {
+            return Err(crate::error::Error::Config(
+                "range_drift_limit must be in (0, 1]".into(),
             ));
         }
         if self.split_limit <= 1.0 {
@@ -300,6 +312,12 @@ mod tests {
         let mut c = Config::new(8, Metric::L2);
         c.merge_limit = 1.0;
         assert!(c.validate().is_err(), "merge_limit >= 1");
+        let mut c = Config::new(8, Metric::L2);
+        c.range_drift_limit = 0.0;
+        assert!(c.validate().is_err(), "range_drift_limit 0");
+        let mut c = Config::new(8, Metric::L2);
+        c.range_drift_limit = 1.5;
+        assert!(c.validate().is_err(), "range_drift_limit > 1");
     }
 
     #[test]
@@ -320,6 +338,8 @@ mod tests {
         assert_eq!(c.rerank_factor, 4);
         let mut c = Config::new(8, Metric::L2);
         c.codec = VectorCodec::Sq8;
+        assert!(c.validate().is_ok());
+        c.codec = VectorCodec::Sq4;
         assert!(c.validate().is_ok());
     }
 

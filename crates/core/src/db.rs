@@ -11,22 +11,25 @@
 //! | `attrs`     | `(asset)`           | client-defined attribute columns|
 //! | `meta`      | `(key)`             | `ival`, `tval`                  |
 //! | `codes`*    | `(partition, vid)`  | `asset`, `code` (u8 blob)       |
-//! | `quants`*   | `(partition)`       | `params` (f32 blob)             |
+//! | `codes`†    | `(partition, block)`| `members`, `packed` (blobs)     |
+//! | `quants`*†  | `(partition)`       | `params` (f32 blob)             |
 //!
-//! `*` only with the [`VectorCodec::Sq8`] catalog: quantized codes are
-//! a *separately clustered* payload so compressed-domain scans touch
-//! ~4× fewer bytes than the f32 rows they mirror.
+//! `*` only with the [`VectorCodec::Sq8`] catalog, `†` only with
+//! [`VectorCodec::Sq4`] (one row per 32-vector fastscan block):
+//! quantized codes are a *separately clustered* payload so
+//! compressed-domain scans touch ~4× (SQ8) / ~8× (SQ4) fewer bytes
+//! than the f32 rows they mirror.
 //!
 //! The `vectors` table is clustered on `(partition, vid)`, so each IVF
 //! partition is a contiguous key range on disk (§3.2). The delta store
 //! is the reserved partition `0` (§3.6): upserts land there and are
 //! folded into the index by [`crate::maintain`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use micronn_cluster::Clustering;
 use micronn_linalg::{Metric, Sq8Params};
@@ -152,6 +155,14 @@ pub(crate) struct Inner {
     /// Total row-level DB mutations (Figure 10d's "No. of DB row
     /// changes").
     pub row_changes: AtomicU64,
+    /// Per-partition quantizer range-drift counters, `partition →
+    /// (clamped rows, appended rows)`, fed by delta flushes that encode
+    /// new rows under a partition's existing ranges. The maintainer
+    /// reads [`Inner::drift_candidate`] to schedule retrains; every
+    /// wholesale re-encode resets its partition's counter. In-process
+    /// only (drift re-accumulates after reopen, which is fine — it is
+    /// a heuristic, not an invariant).
+    pub drift: Mutex<BTreeMap<i64, (u64, u64)>>,
 }
 
 /// An embedded, disk-resident, updatable vector database (the paper's
@@ -241,10 +252,22 @@ impl MicroNN {
             }
         }
         // Quantized catalogs keep codes as a separately clustered
-        // payload plus per-partition quantization ranges.
+        // payload plus per-partition quantization ranges. SQ8 stores
+        // one code row per vector; SQ4 stores one row per 32-vector
+        // fastscan block (a slot directory plus the packed nibbles).
         let (codes, quants) = if config.codec.is_quantized() {
-            let codes = db.create_table(
-                &mut txn,
+            let codes_schema = if config.codec == VectorCodec::Sq4 {
+                TableSchema::new(
+                    "codes",
+                    vec![
+                        ColumnDef::new("partition", ValueType::Integer),
+                        ColumnDef::new("block", ValueType::Integer),
+                        ColumnDef::new("members", ValueType::Blob),
+                        ColumnDef::new("packed", ValueType::Blob),
+                    ],
+                    &["partition", "block"],
+                )
+            } else {
                 TableSchema::new(
                     "codes",
                     vec![
@@ -255,8 +278,8 @@ impl MicroNN {
                     ],
                     &["partition", "vid"],
                 )
-                .map_err(Error::Rel)?,
-            )?;
+            };
+            let codes = db.create_table(&mut txn, codes_schema.map_err(Error::Rel)?)?;
             let quants = db.create_table(
                 &mut txn,
                 TableSchema::new(
@@ -331,6 +354,7 @@ impl MicroNN {
                 stats_cache: RwLock::new(None),
                 quant_cache: RwLock::new(None),
                 row_changes: AtomicU64::new(0),
+                drift: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -363,9 +387,10 @@ impl MicroNN {
         }
         // Codec is part of the catalog: files created before the codec
         // column existed read as plain f32. Asking for a quantized
-        // codec on a full-precision file cannot be honoured (the codes
-        // were never written), so it is an open-time error rather than
-        // a silent downgrade.
+        // codec the file does not carry cannot be honoured — the codes
+        // were never written, or were written in the other quantized
+        // layout (SQ8 rows vs SQ4 blocks) — so it is an open-time
+        // error rather than a silent downgrade.
         let codec = match meta
             .get(&r, &[Value::text(M_CODEC)])?
             .and_then(|row| row[2].as_text().map(str::to_owned))
@@ -374,7 +399,7 @@ impl MicroNN {
                 .ok_or_else(|| Error::Config(format!("unknown vector codec {name}")))?,
             None => VectorCodec::F32,
         };
-        if config.codec.is_quantized() && !codec.is_quantized() {
+        if config.codec.is_quantized() && codec != config.codec {
             return Err(Error::Config(format!(
                 "index was created with codec {codec}; cannot open as {}",
                 config.codec
@@ -406,12 +431,12 @@ impl MicroNN {
         // Open-time validation: a quantized catalog must carry its
         // codes and quantization-range tables.
         let (codes, quants) = if codec.is_quantized() {
-            let codes = db
-                .open_table(&r, "codes")
-                .map_err(|_| Error::Config("sq8 catalog is missing its codes table".into()))?;
-            let quants = db
-                .open_table(&r, "quants")
-                .map_err(|_| Error::Config("sq8 catalog is missing its quants table".into()))?;
+            let codes = db.open_table(&r, "codes").map_err(|_| {
+                Error::Config(format!("{codec} catalog is missing its codes table"))
+            })?;
+            let quants = db.open_table(&r, "quants").map_err(|_| {
+                Error::Config(format!("{codec} catalog is missing its quants table"))
+            })?;
             (Some(codes), Some(quants))
         } else {
             (None, None)
@@ -438,6 +463,7 @@ impl MicroNN {
                 stats_cache: RwLock::new(None),
                 quant_cache: RwLock::new(None),
                 row_changes: AtomicU64::new(0),
+                drift: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -511,12 +537,17 @@ impl MicroNN {
                 if p.as_integer() == Some(DELTA_PARTITION) {
                     delta -= 1;
                 } else {
-                    if let Some(codes) = &inner.tables.codes {
-                        // The replaced vector lived in an indexed
-                        // partition: its quantized code is stale too.
-                        if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
-                            inner.row_changes.fetch_add(1, Ordering::Relaxed);
-                        }
+                    // The replaced vector lived in an indexed
+                    // partition: its quantized code is stale too.
+                    if crate::codec::remove_code(
+                        &mut txn,
+                        &inner.tables,
+                        inner.cfg.codec,
+                        inner.dim,
+                        p.as_integer().unwrap_or(0),
+                        v.as_integer().unwrap_or(0),
+                    )? {
+                        inner.row_changes.fetch_add(1, Ordering::Relaxed);
                     }
                     // Keep the per-partition size stats exact: the
                     // lifecycle policy reads them to pick split/merge
@@ -590,10 +621,15 @@ impl MicroNN {
             if p.as_integer() == Some(DELTA_PARTITION) {
                 delta -= 1;
             } else {
-                if let Some(codes) = &inner.tables.codes {
-                    if codes.delete(&mut txn, &[p.clone(), v.clone()])?.is_some() {
-                        inner.row_changes.fetch_add(1, Ordering::Relaxed);
-                    }
+                if crate::codec::remove_code(
+                    &mut txn,
+                    &inner.tables,
+                    inner.cfg.codec,
+                    inner.dim,
+                    p.as_integer().unwrap_or(0),
+                    v.as_integer().unwrap_or(0),
+                )? {
+                    inner.row_changes.fetch_add(1, Ordering::Relaxed);
                 }
                 if adjust_partition_size(
                     &mut txn,
@@ -894,10 +930,47 @@ pub(crate) fn read_partition_members<R: PageRead + ?Sized>(
     Ok(members)
 }
 
+/// Minimum appended rows before a partition's clamped fraction is
+/// trusted as a drift signal (tiny samples are all noise).
+pub(crate) const MIN_DRIFT_SAMPLE: u64 = 16;
+
 impl Inner {
     /// Whether scans should read quantized codes (SQ8 catalog).
     pub(crate) fn quantized(&self) -> bool {
         self.cfg.codec.is_quantized()
+    }
+
+    /// Accumulates a flush's clamped/appended counts for `partition`.
+    pub(crate) fn note_drift(&self, partition: i64, clamped: u64, appended: u64) {
+        if appended == 0 {
+            return;
+        }
+        let mut map = self.drift.lock();
+        let e = map.entry(partition).or_insert((0, 0));
+        e.0 += clamped;
+        e.1 += appended;
+    }
+
+    /// Forgets the drift counter of one partition (it was just
+    /// re-encoded under fresh ranges, or retired).
+    pub(crate) fn reset_drift(&self, partition: i64) {
+        self.drift.lock().remove(&partition);
+    }
+
+    /// Forgets all drift counters (a rebuild re-encoded everything).
+    pub(crate) fn clear_drift(&self) {
+        self.drift.lock().clear();
+    }
+
+    /// The partition whose clamped-row fraction most exceeds `limit`
+    /// (with at least [`MIN_DRIFT_SAMPLE`] appended rows), if any.
+    pub(crate) fn drift_candidate(&self, limit: f64) -> Option<(i64, f64)> {
+        let map = self.drift.lock();
+        map.iter()
+            .filter(|(_, (_, total))| *total >= MIN_DRIFT_SAMPLE)
+            .map(|(pid, (clamped, total))| (*pid, *clamped as f64 / *total as f64))
+            .filter(|(_, frac)| *frac > limit)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Loads (or returns the cached) IVF quantizer: the centroid matrix

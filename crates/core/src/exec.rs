@@ -8,10 +8,12 @@
 //!   row iteration over the clustered payload tables, header decode,
 //!   the §3.5 post-filter join (rows failing the attribute predicate
 //!   are dropped *before* any distance computation), and chunked
-//!   scoring for both codecs: f32 rows go through the batched
+//!   scoring for every codec: f32 rows go through the batched
 //!   one-to-many / GEMM kernels, SQ8 code rows through the batched
-//!   [`Sq8Scorer::score_chunk`] kernel — `SCAN_CHUNK`-row blocks
-//!   either way, never row-at-a-time.
+//!   [`Sq8Scorer::score_chunk`] kernel, and SQ4 fastscan blocks
+//!   through [`micronn_linalg::Sq4Scorer::score_block`] (32 rows per
+//!   in-register LUT pass) — block-at-a-time everywhere, never
+//!   row-at-a-time.
 //! * [`Queries`] selects the query side of a scan: one vector
 //!   (single-query search, exact KNN) or a batch group addressing rows
 //!   of a flat query matrix (MQO phase 2). The f32 kernels differ by
@@ -35,10 +37,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use micronn_linalg::{batch_distances, distances_one_to_many, Neighbor, Sq8Scorer, TopK};
+use micronn_linalg::{
+    batch_distances, distances_one_to_many, Neighbor, Sq4Scorer, Sq8Scorer, TopK, SQ4_BLOCK,
+};
 use micronn_rel::{blob_into_f32, Compiled, RowDecoder, Table, Value};
 use micronn_storage::ReadTxn;
 
+use crate::codec::VectorCodec;
 use crate::db::{Inner, DELTA_PARTITION};
 use crate::error::{Error, Result};
 use crate::stats::QueryInfo;
@@ -67,7 +72,8 @@ pub(crate) struct ScanMetrics {
     /// Rows dropped by the post-filter join before scoring.
     pub filtered_out: AtomicUsize,
     /// Vector-payload bytes read (`4·dim` per f32 row, `dim` per SQ8
-    /// code row, plus `4·dim` per re-ranked candidate).
+    /// code row, `16·dim` per scanned SQ4 block, plus `4·dim` per
+    /// re-ranked candidate).
     pub bytes_scanned: AtomicUsize,
     /// Candidates re-ranked against exact f32 vectors.
     pub reranked: AtomicUsize,
@@ -151,7 +157,11 @@ impl PartitionScanner<'_> {
         debug_assert_eq!(queries.len(), heaps.len());
         if self.use_codec && self.inner.quantized() && partition != DELTA_PARTITION {
             if let Some(params) = self.inner.partition_params(self.r, partition)? {
-                return self.scan_codes(partition, queries, &params, heaps);
+                return if self.inner.cfg.codec == VectorCodec::Sq4 {
+                    self.scan_codes4(partition, queries, &params, heaps)
+                } else {
+                    self.scan_codes(partition, queries, &params, heaps)
+                };
             }
         }
         self.scan_vectors(partition, queries, heaps)
@@ -371,6 +381,74 @@ impl PartitionScanner<'_> {
         self.metrics
             .distance_computations
             .fetch_add(scorers.len() * tail, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// SQ4 fastscan frame: each `codes` row is one packed 32-vector
+    /// block; a single in-register LUT pass scores every slot, then the
+    /// block's directory masks tombstoned slots (their scores are
+    /// computed but discarded — that is the fastscan trade-off).
+    fn scan_codes4(
+        &self,
+        partition: i64,
+        queries: &Queries<'_>,
+        params: &micronn_linalg::Sq8Params,
+        heaps: &mut [TopK],
+    ) -> Result<()> {
+        let dim = self.inner.dim;
+        let codes = self
+            .inner
+            .tables
+            .codes
+            .as_ref()
+            .ok_or_else(|| Error::Config("quantized scan without a codes table".into()))?;
+        let scorers: Vec<Sq4Scorer> = match queries {
+            Queries::One(q) => vec![Sq4Scorer::new(self.inner.metric, q, params)],
+            Queries::Group { flat, members } => members
+                .iter()
+                .map(|&qi| {
+                    let qi = qi as usize;
+                    Sq4Scorer::new(self.inner.metric, &flat[qi * dim..(qi + 1) * dim], params)
+                })
+                .collect(),
+        };
+        let mut block_scores = [0.0f32; SQ4_BLOCK];
+        let mut live: Vec<(usize, i64)> = Vec::with_capacity(SQ4_BLOCK);
+        for kv in codes.scan_pk_prefix_raw(self.r, &[Value::Integer(partition)])? {
+            let (_, row_bytes) = kv?;
+            let (_, members, packed) = crate::codec::decode_block_row(&row_bytes, dim)?;
+            self.metrics
+                .bytes_scanned
+                .fetch_add(packed.len(), Ordering::Relaxed);
+            // Same post-filter join as the other frames, evaluated per
+            // live slot before any scoring.
+            live.clear();
+            for j in 0..SQ4_BLOCK {
+                let (vid, asset) = crate::codec::sq4_slot(members, j);
+                if vid == 0 {
+                    continue; // empty or tombstoned slot
+                }
+                if !self.passes_filter(asset)? {
+                    continue;
+                }
+                live.push((j, asset));
+            }
+            if live.is_empty() {
+                continue;
+            }
+            self.metrics
+                .vectors_scanned
+                .fetch_add(live.len(), Ordering::Relaxed);
+            for (scorer, heap) in scorers.iter().zip(heaps.iter_mut()) {
+                scorer.score_block(packed, &mut block_scores);
+                for &(j, asset) in &live {
+                    heap.push(asset as u64, block_scores[j]);
+                }
+            }
+            self.metrics
+                .distance_computations
+                .fetch_add(scorers.len() * live.len(), Ordering::Relaxed);
+        }
         Ok(())
     }
 }

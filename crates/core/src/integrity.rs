@@ -25,12 +25,15 @@
 //!   store's row count, `k` equals the centroid row count, `next_pid`
 //!   exceeds every allocated partition id, `next_vid` exceeds every
 //!   stored vid.
-//! * SQ8 catalogs: `codes` mirrors the non-delta half of `vectors`
-//!   row-for-row (same `(partition, vid)` keys, same asset), every
-//!   code re-encodes bit-identically from its f32 row under the
-//!   partition's stored quantization ranges, and every encoded
-//!   partition has a well-formed `quants` row for an existing
-//!   centroid.
+//! * Quantized catalogs: the code storage mirrors the non-delta half
+//!   of `vectors` exactly and every code re-encodes bit-identically
+//!   from its f32 row under the partition's stored quantization
+//!   ranges, and every encoded partition has a well-formed `quants`
+//!   row for an existing centroid. For SQ8 the mirror is row-for-row
+//!   (same `(partition, vid)` keys, same asset); for SQ4 every
+//!   indexed vector occupies exactly one *live* slot across the
+//!   partition's blocked `(partition, block)` rows — tombstoned slots
+//!   (vid 0) are skipped, and their stale nibbles are ignored.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -52,7 +55,8 @@ pub struct IntegrityReport {
     pub vectors_checked: u64,
     /// Asset rows cross-checked against their vector rows.
     pub assets_checked: u64,
-    /// Quantized code rows cross-checked (SQ8 catalogs; `0` for F32).
+    /// Quantized codes cross-checked — SQ8 code rows or live SQ4
+    /// block slots (`0` for F32 catalogs).
     pub codes_checked: u64,
     /// Dangling or missing cross-references (each also appends to
     /// [`IntegrityReport::errors`]).
@@ -241,8 +245,9 @@ impl MicroNN {
             ));
         }
 
-        // Pass 5 — SQ8 catalogs: codes mirror the indexed vectors
-        // bit-for-bit under each partition's stored ranges.
+        // Pass 5 — quantized catalogs: the code storage mirrors the
+        // indexed vectors bit-for-bit under each partition's stored
+        // ranges (SQ8 row-per-vid, SQ4 blocked slots).
         if let (Some(codes), Some(quants)) = (&inner.tables.codes, &inner.tables.quants) {
             let mut params: BTreeMap<i64, micronn_linalg::Sq8Params> = BTreeMap::new();
             for row in quants.scan(&r)? {
@@ -263,53 +268,130 @@ impl MicroNN {
             }
             let mut code_keys: BTreeSet<(i64, i64)> = BTreeSet::new();
             let mut code_buf = Vec::with_capacity(dim);
-            for row in codes.scan(&r)? {
-                let row = row?;
-                rep.codes_checked += 1;
-                let p = row[0].as_integer().unwrap_or(0);
-                let vid = row[1].as_integer().unwrap_or(0);
-                let asset = row[2].as_integer().unwrap_or(0);
-                code_keys.insert((p, vid));
-                if p == DELTA_PARTITION {
-                    rep.error(format!("code row ({p},{vid}) in the delta store"));
-                    continue;
-                }
-                match by_key.get(&(p, vid)) {
-                    Some(&a) if a == asset => {}
-                    Some(&a) => rep.orphan(format!(
-                        "code ({p},{vid}) carries asset {asset}, vector row says {a}"
-                    )),
-                    None => {
-                        rep.orphan(format!("code ({p},{vid}) has no vector row"));
+            if inner.cfg.codec == crate::VectorCodec::Sq4 {
+                use crate::codec::{sq4_slot, SQ4_MEMBERS_BYTES};
+                use micronn_linalg::{get_block_code, sq4_block_bytes, SQ4_BLOCK, SQ4_LEVELS};
+                // One encoder per encoded partition; re-encoding must
+                // reproduce every live slot's nibbles exactly.
+                let encoders: BTreeMap<i64, micronn_linalg::Sq8Encoder> = params
+                    .iter()
+                    .map(|(&p, pr)| (p, pr.encoder(SQ4_LEVELS)))
+                    .collect();
+                for row in codes.scan(&r)? {
+                    let row = row?;
+                    let p = row[0].as_integer().unwrap_or(0);
+                    let block = row[1].as_integer().unwrap_or(0);
+                    if p == DELTA_PARTITION {
+                        rep.error(format!("sq4 block ({p},{block}) in the delta store"));
                         continue;
                     }
-                }
-                let Some(code) = row[3].as_blob() else {
-                    rep.error(format!("code ({p},{vid}): payload is not a blob"));
-                    continue;
-                };
-                if code.len() != dim {
-                    rep.error(format!(
-                        "code ({p},{vid}): {} bytes, expected {dim}",
-                        code.len()
-                    ));
-                    continue;
-                }
-                match (params.get(&p), f32s.get(&(p, vid))) {
-                    (Some(pr), Some(v)) => {
-                        code_buf.clear();
-                        pr.encode_into(v, &mut code_buf);
-                        if code_buf != code {
+                    let (Some(members), Some(packed)) = (row[2].as_blob(), row[3].as_blob()) else {
+                        rep.error(format!(
+                            "sq4 block ({p},{block}): members/packed is not a blob"
+                        ));
+                        continue;
+                    };
+                    if members.len() != SQ4_MEMBERS_BYTES || packed.len() != sq4_block_bytes(dim) {
+                        rep.error(format!(
+                            "sq4 block ({p},{block}): {} members bytes / {} packed bytes, \
+                             expected {SQ4_MEMBERS_BYTES} / {}",
+                            members.len(),
+                            packed.len(),
+                            sq4_block_bytes(dim)
+                        ));
+                        continue;
+                    }
+                    for slot in 0..SQ4_BLOCK {
+                        let (vid, asset) = sq4_slot(members, slot);
+                        if vid == 0 {
+                            continue; // empty or tombstoned slot
+                        }
+                        rep.codes_checked += 1;
+                        if !code_keys.insert((p, vid)) {
                             rep.error(format!(
-                                "code ({p},{vid}) does not re-encode from its f32 row \
-                                 under partition {p}'s stored ranges"
+                                "vector ({p},{vid}) occupies more than one live sq4 slot"
                             ));
+                            continue;
+                        }
+                        match by_key.get(&(p, vid)) {
+                            Some(&a) if a == asset => {}
+                            Some(&a) => rep.orphan(format!(
+                                "sq4 slot of ({p},{vid}) carries asset {asset}, \
+                                 vector row says {a}"
+                            )),
+                            None => {
+                                rep.orphan(format!("live sq4 slot ({p},{vid}) has no vector row"));
+                                continue;
+                            }
+                        }
+                        match (encoders.get(&p), f32s.get(&(p, vid))) {
+                            (Some(enc), Some(v)) => {
+                                code_buf.clear();
+                                enc.encode_row(v, &mut code_buf);
+                                if (0..dim).any(|d| get_block_code(packed, d, slot) != code_buf[d])
+                                {
+                                    rep.error(format!(
+                                        "sq4 code of ({p},{vid}) does not re-encode from \
+                                         its f32 row under partition {p}'s stored ranges"
+                                    ));
+                                }
+                            }
+                            (None, _) => rep.orphan(format!(
+                                "sq4 slot ({p},{vid}) in partition without quantization ranges"
+                            )),
+                            _ => {} // undecodable vector already reported
                         }
                     }
-                    (None, _) => rep.orphan(format!(
-                        "code ({p},{vid}) in partition without quantization ranges"
-                    )),
-                    _ => {} // undecodable vector already reported
+                }
+            } else {
+                for row in codes.scan(&r)? {
+                    let row = row?;
+                    rep.codes_checked += 1;
+                    let p = row[0].as_integer().unwrap_or(0);
+                    let vid = row[1].as_integer().unwrap_or(0);
+                    let asset = row[2].as_integer().unwrap_or(0);
+                    code_keys.insert((p, vid));
+                    if p == DELTA_PARTITION {
+                        rep.error(format!("code row ({p},{vid}) in the delta store"));
+                        continue;
+                    }
+                    match by_key.get(&(p, vid)) {
+                        Some(&a) if a == asset => {}
+                        Some(&a) => rep.orphan(format!(
+                            "code ({p},{vid}) carries asset {asset}, vector row says {a}"
+                        )),
+                        None => {
+                            rep.orphan(format!("code ({p},{vid}) has no vector row"));
+                            continue;
+                        }
+                    }
+                    let Some(code) = row[3].as_blob() else {
+                        rep.error(format!("code ({p},{vid}): payload is not a blob"));
+                        continue;
+                    };
+                    if code.len() != dim {
+                        rep.error(format!(
+                            "code ({p},{vid}): {} bytes, expected {dim}",
+                            code.len()
+                        ));
+                        continue;
+                    }
+                    match (params.get(&p), f32s.get(&(p, vid))) {
+                        (Some(pr), Some(v)) => {
+                            code_buf.clear();
+                            pr.encode_into(v, &mut code_buf);
+                            if code_buf != code {
+                                rep.error(format!(
+                                    "code ({p},{vid}) does not re-encode from its f32 row \
+                                     under partition {p}'s stored ranges"
+                                ));
+                            }
+                        }
+                        (None, _) => rep.orphan(format!(
+                            "code ({p},{vid}) in partition without quantization ranges"
+                        )),
+                        _ => {} // undecodable vector already reported
+                    }
                 }
             }
             for &(p, vid) in by_key.keys() {
@@ -348,7 +430,11 @@ mod tests {
     #[test]
     fn clean_database_passes_with_counts() {
         let dir = tempfile::tempdir().unwrap();
-        for codec in [crate::VectorCodec::F32, crate::VectorCodec::Sq8] {
+        for codec in [
+            crate::VectorCodec::F32,
+            crate::VectorCodec::Sq8,
+            crate::VectorCodec::Sq4,
+        ] {
             let d = dir.path().join(codec.name());
             std::fs::create_dir(&d).unwrap();
             let db = build(&d, codec);
@@ -425,6 +511,34 @@ mod tests {
         );
         assert!(
             rep.errors.iter().any(|e| e.contains("delta_count")),
+            "{:?}",
+            rep.errors
+        );
+    }
+
+    #[test]
+    fn tombstoned_sq4_slot_with_live_vector_is_reported() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = build(dir.path(), crate::VectorCodec::Sq4);
+        let inner = &*db.inner;
+        let mut txn = inner.db.begin_write().unwrap();
+        // Hand-corrupt: tombstone one live slot while its vector row
+        // stays — the mirror check must flag the missing code.
+        let codes = inner.tables.codes.as_ref().unwrap();
+        let mut row = codes.scan(&txn).unwrap().next().unwrap().unwrap();
+        let mut members = row[2].as_blob().unwrap().to_vec();
+        let slot = (0..micronn_linalg::SQ4_BLOCK)
+            .find(|&j| crate::codec::sq4_slot(&members, j).0 != 0)
+            .expect("block has a live slot");
+        crate::codec::sq4_set_slot(&mut members, slot, 0, 0);
+        row[2] = Value::Blob(members);
+        codes.upsert(&mut txn, row).unwrap();
+        txn.commit().unwrap();
+
+        let rep = db.verify_integrity().unwrap();
+        assert!(!rep.is_clean());
+        assert!(
+            rep.errors.iter().any(|e| e.contains("no code row")),
             "{:?}",
             rep.errors
         );

@@ -88,7 +88,7 @@ pub use inmemory::InMemoryIndex;
 pub use integrity::IntegrityReport;
 pub use maintain::{
     FlushReport, IndexMaintainer, MaintainerOptions, MaintainerStats, MaintenanceAction,
-    MaintenanceReport, MaintenanceStatus, MergeReport, SplitReport,
+    MaintenanceReport, MaintenanceStatus, MergeReport, RetrainReport, SplitReport,
 };
 pub use search::{SearchResponse, SearchResult};
 pub use stats::{DbStats, PlanUsed, QueryInfo};

@@ -19,7 +19,7 @@
 //! Both run as a single write transaction, so a crash at any point
 //! recovers to either the old or the new index through the storage
 //! engine's WAL — there is no intermediate state in which a vector is
-//! unreachable or doubly indexed. Quantized (SQ8) catalogs retrain the
+//! unreachable or doubly indexed. Quantized (SQ8/SQ4) catalogs retrain the
 //! quantization ranges of exactly the touched partitions and rewrite
 //! their code rows in the same transaction, so compressed-domain scans
 //! never see codes encoded under stale ranges. The index epoch is
@@ -280,7 +280,13 @@ impl MicroNN {
             let mut encoded =
                 crate::codec::clear_partition_codes(&mut txn, &inner.tables, partition)?;
             for &c in &live {
-                encoded += crate::codec::encode_partition(&mut txn, &inner.tables, dim, pid_of[c])?;
+                encoded += crate::codec::encode_partition(
+                    &mut txn,
+                    &inner.tables,
+                    inner.cfg.codec,
+                    dim,
+                    pid_of[c],
+                )?;
             }
             inner.row_changes.fetch_add(
                 encoded as u64 + live.len() as u64,
@@ -298,6 +304,9 @@ impl MicroNN {
         set_meta_int(&mut txn, &inner.tables.meta, M_NEXT_PID, next_pid)?;
         set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, old_epoch + 1)?;
         txn.commit()?;
+        // The split re-encoded every touched partition under fresh
+        // ranges: its drift counter starts over.
+        inner.reset_drift(partition);
 
         // Post-commit: refresh the in-process centroid cache in place
         // (append-only super-index update) instead of dropping it.
@@ -446,8 +455,13 @@ impl MicroNN {
             let mut encoded =
                 crate::codec::clear_partition_codes(&mut txn, &inner.tables, partition)?;
             if !members.is_empty() {
-                encoded +=
-                    crate::codec::encode_partition(&mut txn, &inner.tables, inner.dim, target)?;
+                encoded += crate::codec::encode_partition(
+                    &mut txn,
+                    &inner.tables,
+                    inner.cfg.codec,
+                    inner.dim,
+                    target,
+                )?;
             }
             inner
                 .row_changes
@@ -459,6 +473,10 @@ impl MicroNN {
         let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
         set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
         txn.commit()?;
+        // The dissolved partition is gone and the target was re-encoded
+        // under fresh ranges: both drift counters start over.
+        inner.reset_drift(partition);
+        inner.reset_drift(target);
 
         // Removing a centroid shifts every later centroid's index, so
         // the cached super-index cannot be patched in place; drop the

@@ -46,6 +46,7 @@ struct Shared {
     splits: AtomicU64,
     merges: AtomicU64,
     rebuilds: AtomicU64,
+    retrains: AtomicU64,
     errors: AtomicU64,
     bytes_written: AtomicU64,
     last_error: Mutex<Option<String>>,
@@ -65,6 +66,9 @@ pub struct MaintainerStats {
     pub merges: u64,
     /// Full rebuilds performed (rare once the lifecycle is on).
     pub rebuilds: u64,
+    /// Quantizer range retrains performed (quantized codecs; drift
+    /// triggered).
+    pub retrains: u64,
     /// Passes that failed; the maintainer keeps running.
     pub errors: u64,
     /// Disk bytes written by maintenance passes (store write counters
@@ -128,6 +132,9 @@ impl MicroNN {
                                 thread_shared
                                     .rebuilds
                                     .fetch_add(report.rebuilds() as u64, Ordering::Relaxed);
+                                thread_shared
+                                    .retrains
+                                    .fetch_add(report.retrains() as u64, Ordering::Relaxed);
                                 healthy_at = (report.status
                                     == crate::maintain::MaintenanceStatus::Healthy)
                                     .then(|| db.inner.row_changes.load(Ordering::Relaxed));
@@ -172,6 +179,7 @@ impl IndexMaintainer {
             splits: self.shared.splits.load(Ordering::Relaxed),
             merges: self.shared.merges.load(Ordering::Relaxed),
             rebuilds: self.shared.rebuilds.load(Ordering::Relaxed),
+            retrains: self.shared.retrains.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
             bytes_written: self.shared.bytes_written.load(Ordering::Relaxed),
             last_error: self.shared.last_error.lock().clone(),

@@ -22,7 +22,12 @@
 //!    nearest neighbour, touching only that partition's rows;
 //! 3. **full rebuild** — the paper's growth trigger (average partition
 //!    size past `growth_limit ×` its post-build baseline), now a rare
-//!    fallback rather than the only answer to growth.
+//!    fallback rather than the only answer to growth;
+//! 4. **quantizer retrain** — for quantized codecs, a partition whose
+//!    stored ranges have drifted (too many flushed rows clamped during
+//!    encoding, see [`crate::Config::range_drift_limit`]) gets its
+//!    ranges retrained and codes rewritten, restoring quantization
+//!    quality without touching any other partition.
 //!
 //! [`MicroNN::maybe_maintain`] walks that ladder until the index is
 //! healthy (or a bounded number of actions have run) and returns every
@@ -69,6 +74,10 @@ pub enum MaintenanceStatus {
     /// baseline and no local operation can fix it: a full rebuild is
     /// due.
     NeedsRebuild,
+    /// A quantized partition's stored ranges have drifted: too large a
+    /// fraction of recently flushed rows clamped during encoding, so
+    /// its ranges should be retrained (quantized codecs only).
+    NeedsRetrain,
 }
 
 /// One maintenance operation performed by [`MicroNN::maybe_maintain`].
@@ -82,6 +91,8 @@ pub enum MaintenanceAction {
     Merged(MergeReport),
     /// The whole index was rebuilt.
     Rebuilt(RebuildReport),
+    /// One partition's drifted quantization ranges were retrained.
+    Retrained(RetrainReport),
 }
 
 /// Everything one [`MicroNN::maybe_maintain`] call did: the actions in
@@ -121,9 +132,27 @@ impl MaintenanceReport {
         self.count(|a| matches!(a, MaintenanceAction::Rebuilt(_)))
     }
 
+    /// Number of quantizer range retrains performed.
+    pub fn retrains(&self) -> usize {
+        self.count(|a| matches!(a, MaintenanceAction::Retrained(_)))
+    }
+
     fn count(&self, f: impl Fn(&MaintenanceAction) -> bool) -> usize {
         self.actions.iter().filter(|a| f(a)).count()
     }
+}
+
+/// Outcome of one quantizer range retrain ([`MicroNN::retrain_partition`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrainReport {
+    /// The partition whose ranges were retrained.
+    pub partition: i64,
+    /// Vectors re-encoded under the fresh ranges (`0` when the
+    /// partition had been retired before the retrain ran — the stale
+    /// drift counter is simply discarded).
+    pub encoded: usize,
+    /// Wall-clock time.
+    pub total_time: std::time::Duration,
 }
 
 /// Outcome of one delta flush.
@@ -165,33 +194,38 @@ impl MicroNN {
         // Materialize the (small) delta store.
         let staged =
             crate::db::read_partition_members(&txn, &inner.tables.vectors, DELTA_PARTITION)?;
+        let flushed = staged.len();
 
-        // BTreeSet: centroid/code rows are persisted in ascending
-        // partition order, keeping the page-write stream deterministic
-        // (the crash-injection harness enumerates its operations).
-        let mut touched = std::collections::BTreeSet::new();
-        for (vid, asset, vec) in &staged {
-            let (ci, _) = clustering.nearest(vec);
+        // BTreeMap: centroid/code rows are persisted in ascending
+        // partition order (ascending ci — the partitions vec comes from
+        // an ascending-pid centroid scan), keeping the page-write
+        // stream deterministic (the crash-injection harness enumerates
+        // its operations). Each bucket keeps its rows in staged (vid)
+        // order for the codec append below.
+        let mut dest: std::collections::BTreeMap<usize, Vec<(i64, i64, Vec<f32>)>> =
+            std::collections::BTreeMap::new();
+        for (vid, asset, vec) in staged {
+            let (ci, _) = clustering.nearest(&vec);
             let pid = partitions[ci];
             inner.tables.vectors.delete(
                 &mut txn,
-                &[Value::Integer(DELTA_PARTITION), Value::Integer(*vid)],
+                &[Value::Integer(DELTA_PARTITION), Value::Integer(vid)],
             )?;
             inner.tables.vectors.upsert(
                 &mut txn,
                 vec![
                     Value::Integer(pid),
-                    Value::Integer(*vid),
-                    Value::Integer(*asset),
-                    Value::Blob(f32_to_blob(vec)),
+                    Value::Integer(vid),
+                    Value::Integer(asset),
+                    Value::Blob(f32_to_blob(&vec)),
                 ],
             )?;
             inner.tables.assets.upsert(
                 &mut txn,
                 vec![
-                    Value::Integer(*asset),
+                    Value::Integer(asset),
                     Value::Integer(pid),
-                    Value::Integer(*vid),
+                    Value::Integer(vid),
                 ],
             )?;
             inner
@@ -201,15 +235,15 @@ impl MicroNN {
             let m = sizes[ci];
             let centroid = clustering.centroid_mut(ci);
             let eta = 1.0 / (m as f32 + 1.0);
-            for (cv, xv) in centroid.iter_mut().zip(vec) {
+            for (cv, xv) in centroid.iter_mut().zip(&vec) {
                 *cv += eta * (xv - *cv);
             }
             sizes[ci] = m + 1;
-            touched.insert(ci);
+            dest.entry(ci).or_default().push((vid, asset, vec));
         }
 
         // Persist the moved centroids and sizes.
-        for &ci in &touched {
+        for &ci in dest.keys() {
             inner.tables.centroids.upsert(
                 &mut txn,
                 vec![
@@ -222,34 +256,63 @@ impl MicroNN {
                 .row_changes
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        // Codec-aware epilogue: each touched partition's content
-        // changed, so its quantization ranges are retrained and its
-        // codes rewritten. Ranges always reflect the partition's
-        // current members; stale-range drift cannot accumulate across
-        // maintenance cycles.
+        // Codec-aware epilogue: the rows just moved into each touched
+        // partition are encoded *under its existing ranges* — a flush
+        // is incremental, so it must not pay a full per-partition
+        // retrain. Rows that clamp against the stored ranges feed the
+        // per-partition drift counters (after commit); the maintainer
+        // retrains a partition once its clamped fraction crosses
+        // `Config::range_drift_limit`. A partition with no stored
+        // ranges yet (first flush after its creation) gets a full
+        // encode, which trains them.
+        let mut drift_updates: Vec<(i64, u64, u64)> = Vec::new();
         if inner.quantized() {
-            let mut encoded = 0usize;
-            for &ci in &touched {
-                encoded += crate::codec::encode_partition(
-                    &mut txn,
-                    &inner.tables,
-                    inner.dim,
-                    partitions[ci],
-                )?;
+            let mut code_rows = 0usize;
+            for (&ci, rows) in &dest {
+                let pid = partitions[ci];
+                match crate::codec::load_params(&txn, &inner.tables, pid, inner.dim)? {
+                    Some(params) => {
+                        let (appended, clamped) = crate::codec::append_partition(
+                            &mut txn,
+                            &inner.tables,
+                            inner.cfg.codec,
+                            inner.dim,
+                            pid,
+                            &params,
+                            rows,
+                        )?;
+                        code_rows += appended;
+                        drift_updates.push((pid, clamped as u64, appended as u64));
+                    }
+                    None => {
+                        code_rows += 1 + crate::codec::encode_partition(
+                            &mut txn,
+                            &inner.tables,
+                            inner.cfg.codec,
+                            inner.dim,
+                            pid,
+                        )?;
+                    }
+                }
             }
-            inner.row_changes.fetch_add(
-                encoded as u64 + touched.len() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+            inner
+                .row_changes
+                .fetch_add(code_rows as u64, std::sync::atomic::Ordering::Relaxed);
         }
         set_meta_int(&mut txn, &inner.tables.meta, M_DELTA_COUNT, 0)?;
         let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
         set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
+        let partitions_touched = dest.len();
         txn.commit()?;
+        // Drift counters reflect only committed appends: fold them in
+        // after the transaction is durable.
+        for (pid, clamped, appended) in drift_updates {
+            inner.note_drift(pid, clamped, appended);
+        }
 
         Ok(FlushReport {
-            flushed: staged.len(),
-            partitions_touched: touched.len(),
+            flushed,
+            partitions_touched,
             total_time: start.elapsed(),
         })
     }
@@ -303,7 +366,67 @@ impl MicroNN {
         if growing {
             return Ok((MaintenanceStatus::NeedsRebuild, None));
         }
+        // Quantizer range drift is the cheapest concern: only consulted
+        // once sizes are healthy. The candidate may be stale (partition
+        // retired since its counter accumulated); `retrain_partition`
+        // self-heals by discarding the counter.
+        if inner.quantized() {
+            if let Some((pid, _)) = inner.drift_candidate(inner.cfg.range_drift_limit) {
+                return Ok((MaintenanceStatus::NeedsRetrain, Some(pid)));
+            }
+        }
         Ok((MaintenanceStatus::Healthy, None))
+    }
+
+    /// Retrains one partition's quantization ranges from its current
+    /// f32 members and rewrites its codes — the maintainer's response
+    /// to range drift (too many flushed rows clamping against stored
+    /// ranges). A retired partition is a no-op that discards the stale
+    /// drift counter. Errors on non-quantized catalogs.
+    pub fn retrain_partition(&self, partition: i64) -> Result<RetrainReport> {
+        let start = std::time::Instant::now();
+        let inner = &*self.inner;
+        if !inner.quantized() {
+            return Err(Error::Config(
+                "codec f32 has no quantization ranges to retrain".into(),
+            ));
+        }
+        let mut txn = inner.db.begin_write()?;
+        if inner
+            .tables
+            .centroids
+            .get(&txn, &[Value::Integer(partition)])?
+            .is_none()
+        {
+            // Partition retired (split/merge/rebuild) after its drift
+            // counter accumulated: nothing to retrain.
+            txn.rollback();
+            inner.reset_drift(partition);
+            return Ok(RetrainReport {
+                partition,
+                encoded: 0,
+                total_time: start.elapsed(),
+            });
+        }
+        let encoded = crate::codec::encode_partition(
+            &mut txn,
+            &inner.tables,
+            inner.cfg.codec,
+            inner.dim,
+            partition,
+        )?;
+        let epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
+        set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, epoch + 1)?;
+        inner
+            .row_changes
+            .fetch_add(encoded as u64 + 1, std::sync::atomic::Ordering::Relaxed);
+        txn.commit()?;
+        inner.reset_drift(partition);
+        Ok(RetrainReport {
+            partition,
+            encoded,
+            total_time: start.elapsed(),
+        })
     }
 
     /// Runs maintenance until the monitor reports a healthy index (or a
@@ -359,9 +482,21 @@ impl MicroNN {
                     Err(Error::Config(_)) if stale < MAX_STALE_RETRIES => stale += 1,
                     Err(e) => return Err(e),
                 },
+                (MaintenanceStatus::NeedsRetrain, Some(pid)) => {
+                    // Safe against stale candidates: a retired
+                    // partition is a no-op that clears its counter, so
+                    // the next verdict moves on.
+                    actions.push(MaintenanceAction::Retrained(self.retrain_partition(pid)?));
+                    stale = 0;
+                }
                 // The verdict never reports a lifecycle status without
                 // its candidate.
-                (MaintenanceStatus::NeedsSplit | MaintenanceStatus::NeedsMerge, None) => break,
+                (
+                    MaintenanceStatus::NeedsSplit
+                    | MaintenanceStatus::NeedsMerge
+                    | MaintenanceStatus::NeedsRetrain,
+                    None,
+                ) => break,
             }
             (status, candidate) = self.maintenance_verdict()?;
         }

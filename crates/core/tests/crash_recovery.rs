@@ -18,8 +18,8 @@
 //! * the database accepts new writes after recovery.
 //!
 //! The workload covers upsert, delete, delta flush, partition split,
-//! partition merge, checkpoint, and full rebuild, under both the F32
-//! and SQ8 codecs. `MICRONN_CRASH_POINTS` bounds the number of
+//! partition merge, checkpoint, and full rebuild, under the F32, SQ8,
+//! and SQ4 codecs. `MICRONN_CRASH_POINTS` bounds the number of
 //! injection points per run (`0` / unset = every point), mirroring the
 //! `MICRONN_CHURN_OPS` pattern, so CI stays fast while local runs can
 //! be exhaustive.
@@ -297,6 +297,15 @@ fn crash_loop_f32() {
 #[test]
 fn crash_loop_sq8() {
     crash_loop(VectorCodec::Sq8);
+}
+
+#[test]
+fn crash_loop_sq4() {
+    // The SQ4 read-modify-write block appends (flush filling
+    // tombstoned slots) ride the same transactions as the rows they
+    // mirror, so every injection point must recover to a catalog the
+    // fsck block-walk accepts.
+    crash_loop(VectorCodec::Sq4);
 }
 
 /// Same seed → same failure: the whole crash enumeration is

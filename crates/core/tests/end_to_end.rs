@@ -385,10 +385,11 @@ fn monitor_triggers_flush_then_growth_rebuild() {
                 db.flush_delta().unwrap();
             }
             MaintenanceStatus::Healthy => {}
-            // Lifecycle is disabled in this test.
+            // Lifecycle is disabled in this test; F32 never retrains.
             MaintenanceStatus::NeedsBuild
             | MaintenanceStatus::NeedsSplit
-            | MaintenanceStatus::NeedsMerge => unreachable!(),
+            | MaintenanceStatus::NeedsMerge
+            | MaintenanceStatus::NeedsRetrain => unreachable!(),
         }
         // Growth check also applies post-flush.
         if db.maintenance_status().unwrap() == MaintenanceStatus::NeedsRebuild {

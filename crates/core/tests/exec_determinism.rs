@@ -145,6 +145,15 @@ fn workers_1_and_8_bit_identical_sq8() {
     workers_are_bit_identical(VectorCodec::Sq8);
 }
 
+#[test]
+fn workers_1_and_8_bit_identical_sq4() {
+    // Integer LUT scoring is bit-identical across worker counts *and*
+    // across SIMD backends (the kernels accumulate the same u16 sums);
+    // CI re-runs this suite with MICRONN_KERNELS=scalar to pin the
+    // cross-dispatch half of the invariant.
+    workers_are_bit_identical(VectorCodec::Sq4);
+}
+
 /// Returns the two smallest indexed (non-delta) partition ids.
 fn two_smallest_partitions(db: &MicroNN) -> (i64, i64) {
     let raw = db.database();

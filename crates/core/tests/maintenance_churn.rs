@@ -443,6 +443,7 @@ fn flush_chains_into_split_within_one_report() {
                 MaintenanceAction::Split(_) => "split",
                 MaintenanceAction::Merged(_) => "merge",
                 MaintenanceAction::Rebuilt(_) => "rebuild",
+                MaintenanceAction::Retrained(_) => "retrain",
             })
             .collect::<Vec<_>>()
     );

@@ -2,10 +2,12 @@
 //!
 //! The paper leverages "SIMD accelerated floating point operations
 //! during query processing" (§1) via a hardware linear-algebra library.
-//! These kernels achieve the same effect portably: fixed-width
-//! multi-accumulator loops that LLVM reliably autovectorizes to
-//! SSE/AVX/NEON, with batched variants that amortize the query vector
-//! across a whole partition scan.
+//! The public kernels here dispatch to the runtime-selected backend in
+//! [`crate::simd`] — hand-written AVX2/NEON where the CPU supports it,
+//! otherwise the scalar reference loops ([`crate::simd::scalar`]) that
+//! LLVM autovectorizes at the target baseline. Every backend is
+//! bit-identical, so callers never observe which one ran. Batched
+//! variants amortize the query vector across a whole partition scan.
 
 /// Distance metric of an index. The paper's datasets use L2 and cosine
 /// (Table 2); inner product is included for completeness (MIPS-style
@@ -79,44 +81,18 @@ impl std::fmt::Display for Metric {
     }
 }
 
-const LANES: usize = 8;
-
-/// Inner product `⟨a, b⟩`.
+/// Inner product `⟨a, b⟩` (runtime-dispatched, bit-identical across
+/// backends).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let n = a.len() - a.len() % LANES;
-    let mut acc = [0.0f32; LANES];
-    for (ca, cb) in a[..n].chunks_exact(LANES).zip(b[..n].chunks_exact(LANES)) {
-        for i in 0..LANES {
-            acc[i] += ca[i] * cb[i];
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in n..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    (crate::simd::kernels().dot)(a, b)
 }
 
-/// Squared Euclidean distance `‖a − b‖²`.
+/// Squared Euclidean distance `‖a − b‖²` (runtime-dispatched,
+/// bit-identical across backends).
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let n = a.len() - a.len() % LANES;
-    let mut acc = [0.0f32; LANES];
-    for (ca, cb) in a[..n].chunks_exact(LANES).zip(b[..n].chunks_exact(LANES)) {
-        for i in 0..LANES {
-            let d = ca[i] - cb[i];
-            acc[i] += d * d;
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in n..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    (crate::simd::kernels().l2_sq)(a, b)
 }
 
 /// Euclidean norm `‖a‖`.
@@ -160,6 +136,9 @@ pub fn distances_one_to_many(
 ) {
     debug_assert_eq!(query.len(), dim);
     debug_assert_eq!(rows.len() % dim.max(1), 0);
+    // Resolve the dispatch table once for the whole scan instead of
+    // per row.
+    let k = crate::simd::kernels();
     let qn = if metric.needs_norms() {
         norm(query)
     } else {
@@ -167,15 +146,15 @@ pub fn distances_one_to_many(
     };
     for row in rows.chunks_exact(dim) {
         let d = match metric {
-            Metric::L2 => l2_sq(query, row),
-            Metric::Dot => -dot(query, row),
+            Metric::L2 => (k.l2_sq)(query, row),
+            Metric::Dot => -(k.dot)(query, row),
             Metric::Cosine => {
-                let rn = norm(row);
+                let rn = (k.dot)(row, row).sqrt();
                 let denom = qn * rn;
                 if denom <= f32::EPSILON {
                     1.0
                 } else {
-                    1.0 - dot(query, row) / denom
+                    1.0 - (k.dot)(query, row) / denom
                 }
             }
         };

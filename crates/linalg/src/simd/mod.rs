@@ -1,0 +1,217 @@
+//! Runtime-dispatched SIMD kernels.
+//!
+//! The paper credits much of MicroNN's scan throughput to "SIMD
+//! accelerated floating point operations during query processing" (§1).
+//! This module supplies that acceleration portably: every hot kernel
+//! exists in a scalar reference form ([`scalar`]) and, where the build
+//! target supports it, a hand-written `std::arch` form (AVX2 on
+//! x86_64, NEON on aarch64). One [`Kernels`] table of function
+//! pointers is selected at first use — via
+//! `is_x86_feature_detected!("avx2")` on x86_64, unconditionally on
+//! aarch64 (NEON is baseline there) — and cached in a `OnceLock`.
+//!
+//! # Bit-identity contract
+//!
+//! The SIMD f32 and SQ8 kernels are **bit-identical** to the scalar
+//! reference, not merely close: the scalar loops already accumulate in
+//! eight independent lanes (`LANES = 8`), and the vector forms perform
+//! the same per-lane multiply-then-add sequence (no FMA contraction),
+//! reduce the eight partial sums in the same left-to-right order, and
+//! share the same scalar tail loop. The SQ4 kernel is integer-only
+//! (u8 lookups summed into u16), so it is exact on every backend by
+//! construction. Consequently query results do not depend on which
+//! backend the dispatcher picked — the proptests in
+//! `tests/proptest_linalg.rs` assert `f32::to_bits` equality across
+//! backends.
+//!
+//! # Forcing a backend
+//!
+//! Set `MICRONN_KERNELS=scalar` in the environment before first use to
+//! pin the portable reference path (CI runs the whole suite once per
+//! arm; benches use [`scalar_kernels`] directly for in-process A/B).
+
+pub mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use crate::sq4::SQ4_BLOCK;
+use std::sync::OnceLock;
+
+/// Signature of the fused SQ8 dot + decoded-norm kernel:
+/// `(qs, min, scale, codes) -> (dot, decoded ‖v‖²)`.
+pub type DotNormU8Fn = fn(&[f32], &[f32], &[f32], &[u8]) -> (f32, f32);
+
+/// Dispatch table of hot kernels, selected once per process.
+///
+/// All entries obey the bit-identity contract described in the
+/// [module docs](self): calling any entry through [`kernels`] or
+/// [`scalar_kernels`] yields the same bits.
+pub struct Kernels {
+    /// Name of the backend: `"avx2"`, `"neon"`, or `"scalar"`.
+    pub backend: &'static str,
+    /// Inner product `Σ aᵢ·bᵢ` (slices must have equal length).
+    pub dot: fn(&[f32], &[f32]) -> f32,
+    /// Squared Euclidean distance `Σ (aᵢ−bᵢ)²`.
+    pub l2_sq: fn(&[f32], &[f32]) -> f32,
+    /// Asymmetric SQ8 L2: `Σ (qmᵢ − scaleᵢ·cᵢ)²` against u8 codes.
+    pub l2_sq_u8: fn(&[f32], &[f32], &[u8]) -> f32,
+    /// Asymmetric SQ8 inner product `Σ qsᵢ·cᵢ` against u8 codes.
+    pub dot_u8: fn(&[f32], &[u8]) -> f32,
+    /// Fused SQ8 dot + decoded squared norm (cosine support).
+    pub dot_norm_u8: DotNormU8Fn,
+    /// SQ4 fastscan: per-row u16 LUT sums over one packed 32-row block.
+    ///
+    /// `(lut, packed, dim, out)` — `lut` holds 16 u8 entries per
+    /// dimension, `packed` is the register-interleaved nibble block
+    /// (`16·dim` bytes), and `out[j]` receives `Σ_d lut[d][code(j,d)]`
+    /// for each of the 32 rows. Integer-exact on every backend; LUT
+    /// construction (`crate::sq4`) guarantees the sums fit in u16.
+    pub sq4_accumulate: fn(&[u8], &[u8], usize, &mut [u16; SQ4_BLOCK]),
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels")
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+static SCALAR: Kernels = Kernels {
+    backend: "scalar",
+    dot: scalar::dot,
+    l2_sq: scalar::l2_sq,
+    l2_sq_u8: scalar::l2_sq_u8,
+    dot_u8: scalar::dot_u8,
+    dot_norm_u8: scalar::dot_norm_u8,
+    sq4_accumulate: scalar::sq4_accumulate,
+};
+
+/// The portable scalar reference table (always available).
+pub fn scalar_kernels() -> &'static Kernels {
+    &SCALAR
+}
+
+/// The process-wide kernel table, detected once on first call.
+///
+/// Honors `MICRONN_KERNELS=scalar` (checked only on the first call;
+/// later changes to the environment have no effect).
+pub fn kernels() -> &'static Kernels {
+    static SELECTED: OnceLock<&'static Kernels> = OnceLock::new();
+    SELECTED.get_or_init(select)
+}
+
+/// Name of the backend the dispatcher selected (`"avx2"`, `"neon"`,
+/// or `"scalar"`); benches print this in their headers.
+pub fn backend() -> &'static str {
+    kernels().backend
+}
+
+fn select() -> &'static Kernels {
+    if let Ok(v) = std::env::var("MICRONN_KERNELS") {
+        if v.eq_ignore_ascii_case("scalar") {
+            return &SCALAR;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return &x86::AVX2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is mandatory on aarch64; no runtime probe needed.
+        return &neon::NEON;
+    }
+    #[allow(unreachable_code)]
+    &SCALAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..dim)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_f32_kernels_are_bit_identical_to_scalar() {
+        let k = kernels();
+        let s = scalar_kernels();
+        for dim in [1usize, 3, 7, 8, 9, 16, 31, 64, 127, 768] {
+            let a = pseudo_vec(dim as u64 + 1, dim);
+            let b = pseudo_vec(dim as u64 + 2, dim);
+            assert_eq!(
+                (k.dot)(&a, &b).to_bits(),
+                (s.dot)(&a, &b).to_bits(),
+                "dot dim {dim} backend {}",
+                k.backend
+            );
+            assert_eq!(
+                (k.l2_sq)(&a, &b).to_bits(),
+                (s.l2_sq)(&a, &b).to_bits(),
+                "l2_sq dim {dim} backend {}",
+                k.backend
+            );
+        }
+    }
+
+    #[test]
+    fn dispatched_sq8_kernels_are_bit_identical_to_scalar() {
+        let k = kernels();
+        let s = scalar_kernels();
+        for dim in [1usize, 5, 8, 13, 32, 96, 129] {
+            let qm = pseudo_vec(dim as u64 + 3, dim);
+            let sc = pseudo_vec(dim as u64 + 4, dim);
+            let mn = pseudo_vec(dim as u64 + 5, dim);
+            let codes: Vec<u8> = (0..dim).map(|i| (i * 37 % 256) as u8).collect();
+            assert_eq!(
+                (k.l2_sq_u8)(&qm, &sc, &codes).to_bits(),
+                (s.l2_sq_u8)(&qm, &sc, &codes).to_bits(),
+                "l2_sq_u8 dim {dim}"
+            );
+            assert_eq!(
+                (k.dot_u8)(&qm, &codes).to_bits(),
+                (s.dot_u8)(&qm, &codes).to_bits(),
+                "dot_u8 dim {dim}"
+            );
+            let (d0, n0) = (k.dot_norm_u8)(&qm, &mn, &sc, &codes);
+            let (d1, n1) = (s.dot_norm_u8)(&qm, &mn, &sc, &codes);
+            assert_eq!(d0.to_bits(), d1.to_bits(), "dot_norm_u8 dot dim {dim}");
+            assert_eq!(n0.to_bits(), n1.to_bits(), "dot_norm_u8 norm dim {dim}");
+        }
+    }
+
+    #[test]
+    fn dispatched_sq4_sums_match_scalar_exactly() {
+        let k = kernels();
+        let s = scalar_kernels();
+        for dim in [1usize, 2, 7, 24, 96, 128] {
+            let lut: Vec<u8> = (0..dim * 16).map(|i| (i * 131 % 251) as u8).collect();
+            let packed: Vec<u8> = (0..dim * 16).map(|i| (i * 57 % 256) as u8).collect();
+            let mut a = [0u16; SQ4_BLOCK];
+            let mut b = [0u16; SQ4_BLOCK];
+            (k.sq4_accumulate)(&lut, &packed, dim, &mut a);
+            (s.sq4_accumulate)(&lut, &packed, dim, &mut b);
+            assert_eq!(a, b, "sq4 dim {dim} backend {}", k.backend);
+        }
+    }
+
+    #[test]
+    fn backend_name_is_reported() {
+        assert!(["avx2", "neon", "scalar"].contains(&backend()));
+    }
+}

@@ -1,0 +1,240 @@
+//! NEON kernels (aarch64).
+//!
+//! NEON is part of the aarch64 baseline, so the dispatcher installs
+//! this table unconditionally on that architecture. The bit-identity
+//! strategy matches the AVX2 backend: the scalar reference's eight
+//! accumulator lanes map onto two `float32x4_t` registers (lanes 0..4
+//! and 4..8), every step is an explicit multiply followed by an add
+//! (`vmulq_f32` + `vaddq_f32`, never `vfmaq_f32` — FMA would skip the
+//! intermediate rounding and break bit-identity), the reduction spills
+//! both registers to `[f32; 8]` and sums left-to-right, and the tail
+//! loop is the same scalar code. u8→f32 widening (`vmovl_u8` →
+//! `vmovl_u16` → `vcvtq_f32_u32`) is exact.
+//!
+//! The SQ4 kernel uses `vqtbl1q_u8` to look up all 16 low (then high)
+//! nibbles of a dimension's packed byte row in one shot, widening into
+//! four u16×8 accumulators (rows 0..8, 8..16, 16..24, 24..32).
+
+#![allow(unsafe_code)]
+
+use super::Kernels;
+use crate::sq4::SQ4_BLOCK;
+use core::arch::aarch64::*;
+
+pub(super) static NEON: Kernels = Kernels {
+    backend: "neon",
+    dot,
+    l2_sq,
+    l2_sq_u8,
+    dot_u8,
+    dot_norm_u8,
+    sq4_accumulate,
+};
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: NEON is baseline on aarch64.
+    unsafe { dot_impl(a, b) }
+}
+
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: as above.
+    unsafe { l2_sq_impl(a, b) }
+}
+
+fn l2_sq_u8(qm: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+    // SAFETY: as above.
+    unsafe { l2_sq_u8_impl(qm, scale, codes) }
+}
+
+fn dot_u8(qs: &[f32], codes: &[u8]) -> f32 {
+    // SAFETY: as above.
+    unsafe { dot_u8_impl(qs, codes) }
+}
+
+fn dot_norm_u8(qs: &[f32], min: &[f32], scale: &[f32], codes: &[u8]) -> (f32, f32) {
+    // SAFETY: as above.
+    unsafe { dot_norm_u8_impl(qs, min, scale, codes) }
+}
+
+fn sq4_accumulate(lut: &[u8], packed: &[u8], dim: usize, out: &mut [u16; SQ4_BLOCK]) {
+    // SAFETY: as above.
+    unsafe { sq4_accumulate_impl(lut, packed, dim, out) }
+}
+
+/// Spills the two 4-lane accumulators (scalar lanes 0..4 and 4..8)
+/// and reduces them in scalar lane order.
+#[target_feature(enable = "neon")]
+unsafe fn hsum(acc0: float32x4_t, acc1: float32x4_t) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    vst1q_f32(lanes.as_mut_ptr(), acc0);
+    vst1q_f32(lanes.as_mut_ptr().add(4), acc1);
+    lanes.iter().sum()
+}
+
+/// Widens u8 codes `p[0..4]` to f32 exactly.
+#[target_feature(enable = "neon")]
+unsafe fn load_codes4(p: *const u8) -> float32x4_t {
+    let mut four = [0u8; 8];
+    core::ptr::copy_nonoverlapping(p, four.as_mut_ptr(), 4);
+    let wide = vmovl_u16(vget_low_u16(vmovl_u8(vld1_u8(four.as_ptr()))));
+    vcvtq_f32_u32(wide)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_impl(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % 8;
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i < n {
+        let a0 = vld1q_f32(a.as_ptr().add(i));
+        let a1 = vld1q_f32(a.as_ptr().add(i + 4));
+        let b0 = vld1q_f32(b.as_ptr().add(i));
+        let b1 = vld1q_f32(b.as_ptr().add(i + 4));
+        acc0 = vaddq_f32(acc0, vmulq_f32(a0, b0));
+        acc1 = vaddq_f32(acc1, vmulq_f32(a1, b1));
+        i += 8;
+    }
+    let mut sum = hsum(acc0, acc1);
+    for j in n..a.len() {
+        sum += a[j] * b[j];
+    }
+    sum
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_impl(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % 8;
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i < n {
+        let d0 = vsubq_f32(vld1q_f32(a.as_ptr().add(i)), vld1q_f32(b.as_ptr().add(i)));
+        let d1 = vsubq_f32(
+            vld1q_f32(a.as_ptr().add(i + 4)),
+            vld1q_f32(b.as_ptr().add(i + 4)),
+        );
+        acc0 = vaddq_f32(acc0, vmulq_f32(d0, d0));
+        acc1 = vaddq_f32(acc1, vmulq_f32(d1, d1));
+        i += 8;
+    }
+    let mut sum = hsum(acc0, acc1);
+    for j in n..a.len() {
+        let d = a[j] - b[j];
+        sum += d * d;
+    }
+    sum
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_u8_impl(qm: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(qm.len(), codes.len());
+    debug_assert_eq!(scale.len(), codes.len());
+    let n = qm.len() - qm.len() % 8;
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i < n {
+        let c0 = load_codes4(codes.as_ptr().add(i));
+        let c1 = load_codes4(codes.as_ptr().add(i + 4));
+        let d0 = vsubq_f32(
+            vld1q_f32(qm.as_ptr().add(i)),
+            vmulq_f32(vld1q_f32(scale.as_ptr().add(i)), c0),
+        );
+        let d1 = vsubq_f32(
+            vld1q_f32(qm.as_ptr().add(i + 4)),
+            vmulq_f32(vld1q_f32(scale.as_ptr().add(i + 4)), c1),
+        );
+        acc0 = vaddq_f32(acc0, vmulq_f32(d0, d0));
+        acc1 = vaddq_f32(acc1, vmulq_f32(d1, d1));
+        i += 8;
+    }
+    let mut sum = hsum(acc0, acc1);
+    for j in n..qm.len() {
+        let d = qm[j] - scale[j] * codes[j] as f32;
+        sum += d * d;
+    }
+    sum
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_u8_impl(qs: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(qs.len(), codes.len());
+    let n = qs.len() - qs.len() % 8;
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i < n {
+        let c0 = load_codes4(codes.as_ptr().add(i));
+        let c1 = load_codes4(codes.as_ptr().add(i + 4));
+        acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(qs.as_ptr().add(i)), c0));
+        acc1 = vaddq_f32(acc1, vmulq_f32(vld1q_f32(qs.as_ptr().add(i + 4)), c1));
+        i += 8;
+    }
+    let mut sum = hsum(acc0, acc1);
+    for j in n..qs.len() {
+        sum += qs[j] * codes[j] as f32;
+    }
+    sum
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_norm_u8_impl(qs: &[f32], min: &[f32], scale: &[f32], codes: &[u8]) -> (f32, f32) {
+    debug_assert_eq!(qs.len(), codes.len());
+    let n = qs.len() - qs.len() % 8;
+    let mut dot0 = vdupq_n_f32(0.0);
+    let mut dot1 = vdupq_n_f32(0.0);
+    let mut norm0 = vdupq_n_f32(0.0);
+    let mut norm1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i < n {
+        let c0 = load_codes4(codes.as_ptr().add(i));
+        let c1 = load_codes4(codes.as_ptr().add(i + 4));
+        let x0 = vaddq_f32(
+            vld1q_f32(min.as_ptr().add(i)),
+            vmulq_f32(vld1q_f32(scale.as_ptr().add(i)), c0),
+        );
+        let x1 = vaddq_f32(
+            vld1q_f32(min.as_ptr().add(i + 4)),
+            vmulq_f32(vld1q_f32(scale.as_ptr().add(i + 4)), c1),
+        );
+        dot0 = vaddq_f32(dot0, vmulq_f32(vld1q_f32(qs.as_ptr().add(i)), c0));
+        dot1 = vaddq_f32(dot1, vmulq_f32(vld1q_f32(qs.as_ptr().add(i + 4)), c1));
+        norm0 = vaddq_f32(norm0, vmulq_f32(x0, x0));
+        norm1 = vaddq_f32(norm1, vmulq_f32(x1, x1));
+        i += 8;
+    }
+    let mut sum_dot = hsum(dot0, dot1);
+    let mut sum_norm = hsum(norm0, norm1);
+    for j in n..qs.len() {
+        let x = min[j] + scale[j] * codes[j] as f32;
+        sum_dot += qs[j] * codes[j] as f32;
+        sum_norm += x * x;
+    }
+    (sum_dot, sum_norm)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn sq4_accumulate_impl(lut: &[u8], packed: &[u8], dim: usize, out: &mut [u16; SQ4_BLOCK]) {
+    debug_assert_eq!(lut.len(), dim * 16);
+    debug_assert_eq!(packed.len(), dim * 16);
+    let low_mask = vdupq_n_u8(0x0F);
+    let mut acc = [vdupq_n_u16(0); 4];
+    for d in 0..dim {
+        let code_bytes = vld1q_u8(packed.as_ptr().add(d * 16));
+        let table = vld1q_u8(lut.as_ptr().add(d * 16));
+        let lo = vandq_u8(code_bytes, low_mask);
+        let hi = vshrq_n_u8(code_bytes, 4);
+        let vals_lo = vqtbl1q_u8(table, lo); // rows 0..16
+        let vals_hi = vqtbl1q_u8(table, hi); // rows 16..32
+        acc[0] = vaddw_u8(acc[0], vget_low_u8(vals_lo));
+        acc[1] = vaddw_u8(acc[1], vget_high_u8(vals_lo));
+        acc[2] = vaddw_u8(acc[2], vget_low_u8(vals_hi));
+        acc[3] = vaddw_u8(acc[3], vget_high_u8(vals_hi));
+    }
+    for (q, a) in acc.iter().enumerate() {
+        vst1q_u16(out.as_mut_ptr().add(q * 8), *a);
+    }
+}

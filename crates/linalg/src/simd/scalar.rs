@@ -1,0 +1,151 @@
+//! Portable scalar reference kernels.
+//!
+//! These are the fixed-width multi-accumulator loops the crate shipped
+//! with before runtime dispatch existed; LLVM autovectorizes them at
+//! the target baseline (SSE2 on x86_64). They remain the semantic
+//! ground truth: every SIMD backend must reproduce their results
+//! bit-for-bit (see the [module docs](super) for why that holds).
+
+use crate::sq4::SQ4_BLOCK;
+
+/// Accumulator width. Eight lanes matches one AVX2 register of f32
+/// (and two NEON registers), which is what makes the vector forms
+/// bit-identical: each vector lane replays exactly one scalar lane.
+pub(crate) const LANES: usize = 8;
+
+/// Inner product `Σ aᵢ·bᵢ`. Slices must have equal length.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..n].chunks_exact(LANES).zip(b[..n].chunks_exact(LANES)) {
+        for i in 0..LANES {
+            acc[i] += ca[i] * cb[i];
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in n..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Squared Euclidean distance `Σ (aᵢ−bᵢ)²`.
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (ca, cb) in a[..n].chunks_exact(LANES).zip(b[..n].chunks_exact(LANES)) {
+        for i in 0..LANES {
+            let d = ca[i] - cb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in n..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Asymmetric L2 between a prepared query (`qm = query − min`) and one
+/// u8 code row: `Σ (qmᵢ − scaleᵢ·cᵢ)²`.
+pub fn l2_sq_u8(qm: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(qm.len(), codes.len());
+    debug_assert_eq!(scale.len(), codes.len());
+    let n = qm.len() - qm.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for ((cq, cs), cc) in qm[..n]
+        .chunks_exact(LANES)
+        .zip(scale[..n].chunks_exact(LANES))
+        .zip(codes[..n].chunks_exact(LANES))
+    {
+        for i in 0..LANES {
+            let d = cq[i] - cs[i] * cc[i] as f32;
+            acc[i] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in n..qm.len() {
+        let d = qm[i] - scale[i] * codes[i] as f32;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Asymmetric inner product between a prepared query (`qs = query ·
+/// scale`, element-wise) and one u8 code row: `Σ qsᵢ·cᵢ`.
+pub fn dot_u8(qs: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(qs.len(), codes.len());
+    let n = qs.len() - qs.len() % LANES;
+    let mut acc = [0.0f32; LANES];
+    for (cq, cc) in qs[..n]
+        .chunks_exact(LANES)
+        .zip(codes[..n].chunks_exact(LANES))
+    {
+        for i in 0..LANES {
+            acc[i] += cq[i] * cc[i] as f32;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in n..qs.len() {
+        sum += qs[i] * codes[i] as f32;
+    }
+    sum
+}
+
+/// Fused asymmetric inner product and decoded squared norm for cosine:
+/// returns `(Σ qsᵢ·cᵢ, Σ (minᵢ + scaleᵢ·cᵢ)²)` in one pass.
+pub fn dot_norm_u8(qs: &[f32], min: &[f32], scale: &[f32], codes: &[u8]) -> (f32, f32) {
+    debug_assert_eq!(qs.len(), codes.len());
+    let n = qs.len() - qs.len() % LANES;
+    let mut acc_dot = [0.0f32; LANES];
+    let mut acc_norm = [0.0f32; LANES];
+    for (((cq, cm), cs), cc) in qs[..n]
+        .chunks_exact(LANES)
+        .zip(min[..n].chunks_exact(LANES))
+        .zip(scale[..n].chunks_exact(LANES))
+        .zip(codes[..n].chunks_exact(LANES))
+    {
+        for i in 0..LANES {
+            let x = cm[i] + cs[i] * cc[i] as f32;
+            acc_dot[i] += cq[i] * cc[i] as f32;
+            acc_norm[i] += x * x;
+        }
+    }
+    let mut sum_dot: f32 = acc_dot.iter().sum();
+    let mut sum_norm: f32 = acc_norm.iter().sum();
+    for i in n..qs.len() {
+        let x = min[i] + scale[i] * codes[i] as f32;
+        sum_dot += qs[i] * codes[i] as f32;
+        sum_norm += x * x;
+    }
+    (sum_dot, sum_norm)
+}
+
+/// SQ4 fastscan reference: per-row u16 LUT sums over one packed block.
+///
+/// `lut` holds 16 u8 entries per dimension (`16·dim` bytes), `packed`
+/// is the register-interleaved block from [`crate::sq4`]: for each
+/// dimension `d`, byte `d·16 + j` carries row `j`'s code in its low
+/// nibble and row `j+16`'s code in its high nibble. `out[j]` is
+/// overwritten with `Σ_d lut[d·16 + code(j, d)]`.
+///
+/// Plain (non-wrapping) u16 additions: [`crate::sq4`] picks the LUT
+/// quantization step so that `Σ_d max_c lut[d][c] ≤ 65535`, which
+/// bounds the sum for *any* code row, valid or corrupt.
+pub fn sq4_accumulate(lut: &[u8], packed: &[u8], dim: usize, out: &mut [u16; SQ4_BLOCK]) {
+    debug_assert_eq!(lut.len(), dim * 16);
+    debug_assert_eq!(packed.len(), dim * 16);
+    *out = [0u16; SQ4_BLOCK];
+    for d in 0..dim {
+        let l = &lut[d * 16..d * 16 + 16];
+        let p = &packed[d * 16..d * 16 + 16];
+        for j in 0..16 {
+            let b = p[j];
+            out[j] += l[(b & 0x0F) as usize] as u16;
+            out[j + 16] += l[(b >> 4) as usize] as u16;
+        }
+    }
+}

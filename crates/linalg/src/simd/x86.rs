@@ -1,0 +1,222 @@
+//! AVX2 kernels (x86_64).
+//!
+//! Installed by the dispatcher only after
+//! `is_x86_feature_detected!("avx2")` succeeds. Each kernel mirrors
+//! the scalar reference lane-for-lane: the eight f32 accumulator lanes
+//! of one `__m256` replay the eight scalar `acc[i]` lanes with the same
+//! multiply-then-add sequence (deliberately *not* `_mm256_fmadd_ps` —
+//! FMA skips the intermediate rounding the scalar loop performs and
+//! would break bit-identity), the horizontal reduction spills to
+//! `[f32; 8]` and sums left-to-right like `acc.iter().sum()`, and the
+//! tail loop is the same scalar code. u8→f32 widening uses
+//! `_mm256_cvtepu8_epi32` + `_mm256_cvtepi32_ps`, both exact.
+//!
+//! The SQ4 kernel is the fastscan shuffle: 16 packed code bytes hold
+//! one dimension of all 32 rows (low nibbles = rows 0..16, high
+//! nibbles = rows 16..32); `_mm256_shuffle_epi8` looks up all 32
+//! 4-bit codes in the broadcast 16-entry LUT at once, and the u8
+//! values widen into two u16×16 accumulators. Integer math — exact by
+//! construction, no rounding concerns.
+
+#![allow(unsafe_code)]
+
+use super::Kernels;
+use crate::sq4::SQ4_BLOCK;
+use core::arch::x86_64::*;
+
+pub(super) static AVX2: Kernels = Kernels {
+    backend: "avx2",
+    dot,
+    l2_sq,
+    l2_sq_u8,
+    dot_u8,
+    dot_norm_u8,
+    sq4_accumulate,
+};
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: this table is only installed after AVX2 detection.
+    unsafe { dot_impl(a, b) }
+}
+
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: as above.
+    unsafe { l2_sq_impl(a, b) }
+}
+
+fn l2_sq_u8(qm: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+    // SAFETY: as above.
+    unsafe { l2_sq_u8_impl(qm, scale, codes) }
+}
+
+fn dot_u8(qs: &[f32], codes: &[u8]) -> f32 {
+    // SAFETY: as above.
+    unsafe { dot_u8_impl(qs, codes) }
+}
+
+fn dot_norm_u8(qs: &[f32], min: &[f32], scale: &[f32], codes: &[u8]) -> (f32, f32) {
+    // SAFETY: as above.
+    unsafe { dot_norm_u8_impl(qs, min, scale, codes) }
+}
+
+fn sq4_accumulate(lut: &[u8], packed: &[u8], dim: usize, out: &mut [u16; SQ4_BLOCK]) {
+    // SAFETY: as above.
+    unsafe { sq4_accumulate_impl(lut, packed, dim, out) }
+}
+
+/// Spills an 8-lane accumulator and reduces it in scalar lane order.
+#[target_feature(enable = "avx2")]
+unsafe fn hsum(acc: __m256) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    lanes.iter().sum()
+}
+
+/// Widens 8 u8 codes (loaded from `p`) to f32 exactly.
+#[target_feature(enable = "avx2")]
+unsafe fn load_codes8(p: *const u8) -> __m256 {
+    let bytes = _mm_loadl_epi64(p as *const __m128i);
+    _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_impl(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % 8;
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        i += 8;
+    }
+    let mut sum = hsum(acc);
+    for j in n..a.len() {
+        sum += a[j] * b[j];
+    }
+    sum
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn l2_sq_impl(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % 8;
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        let d = _mm256_sub_ps(va, vb);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        i += 8;
+    }
+    let mut sum = hsum(acc);
+    for j in n..a.len() {
+        let d = a[j] - b[j];
+        sum += d * d;
+    }
+    sum
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn l2_sq_u8_impl(qm: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(qm.len(), codes.len());
+    debug_assert_eq!(scale.len(), codes.len());
+    let n = qm.len() - qm.len() % 8;
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n {
+        let vq = _mm256_loadu_ps(qm.as_ptr().add(i));
+        let vs = _mm256_loadu_ps(scale.as_ptr().add(i));
+        let vc = load_codes8(codes.as_ptr().add(i));
+        let d = _mm256_sub_ps(vq, _mm256_mul_ps(vs, vc));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        i += 8;
+    }
+    let mut sum = hsum(acc);
+    for j in n..qm.len() {
+        let d = qm[j] - scale[j] * codes[j] as f32;
+        sum += d * d;
+    }
+    sum
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8_impl(qs: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(qs.len(), codes.len());
+    let n = qs.len() - qs.len() % 8;
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n {
+        let vq = _mm256_loadu_ps(qs.as_ptr().add(i));
+        let vc = load_codes8(codes.as_ptr().add(i));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(vq, vc));
+        i += 8;
+    }
+    let mut sum = hsum(acc);
+    for j in n..qs.len() {
+        sum += qs[j] * codes[j] as f32;
+    }
+    sum
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_norm_u8_impl(qs: &[f32], min: &[f32], scale: &[f32], codes: &[u8]) -> (f32, f32) {
+    debug_assert_eq!(qs.len(), codes.len());
+    let n = qs.len() - qs.len() % 8;
+    let mut acc_dot = _mm256_setzero_ps();
+    let mut acc_norm = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < n {
+        let vq = _mm256_loadu_ps(qs.as_ptr().add(i));
+        let vm = _mm256_loadu_ps(min.as_ptr().add(i));
+        let vs = _mm256_loadu_ps(scale.as_ptr().add(i));
+        let vc = load_codes8(codes.as_ptr().add(i));
+        let x = _mm256_add_ps(vm, _mm256_mul_ps(vs, vc));
+        acc_dot = _mm256_add_ps(acc_dot, _mm256_mul_ps(vq, vc));
+        acc_norm = _mm256_add_ps(acc_norm, _mm256_mul_ps(x, x));
+        i += 8;
+    }
+    let mut sum_dot = hsum(acc_dot);
+    let mut sum_norm = hsum(acc_norm);
+    for j in n..qs.len() {
+        let x = min[j] + scale[j] * codes[j] as f32;
+        sum_dot += qs[j] * codes[j] as f32;
+        sum_norm += x * x;
+    }
+    (sum_dot, sum_norm)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn sq4_accumulate_impl(lut: &[u8], packed: &[u8], dim: usize, out: &mut [u16; SQ4_BLOCK]) {
+    debug_assert_eq!(lut.len(), dim * 16);
+    debug_assert_eq!(packed.len(), dim * 16);
+    let low_mask = _mm256_set1_epi8(0x0F);
+    let zero = _mm256_setzero_si256();
+    let mut acc_lo = zero;
+    let mut acc_hi = zero;
+    for d in 0..dim {
+        let code_bytes = _mm_loadu_si128(packed.as_ptr().add(d * 16) as *const __m128i);
+        let lut_row = _mm_loadu_si128(lut.as_ptr().add(d * 16) as *const __m128i);
+        let lut2 = _mm256_broadcastsi128_si256(lut_row);
+        // Lane 0 = low nibbles (rows 0..16), lane 1 = high nibbles
+        // (rows 16..32); mask after combining so one AND serves both.
+        let hi = _mm_srli_epi16(code_bytes, 4);
+        let idx = _mm256_and_si256(_mm256_set_m128i(hi, code_bytes), low_mask);
+        let vals = _mm256_shuffle_epi8(lut2, idx);
+        // unpack{lo,hi}_epi8 interleave within each 128-bit lane, so
+        // acc_lo carries rows 0..8 | 16..24 and acc_hi rows 8..16 |
+        // 24..32 as u16; the spill below undoes that mapping.
+        acc_lo = _mm256_add_epi16(acc_lo, _mm256_unpacklo_epi8(vals, zero));
+        acc_hi = _mm256_add_epi16(acc_hi, _mm256_unpackhi_epi8(vals, zero));
+    }
+    let mut lo16 = [0u16; 16];
+    let mut hi16 = [0u16; 16];
+    _mm256_storeu_si256(lo16.as_mut_ptr() as *mut __m256i, acc_lo);
+    _mm256_storeu_si256(hi16.as_mut_ptr() as *mut __m256i, acc_hi);
+    out[..8].copy_from_slice(&lo16[..8]);
+    out[8..16].copy_from_slice(&hi16[..8]);
+    out[16..24].copy_from_slice(&lo16[8..]);
+    out[24..32].copy_from_slice(&hi16[8..]);
+}

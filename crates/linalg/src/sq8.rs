@@ -8,14 +8,16 @@
 //! against u8 codes by folding the affine decode `min_d + scale_d·c_d`
 //! into per-dimension coefficients prepared once per (query,
 //! partition), so the inner loop over codes is a fixed-width
-//! multi-accumulator sum that LLVM autovectorizes (u8 → f32 widening
-//! plus fused multiply-adds).
+//! multi-accumulator sum served by the runtime-dispatched kernels in
+//! [`crate::simd`] (AVX2/NEON with u8 → f32 widening, or the scalar
+//! reference — all backends produce bit-identical results).
 //!
 //! Quantized distances are approximations; callers keep an enlarged
 //! candidate pool and re-rank the survivors against the exact f32
 //! vectors.
 
-use crate::distance::{dot, norm, Metric};
+use crate::distance::Metric;
+use crate::simd::{self, Kernels};
 
 /// Quantization levels per dimension (u8 codes).
 pub const SQ8_LEVELS: u32 = 255;
@@ -35,7 +37,16 @@ impl Sq8Params {
     /// must be a multiple of `dim`). An empty matrix yields the
     /// degenerate all-zero range.
     pub fn train(data: &[f32], dim: usize) -> Sq8Params {
+        Sq8Params::train_with_levels(data, dim, SQ8_LEVELS)
+    }
+
+    /// [`Sq8Params::train`] generalized over the number of code levels
+    /// (255 for SQ8, 15 for the SQ4 codec in [`crate::sq4`]): a single
+    /// fused min/max pass over the data, then one pass over dimensions
+    /// to derive steps.
+    pub fn train_with_levels(data: &[f32], dim: usize, levels: u32) -> Sq8Params {
         debug_assert_eq!(data.len() % dim.max(1), 0);
+        debug_assert!(levels > 0);
         let mut min = vec![f32::INFINITY; dim];
         let mut max = vec![f32::NEG_INFINITY; dim];
         for row in data.chunks_exact(dim) {
@@ -57,7 +68,7 @@ impl Sq8Params {
             }
             // Divide before subtracting: `max − min` itself can
             // overflow to infinity for extreme finite ranges.
-            let step = max[d] / SQ8_LEVELS as f32 - min[d] / SQ8_LEVELS as f32;
+            let step = max[d] / levels as f32 - min[d] / levels as f32;
             scale[d] = if step > 0.0 && step.is_finite() {
                 step
             } else {
@@ -75,16 +86,39 @@ impl Sq8Params {
     /// Encodes `v` into codes appended to `out`. Values outside the
     /// trained range clamp to the nearest representable code (the
     /// exact re-rank pass absorbs the resulting error).
+    ///
+    /// Canonical quantization formula: `((x − min) · (1/scale))
+    /// .round()`, clamped — multiply by the reciprocal, exactly like
+    /// the bulk [`Sq8Encoder`], so that both paths produce identical
+    /// codes (reciprocal-multiply and division round differently in
+    /// f32; fsck's bit-exact re-encode check relies on there being
+    /// only one formula).
     pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
         debug_assert_eq!(v.len(), self.dim());
         out.reserve(v.len());
         for ((&x, &min), &scale) in v.iter().zip(&self.min).zip(&self.scale) {
             let c = if scale > 0.0 {
-                ((x - min) / scale).round()
+                ((x - min) * (1.0 / scale)).round()
             } else {
                 0.0
             };
             out.push(c.clamp(0.0, SQ8_LEVELS as f32) as u8);
+        }
+    }
+
+    /// Builds a bulk encoder with the per-dimension reciprocals
+    /// hoisted out of the row loop (`levels` = 255 for SQ8, 15 for
+    /// SQ4). Produces codes bit-identical to
+    /// [`Sq8Params::encode_into`] (for `levels = 255`).
+    pub fn encoder(&self, levels: u32) -> Sq8Encoder {
+        Sq8Encoder {
+            min: self.min.clone(),
+            inv: self
+                .scale
+                .iter()
+                .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+                .collect(),
+            levels: levels as f32,
         }
     }
 
@@ -104,86 +138,72 @@ impl Sq8Params {
     }
 }
 
-const LANES: usize = 8;
+/// Bulk row encoder with precomputed per-dimension reciprocals.
+///
+/// Encoding a partition divides by `scale` once per element in the
+/// naive form; flush/rebuild profiles show that division. This form
+/// multiplies by a hoisted `1/scale` instead — the *same* reciprocal
+/// multiply [`Sq8Params::encode_into`] performs per element, so both
+/// produce bit-identical codes. It also reports whether any dimension
+/// clamped, which feeds the maintainer's quantizer range-drift
+/// detection.
+#[derive(Debug, Clone)]
+pub struct Sq8Encoder {
+    min: Vec<f32>,
+    /// `1/scale` per dimension; `0` for constant dimensions.
+    inv: Vec<f32>,
+    /// Highest representable code (255 for SQ8, 15 for SQ4).
+    levels: f32,
+}
+
+impl Sq8Encoder {
+    /// Encodes one row, appending `dim` codes to `out`. Returns `true`
+    /// if any dimension fell outside the trained range and clamped
+    /// (out-of-range against a zero-width range counts too).
+    pub fn encode_row(&self, v: &[f32], out: &mut Vec<u8>) -> bool {
+        debug_assert_eq!(v.len(), self.min.len());
+        out.reserve(v.len());
+        let mut clamped = false;
+        for ((&x, &min), &inv) in v.iter().zip(&self.min).zip(&self.inv) {
+            let c = if inv > 0.0 {
+                let c = ((x - min) * inv).round();
+                clamped |= c < 0.0 || c > self.levels;
+                c
+            } else {
+                clamped |= x != min;
+                0.0
+            };
+            out.push(c.clamp(0.0, self.levels) as u8);
+        }
+        clamped
+    }
+}
 
 /// Asymmetric squared-L2 between a prepared query and u8 codes:
 /// `Σ_d (qm_d − scale_d·c_d)²` where `qm_d = q_d − min_d`. Folding the
 /// partition's `min` into the query keeps the decode out of the inner
-/// loop.
+/// loop. Dispatches to the runtime-selected backend ([`crate::simd`]);
+/// all backends are bit-identical.
 #[inline]
 pub fn l2_sq_u8(qm: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
-    debug_assert_eq!(qm.len(), codes.len());
-    debug_assert_eq!(scale.len(), codes.len());
-    let n = codes.len() - codes.len() % LANES;
-    let mut acc = [0.0f32; LANES];
-    for ((cq, cs), cc) in qm[..n]
-        .chunks_exact(LANES)
-        .zip(scale[..n].chunks_exact(LANES))
-        .zip(codes[..n].chunks_exact(LANES))
-    {
-        for i in 0..LANES {
-            let d = cq[i] - cs[i] * cc[i] as f32;
-            acc[i] += d * d;
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in n..codes.len() {
-        let d = qm[i] - scale[i] * codes[i] as f32;
-        sum += d * d;
-    }
-    sum
+    (simd::kernels().l2_sq_u8)(qm, scale, codes)
 }
 
 /// Asymmetric inner-product partial `Σ_d qs_d·c_d` where `qs_d =
 /// q_d·scale_d`; the caller adds the constant `⟨q, min⟩` term.
+/// Runtime-dispatched like [`l2_sq_u8`].
 #[inline]
 pub fn dot_u8(qs: &[f32], codes: &[u8]) -> f32 {
-    debug_assert_eq!(qs.len(), codes.len());
-    let n = codes.len() - codes.len() % LANES;
-    let mut acc = [0.0f32; LANES];
-    for (cq, cc) in qs[..n]
-        .chunks_exact(LANES)
-        .zip(codes[..n].chunks_exact(LANES))
-    {
-        for i in 0..LANES {
-            acc[i] += cq[i] * cc[i] as f32;
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in n..codes.len() {
-        sum += qs[i] * codes[i] as f32;
-    }
-    sum
+    (simd::kernels().dot_u8)(qs, codes)
 }
 
 /// One pass computing both `Σ_d qs_d·c_d` (the variable part of
 /// `⟨q, decode(c)⟩`) and `Σ_d (min_d + scale_d·c_d)²` (the decoded
 /// vector's squared norm) — the two ingredients of cosine distance.
+/// Runtime-dispatched like [`l2_sq_u8`].
 #[inline]
 pub fn dot_norm_u8(qs: &[f32], min: &[f32], scale: &[f32], codes: &[u8]) -> (f32, f32) {
-    debug_assert_eq!(qs.len(), codes.len());
-    let n = codes.len() - codes.len() % LANES;
-    let mut acc_dot = [0.0f32; LANES];
-    let mut acc_norm = [0.0f32; LANES];
-    for (((cq, cm), cs), cc) in qs[..n]
-        .chunks_exact(LANES)
-        .zip(min[..n].chunks_exact(LANES))
-        .zip(scale[..n].chunks_exact(LANES))
-        .zip(codes[..n].chunks_exact(LANES))
-    {
-        for i in 0..LANES {
-            let x = cm[i] + cs[i] * cc[i] as f32;
-            acc_dot[i] += cq[i] * cc[i] as f32;
-            acc_norm[i] += x * x;
-        }
-    }
-    let (mut d, mut m): (f32, f32) = (acc_dot.iter().sum(), acc_norm.iter().sum());
-    for i in n..codes.len() {
-        let x = min[i] + scale[i] * codes[i] as f32;
-        d += qs[i] * codes[i] as f32;
-        m += x * x;
-    }
-    (d, m)
+    (simd::kernels().dot_norm_u8)(qs, min, scale, codes)
 }
 
 /// A query prepared against one partition's quantization ranges:
@@ -201,11 +221,26 @@ pub struct Sq8Scorer {
     bias: f32,
     /// Cosine: `‖q‖`.
     qnorm: f32,
+    /// Kernel backend scoring this query (dispatched or pinned).
+    kernels: &'static Kernels,
 }
 
 impl Sq8Scorer {
-    /// Prepares `query` against `params` for repeated scoring.
+    /// Prepares `query` against `params` for repeated scoring with the
+    /// runtime-dispatched kernel backend.
     pub fn new(metric: Metric, query: &[f32], params: &Sq8Params) -> Sq8Scorer {
+        Sq8Scorer::with_kernels(metric, query, params, simd::kernels())
+    }
+
+    /// [`Sq8Scorer::new`] pinned to an explicit backend — benches and
+    /// the cross-backend proptests use this to compare the dispatched
+    /// table against [`crate::simd::scalar_kernels`] in-process.
+    pub fn with_kernels(
+        metric: Metric,
+        query: &[f32],
+        params: &Sq8Params,
+        kernels: &'static Kernels,
+    ) -> Sq8Scorer {
         debug_assert_eq!(query.len(), params.dim());
         match metric {
             Metric::L2 => Sq8Scorer {
@@ -215,6 +250,7 @@ impl Sq8Scorer {
                 c: Vec::new(),
                 bias: 0.0,
                 qnorm: 0.0,
+                kernels,
             },
             Metric::Dot => Sq8Scorer {
                 metric,
@@ -225,8 +261,9 @@ impl Sq8Scorer {
                     .collect(),
                 b: Vec::new(),
                 c: Vec::new(),
-                bias: dot(query, &params.min),
+                bias: (kernels.dot)(query, &params.min),
                 qnorm: 0.0,
+                kernels,
             },
             Metric::Cosine => Sq8Scorer {
                 metric,
@@ -237,8 +274,9 @@ impl Sq8Scorer {
                     .collect(),
                 b: params.min.clone(),
                 c: params.scale.clone(),
-                bias: dot(query, &params.min),
-                qnorm: norm(query),
+                bias: (kernels.dot)(query, &params.min),
+                qnorm: (kernels.dot)(query, query).sqrt(),
+                kernels,
             },
         }
     }
@@ -248,10 +286,10 @@ impl Sq8Scorer {
     #[inline]
     pub fn score(&self, codes: &[u8]) -> f32 {
         match self.metric {
-            Metric::L2 => l2_sq_u8(&self.a, &self.b, codes),
-            Metric::Dot => -(self.bias + dot_u8(&self.a, codes)),
+            Metric::L2 => (self.kernels.l2_sq_u8)(&self.a, &self.b, codes),
+            Metric::Dot => -(self.bias + (self.kernels.dot_u8)(&self.a, codes)),
             Metric::Cosine => {
-                let (d, n2) = dot_norm_u8(&self.a, &self.b, &self.c, codes);
+                let (d, n2) = (self.kernels.dot_norm_u8)(&self.a, &self.b, &self.c, codes);
                 let denom = self.qnorm * n2.sqrt();
                 if denom <= f32::EPSILON {
                     1.0
@@ -281,15 +319,15 @@ impl Sq8Scorer {
             Metric::L2 => out.extend(
                 codes
                     .chunks_exact(dim)
-                    .map(|row| l2_sq_u8(&self.a, &self.b, row)),
+                    .map(|row| (self.kernels.l2_sq_u8)(&self.a, &self.b, row)),
             ),
             Metric::Dot => out.extend(
                 codes
                     .chunks_exact(dim)
-                    .map(|row| -(self.bias + dot_u8(&self.a, row))),
+                    .map(|row| -(self.bias + (self.kernels.dot_u8)(&self.a, row))),
             ),
             Metric::Cosine => out.extend(codes.chunks_exact(dim).map(|row| {
-                let (d, n2) = dot_norm_u8(&self.a, &self.b, &self.c, row);
+                let (d, n2) = (self.kernels.dot_norm_u8)(&self.a, &self.b, &self.c, row);
                 let denom = self.qnorm * n2.sqrt();
                 if denom <= f32::EPSILON {
                     1.0
@@ -459,6 +497,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bulk_encoder_is_bit_identical_to_encode_into_and_flags_clamps() {
+        for dim in [1, 7, 16, 33, 96] {
+            let data = matrix(21, 40, dim);
+            let p = Sq8Params::train(&data, dim);
+            let enc = p.encoder(SQ8_LEVELS);
+            for row in data.chunks_exact(dim) {
+                let mut a = Vec::new();
+                p.encode_into(row, &mut a);
+                let mut b = Vec::new();
+                let clamped = enc.encode_row(row, &mut b);
+                assert_eq!(a, b, "dim={dim}");
+                assert!(!clamped, "in-range row reported as clamped (dim={dim})");
+            }
+            let far: Vec<f32> = (0..dim).map(|_| 1e7).collect();
+            let mut codes = Vec::new();
+            assert!(enc.encode_row(&far, &mut codes));
+        }
+        // Zero-scale dimensions: only values off the constant clamp.
+        let p = Sq8Params::train(&[3.0, 3.0, 3.0], 1);
+        let enc = p.encoder(SQ8_LEVELS);
+        let mut codes = Vec::new();
+        assert!(!enc.encode_row(&[3.0], &mut codes));
+        assert!(enc.encode_row(&[4.0], &mut codes));
     }
 
     #[test]

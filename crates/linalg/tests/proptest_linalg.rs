@@ -4,12 +4,20 @@
 use proptest::prelude::*;
 
 use micronn_linalg::{
-    batch_distances, cosine_distance, dot, l2_sq, merge_all, norm, normalize, Metric, Sq8Params,
-    Sq8Scorer, TopK,
+    batch_distances, cosine_distance, dot, kernels, l2_sq, merge_all, norm, normalize,
+    scalar_kernels, set_block_code, sq4_block_bytes, sq4_train, Metric, Sq4Scorer, Sq8Params,
+    Sq8Scorer, TopK, SQ4_BLOCK, SQ4_LEVELS,
 };
 
 fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-100.0f32..100.0, dim..=dim)
+}
+
+/// Slices `rows` rows of width `dim` out of an over-provisioned flat
+/// buffer — lets a plain `dim` strategy drive odd/awkward dims that
+/// stress the kernels' tail loops.
+fn take_rows(data: &[f32], dim: usize, rows: usize) -> &[f32] {
+    &data[..dim * rows]
 }
 
 proptest! {
@@ -146,6 +154,95 @@ proptest! {
                 let got = scorer.score(&codes);
                 let tol = 5e-3 * (1.0 + want.abs());
                 prop_assert!((got - want).abs() <= tol, "{} {} vs {}", metric, got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_f32_kernels_bit_identical_to_scalar(
+        dim in 1usize..131,
+        data in vec_strategy(131 * 2),
+    ) {
+        // The f32 SIMD backends promise *bit* equality with the scalar
+        // reference (same lane structure, no FMA contraction), not
+        // mere closeness — final query results must not depend on the
+        // dispatcher's pick.
+        let (a, b) = take_rows(&data, dim, 2).split_at(dim);
+        let k = kernels();
+        let s = scalar_kernels();
+        prop_assert_eq!((k.dot)(a, b).to_bits(), (s.dot)(a, b).to_bits(), "dot dim {}", dim);
+        prop_assert_eq!((k.l2_sq)(a, b).to_bits(), (s.l2_sq)(a, b).to_bits(), "l2 dim {}", dim);
+    }
+
+    #[test]
+    fn sq8_scorer_bit_identical_across_backends(
+        dim in 1usize..101,
+        data in vec_strategy(101 * 9),
+        q_seed in 0u8..255,
+    ) {
+        let (qrow, rows) = take_rows(&data, dim, 9).split_at(dim);
+        let q: Vec<f32> = qrow.iter().map(|x| x + q_seed as f32 / 64.0).collect();
+        let params = Sq8Params::train(rows, dim);
+        let mut block = Vec::new();
+        for row in rows.chunks_exact(dim) {
+            params.encode_into(row, &mut block);
+        }
+        for metric in [Metric::L2, Metric::Cosine, Metric::Dot] {
+            let fast = Sq8Scorer::new(metric, &q, &params);
+            let slow = Sq8Scorer::with_kernels(metric, &q, &params, scalar_kernels());
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            fast.score_chunk(&block, &mut a);
+            slow.score_chunk(&block, &mut b);
+            prop_assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} dim {} row {}", metric, dim, i);
+            }
+        }
+    }
+
+    #[test]
+    fn sq4_scores_bit_identical_across_backends_and_within_bound(
+        dim in 1usize..81,
+        data in vec_strategy(81 * (SQ4_BLOCK + 1)),
+    ) {
+        let (qrow, rows) = take_rows(&data, dim, SQ4_BLOCK + 1).split_at(dim);
+        let params = sq4_train(rows, dim);
+        let enc = params.encoder(SQ4_LEVELS);
+        let mut packed = vec![0u8; sq4_block_bytes(dim)];
+        let mut code_rows: Vec<Vec<u8>> = Vec::new();
+        for (slot, row) in rows.chunks_exact(dim).enumerate() {
+            let mut codes = Vec::new();
+            enc.encode_row(row, &mut codes);
+            for (d, &c) in codes.iter().enumerate() {
+                set_block_code(&mut packed, d, slot, c);
+            }
+            code_rows.push(codes);
+        }
+        for metric in [Metric::L2, Metric::Cosine, Metric::Dot] {
+            let fast = Sq4Scorer::new(metric, qrow, &params);
+            let slow = Sq4Scorer::with_kernels(metric, qrow, &params, scalar_kernels());
+            let mut a = [0.0f32; SQ4_BLOCK];
+            let mut b = [0.0f32; SQ4_BLOCK];
+            fast.score_block(&packed, &mut a);
+            slow.score_block(&packed, &mut b);
+            for j in 0..SQ4_BLOCK {
+                // Integer-exact LUT sums: the SQ4 path is bit-identical
+                // across backends by construction, not within-ULP.
+                prop_assert_eq!(a[j].to_bits(), b[j].to_bits(), "{} dim {} row {}", metric, dim, j);
+            }
+            // And the L2/Dot scores respect the documented LUT
+            // quantization bound against the unquantized reference.
+            if matches!(metric, Metric::L2 | Metric::Dot) {
+                let (err, _) = fast.lut_error_bound();
+                for (j, codes) in code_rows.iter().enumerate() {
+                    let want = fast.reference_score(&params, qrow, codes);
+                    prop_assert!(
+                        (a[j] - want).abs() <= err + 1e-3 * (1.0 + want.abs()),
+                        "{} dim {} row {}: {} vs {} (bound {})",
+                        metric, dim, j, a[j], want, err
+                    );
+                }
             }
         }
     }

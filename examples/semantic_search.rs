@@ -167,6 +167,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "maintenance: merged partition {} into {}",
                     m.partition, m.target
                 ),
+                MaintenanceAction::Retrained(r) => println!(
+                    "maintenance: retrained quantization ranges of partition {} ({} codes)",
+                    r.partition, r.encoded
+                ),
                 MaintenanceAction::Rebuilt(r) => {
                     println!("maintenance: full rebuild into {} partitions", r.partitions)
                 }
