@@ -15,9 +15,17 @@
 //! should run near-100% from the pool, cold queries mostly from disk.
 //! Expected shape (paper): cold start an order of magnitude slower;
 //! warm cache within small factors of InMemory.
+//!
+//! The MicroNN p50/p99 figures come from telemetry histogram snapshots
+//! (`micronn_bench::hist_percentile_ms`), which asserts agreement with
+//! the exact `percentile` of the raw samples to within one bucket
+//! width on every row printed.
 
 use micronn::{DeviceProfile, InMemoryIndex, SearchRequest};
-use micronn_bench::{build_micronn, percentile, sample_ground_truth, scaled_specs, tune_probes};
+use micronn_bench::{
+    build_micronn, hist_percentile_ms, latency_histogram_ns, sample_ground_truth, scaled_specs,
+    tune_probes,
+};
 use micronn_datasets::{generate, recall};
 
 #[global_allocator]
@@ -128,17 +136,24 @@ fn main() {
             }
             let cold_io = db.io_stats().since(&cold_io_start);
 
+            // Report MicroNN latencies from telemetry histogram
+            // snapshots; hist_percentile_ms() asserts each one agrees
+            // with the exact percentile() within one bucket width.
+            let warm_hist = latency_histogram_ns(&warm_lat);
+            let cold_hist = latency_histogram_ns(&cold_lat);
             let m_mem = micronn_bench::median(&mem_lat);
-            let m_warm = percentile(&warm_lat, 50.0);
-            let m_cold = percentile(&cold_lat, 50.0);
+            let m_warm = hist_percentile_ms(&warm_hist, &warm_lat, 50.0);
+            let m_cold = hist_percentile_ms(&cold_hist, &cold_lat, 50.0);
+            let p99_warm = hist_percentile_ms(&warm_hist, &warm_lat, 99.0);
+            let p99_cold = hist_percentile_ms(&cold_hist, &cold_lat, 99.0);
             micronn_bench::print_row(
                 &[
                     spec.name.to_string(),
                     dataset.len().to_string(),
                     probes.to_string(),
                     format!("{m_mem:.2}"),
-                    format!("{m_warm:.2}/{:.2}", percentile(&warm_lat, 99.0)),
-                    format!("{m_cold:.2}/{:.2}", percentile(&cold_lat, 99.0)),
+                    format!("{m_warm:.2}/{p99_warm:.2}"),
+                    format!("{m_cold:.2}/{p99_cold:.2}"),
                     format!(
                         "{:.0}/{:.0}",
                         warm_io.hit_ratio() * 100.0,

@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the performance-critical primitives:
-//! distance kernels, the batched GEMM, top-k heaps, key codec, B+tree
-//! operations, and WAL commit throughput.
+//! distance kernels, the batched GEMM, telemetry overhead on the scan
+//! path, top-k heaps, key codec, B+tree operations, and WAL commit
+//! throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -222,6 +223,68 @@ fn bench_codec_scan(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry cost on the hottest path it touches: the SQ8 1024-row
+/// chunk scan bare, with the per-scan registry counter bumps the
+/// executor performs (vectors/bytes/distances), and with the full
+/// per-query record (two clock reads + one histogram record). The
+/// counter variant is the always-on per-scan cost and must stay within
+/// ~2% of bare; the query-record variant amortizes over a whole query,
+/// not a single chunk, so its gap here is an upper bound.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    let (rows, dim) = (1024usize, 128usize);
+    let data: Vec<f32> = (0..rows)
+        .flat_map(|i| pseudo_vec(7 + i as u64, dim))
+        .collect();
+    let params = Sq8Params::train(&data, dim);
+    let mut block: Vec<u8> = Vec::with_capacity(rows * dim);
+    for row in data.chunks_exact(dim) {
+        params.encode_into(row, &mut block);
+    }
+    let query = pseudo_vec(999, dim);
+    let scorer = Sq8Scorer::new(Metric::L2, &query, &params);
+    let mut out = Vec::with_capacity(rows);
+    g.throughput(Throughput::Elements(rows as u64));
+
+    g.bench_function("sq8_chunk_1024_bare", |b| {
+        b.iter(|| {
+            out.clear();
+            scorer.score_chunk(std::hint::black_box(&block[..]), &mut out);
+            out.len()
+        })
+    });
+
+    let reg = micronn_telemetry::Registry::new();
+    let vectors = reg.counter("micronn_vectors_scanned_total");
+    let bytes = reg.counter("micronn_bytes_scanned_total");
+    let distances = reg.counter("micronn_distance_computations_total");
+    g.bench_function("sq8_chunk_1024_with_counters", |b| {
+        b.iter(|| {
+            out.clear();
+            scorer.score_chunk(std::hint::black_box(&block[..]), &mut out);
+            vectors.add(out.len() as u64);
+            bytes.add(block.len() as u64);
+            distances.add(out.len() as u64);
+            out.len()
+        })
+    });
+
+    let latency = reg.histogram("micronn_query_latency_ns");
+    g.bench_function("sq8_chunk_1024_with_query_record", |b| {
+        b.iter(|| {
+            let t0 = std::time::Instant::now();
+            out.clear();
+            scorer.score_chunk(std::hint::black_box(&block[..]), &mut out);
+            vectors.add(out.len() as u64);
+            bytes.add(block.len() as u64);
+            distances.add(out.len() as u64);
+            latency.record(t0.elapsed().as_nanos() as u64);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
 fn bench_topk(c: &mut Criterion) {
     let mut g = c.benchmark_group("topk_heap");
     let dists: Vec<f32> = (0..100_000)
@@ -338,6 +401,7 @@ criterion_group!(
     bench_sq8_scan,
     bench_simd_dispatch,
     bench_codec_scan,
+    bench_telemetry_overhead,
     bench_topk,
     bench_key_codec,
     bench_btree,

@@ -28,6 +28,7 @@ use crate::db::{MicroNN, DELTA_PARTITION};
 use crate::error::{Error, Result};
 use crate::exec::{rerank_exact, scan_pool_k, PartitionScanner, Queries, ScanMetrics};
 use crate::search::SearchResult;
+use crate::telemetry::{stage, QueryTrace};
 
 /// Results of a batch search plus aggregate execution counters.
 #[derive(Debug, Clone)]
@@ -70,6 +71,7 @@ impl MicroNN {
                 });
             }
         }
+        let mut trace = QueryTrace::new(inner.tel.detailed());
         let r = inner.db.begin_read();
         let probes = probes.unwrap_or(inner.cfg.default_probes);
         let nq = queries.len();
@@ -104,6 +106,7 @@ impl MicroNN {
 
         let mut partitions: Vec<i64> = groups.keys().copied().collect();
         partitions.sort_unstable();
+        trace.stage(stage::PROBE_SELECT);
 
         // Phase 2: scan each partition once; per-partition GEMM (or
         // batched SQ8 code scoring) against its query group through
@@ -117,6 +120,7 @@ impl MicroNN {
             filter: None,
             metrics: &metrics,
             use_codec: true,
+            time_filter: false,
         };
         let partials: Vec<Vec<TopK>> = {
             let groups = &groups;
@@ -141,6 +145,7 @@ impl MicroNN {
                 Ok(heaps)
             })?
         };
+        trace.stage(stage::PARTITION_SCAN);
 
         // Phase 3: merge per-partition heaps per query, then sort;
         // quantized catalogs re-rank each query's merged pool against
@@ -178,7 +183,21 @@ impl MicroNN {
             })?;
             // Exact re-rank recomputations count as distance work.
             distance_computations += metrics.reranked();
+            trace.stage(stage::RERANK);
         }
+        inner
+            .tel
+            .distance_computations
+            .add(distance_computations as u64);
+        inner.tel.finish_batch(
+            &trace,
+            nq,
+            k,
+            partitions.len(),
+            metrics.vectors_scanned(),
+            metrics.bytes_scanned(),
+            metrics.reranked(),
+        );
         let results = merged
             .into_iter()
             .map(|top| {

@@ -5,7 +5,8 @@
 //!                    [--attr name:type[:indexed][:fts]]...
 //! micronnctl import  <db> <csv>            # rows: asset_id,v1,...,vD[,name=value...]
 //! micronnctl search  <db> --query "v1,..,vD" [-k N] [--probes N] [--filter EXPR] [--exact]
-//! micronnctl stats   <db>
+//! micronnctl trace   <db> --query "v1,..,vD" [-k N] [--probes N] [--filter EXPR] [--exact]
+//! micronnctl stats   <db> [--format table|json|prometheus]
 //! micronnctl status  <db>                   # monitor verdict + partition histogram
 //! micronnctl maintain <db>                  # run the maintenance ladder to Healthy
 //! micronnctl fsck    <db>                   # cross-check all tables; exit 1 on corruption
@@ -27,8 +28,8 @@
 use std::process::ExitCode;
 
 use micronn::{
-    AttributeDef, Config, Expr, Metric, MicroNN, SearchRequest, Value, ValueType, VectorCodec,
-    VectorRecord,
+    AttributeDef, CollectingSink, Config, Expr, Metric, MetricSnapshot, MicroNN, SearchRequest,
+    Value, ValueType, VectorCodec, VectorRecord,
 };
 
 fn main() -> ExitCode {
@@ -44,12 +45,13 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err("usage: micronnctl <create|import|search|stats|status|maintain|fsck|rebuild|flush|analyze|backup|checkpoint> ...".into());
+        return Err("usage: micronnctl <create|import|search|trace|stats|status|maintain|fsck|rebuild|flush|analyze|backup|checkpoint> ...".into());
     };
     match cmd.as_str() {
         "create" => cmd_create(&args[1..]),
         "import" => cmd_import(&args[1..]),
         "search" => cmd_search(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "status" => cmd_status(&args[1..]),
         "maintain" => cmd_maintain(&args[1..]),
@@ -116,6 +118,30 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         "partition sizes:     min {} / avg {:.1} / max {}",
         s.min_partition_size, s.avg_partition_size, s.max_partition_size
     );
+    // Maintenance counters from the telemetry registry. A freshly
+    // opened handle starts at zero; nonzero counts mean maintenance ran
+    // in *this* process (e.g. `micronnctl maintain`, or an embedded
+    // maintainer) — the registry is per-handle, not persisted.
+    let tel = db.telemetry();
+    let maint: Vec<(&String, u64)> = tel
+        .metrics
+        .iter()
+        .filter_map(|(name, m)| match m {
+            MetricSnapshot::Counter(v)
+                if name.starts_with("micronn_mainten")
+                    || name.starts_with("micronn_maintainer") =>
+            {
+                Some((name, *v))
+            }
+            _ => None,
+        })
+        .collect();
+    if !maint.is_empty() {
+        println!("maintenance counters (this process):");
+        for (name, v) in maint {
+            println!("  {name:<44} {v}");
+        }
+    }
     let sizes = db.partition_sizes().map_err(stringify)?;
     if sizes.is_empty() {
         println!("histogram:           (index not built)");
@@ -252,6 +278,25 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (path, rest) = take_path(args)?;
     let db = open(&path, rest)?;
+    match flag_value(rest, "--format").unwrap_or("table") {
+        "table" => {}
+        // Machine formats dump the telemetry registry: query/batch
+        // latency histograms, scan and maintenance counters, and the
+        // storage engine's live I/O counters (`micronn_store_*`).
+        "json" => {
+            println!("{}", db.telemetry().to_json());
+            return Ok(());
+        }
+        "prometheus" => {
+            print!("{}", db.telemetry().to_prometheus());
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "stats: unknown --format {other} (table|json|prometheus)"
+            ))
+        }
+    }
     let s = db.stats().map_err(stringify)?;
     println!("path:                {path}");
     println!("dimension:           {}", db.dim());
@@ -385,15 +430,22 @@ fn parse_value(s: &str) -> Value {
     Value::text(s)
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
-    let (path, rest) = take_path(args)?;
-    let db = open(&path, rest)?;
-    let query_str = flag_value(rest, "--query").ok_or("search: --query is required")?;
+/// Query-shaped arguments shared by `search` and `trace`.
+struct QueryArgs {
+    query: Vec<f32>,
+    k: usize,
+    exact: bool,
+    filter: Option<Expr>,
+    req: SearchRequest,
+}
+
+fn parse_query_args(rest: &[String]) -> Result<QueryArgs, String> {
+    let query_str = flag_value(rest, "--query").ok_or("--query is required")?;
     let query: Vec<f32> = query_str
         .split(',')
         .map(|t| t.trim().parse::<f32>())
         .collect::<Result<_, _>>()
-        .map_err(|_| "search: --query must be comma-separated floats")?;
+        .map_err(|_| "--query must be comma-separated floats")?;
     let k: usize = flag_value(rest, "-k")
         .unwrap_or("10")
         .parse()
@@ -407,15 +459,33 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         Some(f) => Some(parse_filter(f)?),
         None => None,
     };
-    let t = std::time::Instant::now();
-    let resp = if exact {
-        db.exact(&query, k, filter.as_ref()).map_err(stringify)?
+    if let (false, Some(f)) = (exact, &filter) {
+        req = req.with_filter(f.clone());
+    }
+    Ok(QueryArgs {
+        query,
+        k,
+        exact,
+        filter,
+        req,
+    })
+}
+
+fn run_query(db: &MicroNN, q: &QueryArgs) -> Result<micronn::SearchResponse, String> {
+    if q.exact {
+        db.exact(&q.query, q.k, q.filter.as_ref())
+            .map_err(stringify)
     } else {
-        if let Some(f) = filter {
-            req = req.with_filter(f);
-        }
-        db.search_with(&req).map_err(stringify)?
-    };
+        db.search_with(&q.req).map_err(stringify)
+    }
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let db = open(&path, rest)?;
+    let q = parse_query_args(rest).map_err(|e| format!("search: {e}"))?;
+    let t = std::time::Instant::now();
+    let resp = run_query(&db, &q)?;
     let elapsed = t.elapsed();
     // The full execution counters, so codec and executor behaviour is
     // inspectable from the CLI (bytes scanned shrink under SQ8/SQ4; the
@@ -434,6 +504,64 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     for r in &resp.results {
         println!("{:>20}  {:.6}", r.asset_id, r.distance);
     }
+    Ok(())
+}
+
+/// `micronnctl trace`: runs one query with a collecting trace sink
+/// installed and prints a flamegraph-style per-stage breakdown —
+/// each stage's share of the whole query, plus the byte/fsync-carrying
+/// spans (WAL group commits, checkpoints) the query triggered.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (path, rest) = take_path(args)?;
+    let db = open(&path, rest)?;
+    let q = parse_query_args(rest).map_err(|e| format!("trace: {e}"))?;
+    let sink = std::sync::Arc::new(CollectingSink::new());
+    db.set_trace_sink(Some(sink.clone()));
+    let resp = run_query(&db, &q);
+    db.set_trace_sink(None);
+    let resp = resp?;
+    let spans = sink.take();
+    let total = spans
+        .iter()
+        .find(|s| s.name == "query")
+        .map(|s| s.duration)
+        .unwrap_or_else(|| spans.iter().map(|s| s.duration).sum());
+    println!(
+        "plan={} k={} total={:?} ({} results)",
+        resp.info.plan,
+        q.k,
+        total,
+        resp.results.len()
+    );
+    let total_ns = total.as_nanos().max(1);
+    for s in &spans {
+        if s.name == "query" {
+            continue;
+        }
+        let share = s.duration.as_nanos() as f64 / total_ns as f64;
+        let bar = "#".repeat(((share * 40.0).round() as usize).min(40));
+        let mut extras = String::new();
+        if s.bytes > 0 {
+            extras.push_str(&format!("  bytes={}", s.bytes));
+        }
+        if s.fsyncs > 0 {
+            extras.push_str(&format!("  fsyncs={}", s.fsyncs));
+        }
+        println!(
+            "  {:<18} {:>12?} {:>6.1}%  {bar}{extras}",
+            s.name,
+            s.duration,
+            share * 100.0
+        );
+    }
+    println!(
+        "  counters: partitions={} vectors_scanned={} bytes_scanned={} reranked={} filtered_out={}",
+        resp.info.partitions_scanned,
+        resp.info.vectors_scanned,
+        resp.info.bytes_scanned,
+        resp.info.reranked,
+        resp.info.filtered_out
+    );
     Ok(())
 }
 

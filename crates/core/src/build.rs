@@ -119,6 +119,7 @@ impl MicroNN {
     /// [`MicroNN::rebuild`] with clustering-parameter overrides.
     pub fn rebuild_with(&self, opts: &RebuildOptions) -> Result<RebuildReport> {
         let start = Instant::now();
+        let span = self.maint_span("maintain_rebuild");
         let inner: &Inner = &self.inner;
         let mut txn = inner.db.begin_write()?;
 
@@ -300,6 +301,7 @@ impl MicroNN {
         txn.commit()?;
         // Every partition was re-encoded under fresh ranges.
         inner.clear_drift();
+        self.maint_finish(span, keys.len() as u64);
 
         Ok(RebuildReport {
             vectors: keys.len(),

@@ -115,6 +115,17 @@ pub struct Config {
     pub centroid_index_threshold: usize,
     /// Client-defined filterable attributes.
     pub attributes: Vec<AttributeDef>,
+    /// Queries slower than this many milliseconds are captured (with
+    /// their full per-stage breakdown) in the slow-query ring log;
+    /// `Some(0)` logs every query, `None` (the default) disables the
+    /// log. Setting a threshold also enables stage timing.
+    pub slow_query_ms: Option<u64>,
+    /// Route spans (query stages, WAL group commits, checkpoints,
+    /// maintenance actions) into the telemetry registry from the
+    /// moment the index opens. Defaults to the `MICRONN_TRACE`
+    /// environment variable (any value but `0` enables); a custom
+    /// sink can be installed later via `MicroNN::set_trace_sink`.
+    pub trace: bool,
     /// Storage engine tuning (buffer-pool bytes, sync mode, ...).
     pub store: StoreOptions,
 }
@@ -141,6 +152,8 @@ impl Default for Config {
             seed: 0x5EED,
             centroid_index_threshold: 2048,
             attributes: Vec::new(),
+            slow_query_ms: None,
+            trace: std::env::var("MICRONN_TRACE").is_ok_and(|v| !v.is_empty() && v != "0"),
             store: StoreOptions::default(),
         }
     }
@@ -340,6 +353,13 @@ mod tests {
         c.codec = VectorCodec::Sq8;
         assert!(c.validate().is_ok());
         c.codec = VectorCodec::Sq4;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn telemetry_defaults() {
+        let c = Config::new(8, Metric::L2);
+        assert_eq!(c.slow_query_ms, None, "slow-query log off by default");
         assert!(c.validate().is_ok());
     }
 

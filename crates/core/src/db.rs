@@ -163,6 +163,9 @@ pub(crate) struct Inner {
     /// only (drift re-accumulates after reopen, which is fine — it is
     /// a heuristic, not an invariant).
     pub drift: Mutex<BTreeMap<i64, (u64, u64)>>,
+    /// Telemetry hub: metrics registry, trace-sink mount point (shared
+    /// with the store), and the slow-query log.
+    pub tel: Arc<crate::telemetry::DbTelemetry>,
 }
 
 /// An embedded, disk-resident, updatable vector database (the paper's
@@ -175,9 +178,18 @@ pub struct MicroNN {
 
 impl MicroNN {
     /// Creates a new index at `path`.
-    pub fn create(path: impl AsRef<std::path::Path>, config: Config) -> Result<MicroNN> {
+    pub fn create(path: impl AsRef<std::path::Path>, mut config: Config) -> Result<MicroNN> {
         config.validate()?;
+        // One trace-sink cell spans the whole stack: mount the hub's
+        // cell into the store options before the store opens, so WAL
+        // group commits and checkpoints land in the same sink as
+        // query stages and maintenance actions.
+        let tel = Arc::new(crate::telemetry::DbTelemetry::new(&config));
+        config.store.trace = Arc::clone(&tel.sink);
         let db = Database::create(path, config.store.clone())?;
+        db.store()
+            .io()
+            .register_into(&tel.registry, "micronn_store_");
         let mut txn = db.begin_write()?;
 
         let meta = db.create_table(
@@ -355,6 +367,7 @@ impl MicroNN {
                 quant_cache: RwLock::new(None),
                 row_changes: AtomicU64::new(0),
                 drift: Mutex::new(BTreeMap::new()),
+                tel,
             }),
         })
     }
@@ -364,7 +377,14 @@ impl MicroNN {
     /// supplies runtime knobs (probes, workers, thresholds, store
     /// options). A non-zero `config.dim` is validated against the file.
     pub fn open(path: impl AsRef<std::path::Path>, mut config: Config) -> Result<MicroNN> {
+        // Same cell-sharing as `create`: the store must see the hub's
+        // trace sink from the first page it touches.
+        let tel = Arc::new(crate::telemetry::DbTelemetry::new(&config));
+        config.store.trace = Arc::clone(&tel.sink);
         let db = Database::open(path, config.store.clone())?;
+        db.store()
+            .io()
+            .register_into(&tel.registry, "micronn_store_");
         let r = db.begin_read();
         let meta = db.open_table(&r, "meta")?;
         let get_int = |key: &str| -> Result<i64> {
@@ -464,6 +484,7 @@ impl MicroNN {
                 quant_cache: RwLock::new(None),
                 row_changes: AtomicU64::new(0),
                 drift: Mutex::new(BTreeMap::new()),
+                tel,
             }),
         })
     }

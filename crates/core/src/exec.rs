@@ -35,7 +35,8 @@
 //! the work-stealing cursor, panic propagation, and deterministic
 //! first-error capture.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use micronn_linalg::{
     batch_distances, distances_one_to_many, Neighbor, Sq4Scorer, Sq8Scorer, TopK, SQ4_BLOCK,
@@ -81,6 +82,11 @@ pub(crate) struct ScanMetrics {
     /// included, re-rank recomputations excluded — callers add
     /// [`ScanMetrics::reranked`] when they want them counted).
     pub distance_computations: AtomicUsize,
+    /// Nanoseconds spent in the post-filter join, summed across scan
+    /// workers. Only populated when the scanner's `time_filter` is set
+    /// (a trace sink is listening or the slow-query log is armed);
+    /// otherwise stays zero so the filter hot path never reads a clock.
+    pub filter_nanos: AtomicU64,
 }
 
 impl ScanMetrics {
@@ -102,9 +108,19 @@ impl ScanMetrics {
         self.bytes_scanned.load(Ordering::Relaxed)
     }
 
+    /// Total vectors whose distance was computed so far.
+    pub fn vectors_scanned(&self) -> usize {
+        self.vectors_scanned.load(Ordering::Relaxed)
+    }
+
     /// Total exactly re-ranked candidates so far.
     pub fn reranked(&self) -> usize {
         self.reranked.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent in the post-filter join so far.
+    pub fn filter_nanos(&self) -> u64 {
+        self.filter_nanos.load(Ordering::Relaxed)
     }
 }
 
@@ -144,6 +160,10 @@ pub(crate) struct PartitionScanner<'a> {
     /// Score quantized codes where the catalog has them. Exact KNN
     /// passes `false`: exact semantics are codec-independent.
     pub use_codec: bool,
+    /// Clock the post-filter join into [`ScanMetrics::filter_nanos`].
+    /// Callers set it from `tel.detailed()` so the disabled path keeps
+    /// the filter loop free of `Instant::now` calls.
+    pub time_filter: bool,
 }
 
 impl PartitionScanner<'_> {
@@ -200,6 +220,7 @@ impl PartitionScanner<'_> {
         let Some(f) = self.filter else {
             return Ok(true);
         };
+        let t0 = self.time_filter.then(Instant::now);
         let row = f.attrs.get(self.r, &[Value::Integer(asset)])?;
         let matches = match &row {
             Some(attr_row) => f.compiled.eval(attr_row),
@@ -207,6 +228,11 @@ impl PartitionScanner<'_> {
         };
         if !matches {
             self.metrics.filtered_out.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t0) = t0 {
+            self.metrics
+                .filter_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         Ok(matches)
     }

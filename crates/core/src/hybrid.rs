@@ -24,6 +24,7 @@ use crate::error::{Error, Result};
 use crate::exec::{score_candidates, FilterCtx, ScanMetrics};
 use crate::search::{ann_search, exact_search, SearchResponse, SearchResult};
 use crate::stats::{PlanUsed, QueryInfo};
+use crate::telemetry::{stage, QueryTrace};
 
 /// Plan preference for hybrid queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,10 +93,20 @@ impl MicroNN {
     /// Executes a full [`SearchRequest`] (ANN, hybrid, plan control).
     pub fn search_with(&self, req: &SearchRequest) -> Result<SearchResponse> {
         let inner = &*self.inner;
+        let mut trace = QueryTrace::new(inner.tel.detailed());
         let r = inner.db.begin_read();
         let probes = req.probes.unwrap_or(inner.cfg.default_probes);
-        match &req.filter {
-            None => ann_search(inner, &r, &req.query, req.k, probes, None, PlanUsed::Ann),
+        let resp = match &req.filter {
+            None => ann_search(
+                inner,
+                &r,
+                &req.query,
+                req.k,
+                probes,
+                None,
+                PlanUsed::Ann,
+                &mut trace,
+            )?,
             Some(expr) => {
                 let plan = match req.plan {
                     PlanPreference::ForcePreFilter => PlanUsed::PreFilter,
@@ -103,7 +114,7 @@ impl MicroNN {
                     PlanPreference::Auto => choose_plan(inner, &r, expr, probes)?,
                 };
                 match plan {
-                    PlanUsed::PreFilter => pre_filter_search(inner, &r, req, expr),
+                    PlanUsed::PreFilter => pre_filter_search(inner, &r, req, expr, &mut trace)?,
                     _ => {
                         let compiled = expr
                             .compile(inner.tables.attrs.schema())
@@ -120,20 +131,24 @@ impl MicroNN {
                             probes,
                             Some(&ctx),
                             PlanUsed::PostFilter,
-                        )
+                            &mut trace,
+                        )?
                     }
                 }
             }
-        }
+        };
+        inner.tel.finish_query(&trace, &resp.info, req.k);
+        Ok(resp)
     }
 
     /// Exact (exhaustive) K-nearest-neighbour search, optionally
     /// filtered.
     pub fn exact(&self, query: &[f32], k: usize, filter: Option<&Expr>) -> Result<SearchResponse> {
         let inner = &*self.inner;
+        let mut trace = QueryTrace::new(inner.tel.detailed());
         let r = inner.db.begin_read();
-        match filter {
-            None => exact_search(inner, &r, query, k, None),
+        let resp = match filter {
+            None => exact_search(inner, &r, query, k, None, &mut trace)?,
             Some(expr) => {
                 let compiled = expr
                     .compile(inner.tables.attrs.schema())
@@ -142,9 +157,11 @@ impl MicroNN {
                     attrs: &inner.tables.attrs,
                     compiled,
                 };
-                exact_search(inner, &r, query, k, Some(&ctx))
+                exact_search(inner, &r, query, k, Some(&ctx), &mut trace)?
             }
-        }
+        };
+        inner.tel.finish_query(&trace, &resp.info, k);
+        Ok(resp)
     }
 
     /// The plan the optimizer would choose for `filter` at `probes`
@@ -201,6 +218,7 @@ fn pre_filter_search(
     r: &ReadTxn,
     req: &SearchRequest,
     expr: &Expr,
+    trace: &mut QueryTrace,
 ) -> Result<SearchResponse> {
     if req.query.len() != inner.dim {
         return Err(Error::DimensionMismatch {
@@ -240,10 +258,17 @@ fn pre_filter_search(
         }
     }
 
+    trace.stage(stage::FILTER_JOIN);
+
     // Brute-force NN over the qualifying set (chunked, same kernels as
     // the partition scan frame).
     let metrics = ScanMetrics::default();
     let neighbors = score_candidates(inner, r, &req.query, &qualifying, req.k, &metrics)?;
+    trace.stage(stage::PARTITION_SCAN);
+    inner
+        .tel
+        .distance_computations
+        .add(metrics.distance_computations() as u64);
     metrics.apply_to(&mut info);
     Ok(SearchResponse {
         results: neighbors

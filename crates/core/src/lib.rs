@@ -76,6 +76,7 @@ pub mod maintain;
 mod pool;
 pub mod search;
 pub mod stats;
+pub(crate) mod telemetry;
 
 pub use batch::BatchResponse;
 pub use build::{RebuildOptions, RebuildReport};
@@ -97,3 +98,7 @@ pub use stats::{DbStats, PlanUsed, QueryInfo};
 pub use micronn_linalg::Metric;
 pub use micronn_rel::{Expr, Value, ValueType};
 pub use micronn_storage::{StoreOptions, SyncMode};
+pub use micronn_telemetry::{
+    CollectingSink, HistogramSnapshot, MetricSnapshot, RegistrySnapshot, SlowQueryRecord, Span,
+    TraceSink,
+};

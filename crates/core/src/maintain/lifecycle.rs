@@ -130,6 +130,7 @@ impl MicroNN {
         if partition == DELTA_PARTITION {
             return Err(Error::Config("cannot split the delta store".into()));
         }
+        let span = self.maint_span("maintain_split");
         let inner = &*self.inner;
         let mut txn = inner.db.begin_write()?;
         let old_epoch = meta_int(&txn, &inner.tables.meta, M_EPOCH)?;
@@ -316,6 +317,7 @@ impl MicroNN {
             .map(|&c| (pid_of[c], centroids[c].clone()))
             .collect();
         self.refresh_cache_after_split(old_epoch, partition, &centroids[keep], &new_centroids);
+        self.maint_finish(span, moved as u64);
 
         Ok(SplitReport {
             partition,
@@ -339,6 +341,7 @@ impl MicroNN {
         if partition == DELTA_PARTITION {
             return Err(Error::Config("cannot merge the delta store".into()));
         }
+        let span = self.maint_span("maintain_merge");
         let inner = &*self.inner;
         let mut txn = inner.db.begin_write()?;
         let Some(source_row) = inner
@@ -482,6 +485,7 @@ impl MicroNN {
         // the cached super-index cannot be patched in place; drop the
         // cache and let the next query reload at the new epoch.
         *inner.centroid_cache.write() = None;
+        self.maint_finish(span, members.len() as u64);
 
         Ok(MergeReport {
             partition,

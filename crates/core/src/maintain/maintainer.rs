@@ -12,10 +12,11 @@
 //! recorded, not fatal: a transient failure (e.g. a candidate partition
 //! emptied by a racing delete) leaves the maintainer running.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use micronn_telemetry::Counter;
 use parking_lot::Mutex;
 
 use crate::db::MicroNN;
@@ -38,17 +39,23 @@ impl Default for MaintainerOptions {
     }
 }
 
-#[derive(Default)]
+/// The maintainer's counters live in the database's telemetry registry
+/// (`micronn_maintainer_*_total`), so `micronnctl status` and the
+/// Prometheus exporter see them without holding the
+/// [`IndexMaintainer`] handle. The handles here share the registry's
+/// atomics; counts are cumulative per index handle, surviving
+/// maintainer restarts.
 struct Shared {
     stop: AtomicBool,
-    cycles: AtomicU64,
-    flushes: AtomicU64,
-    splits: AtomicU64,
-    merges: AtomicU64,
-    rebuilds: AtomicU64,
-    retrains: AtomicU64,
-    errors: AtomicU64,
-    bytes_written: AtomicU64,
+    cycles: Arc<Counter>,
+    flushes: Arc<Counter>,
+    splits: Arc<Counter>,
+    merges: Arc<Counter>,
+    rebuilds: Arc<Counter>,
+    retrains: Arc<Counter>,
+    errors: Arc<Counter>,
+    skips: Arc<Counter>,
+    bytes_written: Arc<Counter>,
     last_error: Mutex<Option<String>>,
 }
 
@@ -71,6 +78,9 @@ pub struct MaintainerStats {
     pub retrains: u64,
     /// Passes that failed; the maintainer keeps running.
     pub errors: u64,
+    /// Idle cycles skipped by the quiet-index check (no mutations since
+    /// the last healthy pass), each saving a catalog scan.
+    pub skips: u64,
     /// Disk bytes written by maintenance passes (store write counters
     /// sampled around each pass; the single-writer protocol keeps the
     /// attribution tight — the Figure 10d axis, in bytes).
@@ -94,7 +104,20 @@ impl MicroNN {
     /// splits, merges, and fallback rebuilds happen behind concurrent
     /// searches and updates without any caller-side polling.
     pub fn start_maintainer(&self, opts: MaintainerOptions) -> IndexMaintainer {
-        let shared = Arc::new(Shared::default());
+        let reg = &self.inner.tel.registry;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            cycles: reg.counter("micronn_maintainer_cycles_total"),
+            flushes: reg.counter("micronn_maintainer_flushes_total"),
+            splits: reg.counter("micronn_maintainer_splits_total"),
+            merges: reg.counter("micronn_maintainer_merges_total"),
+            rebuilds: reg.counter("micronn_maintainer_rebuilds_total"),
+            retrains: reg.counter("micronn_maintainer_retrains_total"),
+            errors: reg.counter("micronn_maintainer_errors_total"),
+            skips: reg.counter("micronn_maintainer_skips_total"),
+            bytes_written: reg.counter("micronn_maintainer_bytes_written_total"),
+            last_error: Mutex::new(None),
+        });
         let db = self.clone();
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -115,42 +138,31 @@ impl MicroNN {
                         && skipped < FORCE_FULL_EVERY;
                     if quiet {
                         skipped += 1;
+                        thread_shared.skips.inc();
                     } else {
                         skipped = 0;
                         let io_before = db.inner.db.store().stats();
                         match db.maybe_maintain() {
                             Ok(report) => {
-                                thread_shared
-                                    .flushes
-                                    .fetch_add(report.flushes() as u64, Ordering::Relaxed);
-                                thread_shared
-                                    .splits
-                                    .fetch_add(report.splits() as u64, Ordering::Relaxed);
-                                thread_shared
-                                    .merges
-                                    .fetch_add(report.merges() as u64, Ordering::Relaxed);
-                                thread_shared
-                                    .rebuilds
-                                    .fetch_add(report.rebuilds() as u64, Ordering::Relaxed);
-                                thread_shared
-                                    .retrains
-                                    .fetch_add(report.retrains() as u64, Ordering::Relaxed);
+                                thread_shared.flushes.add(report.flushes() as u64);
+                                thread_shared.splits.add(report.splits() as u64);
+                                thread_shared.merges.add(report.merges() as u64);
+                                thread_shared.rebuilds.add(report.rebuilds() as u64);
+                                thread_shared.retrains.add(report.retrains() as u64);
                                 healthy_at = (report.status
                                     == crate::maintain::MaintenanceStatus::Healthy)
                                     .then(|| db.inner.row_changes.load(Ordering::Relaxed));
                             }
                             Err(e) => {
-                                thread_shared.errors.fetch_add(1, Ordering::Relaxed);
+                                thread_shared.errors.inc();
                                 *thread_shared.last_error.lock() = Some(e.to_string());
                                 healthy_at = None;
                             }
                         }
                         let written = db.inner.db.store().stats().since(&io_before).disk_writes()
                             * micronn_storage::PAGE_SIZE as u64;
-                        thread_shared
-                            .bytes_written
-                            .fetch_add(written, Ordering::Relaxed);
-                        thread_shared.cycles.fetch_add(1, Ordering::Relaxed);
+                        thread_shared.bytes_written.add(written);
+                        thread_shared.cycles.inc();
                     }
                     // Sleep in short slices so stop() stays prompt even
                     // with long intervals.
@@ -174,14 +186,15 @@ impl IndexMaintainer {
     /// Counters so far; callable while the thread runs.
     pub fn stats(&self) -> MaintainerStats {
         MaintainerStats {
-            cycles: self.shared.cycles.load(Ordering::Relaxed),
-            flushes: self.shared.flushes.load(Ordering::Relaxed),
-            splits: self.shared.splits.load(Ordering::Relaxed),
-            merges: self.shared.merges.load(Ordering::Relaxed),
-            rebuilds: self.shared.rebuilds.load(Ordering::Relaxed),
-            retrains: self.shared.retrains.load(Ordering::Relaxed),
-            errors: self.shared.errors.load(Ordering::Relaxed),
-            bytes_written: self.shared.bytes_written.load(Ordering::Relaxed),
+            cycles: self.shared.cycles.get(),
+            flushes: self.shared.flushes.get(),
+            splits: self.shared.splits.get(),
+            merges: self.shared.merges.get(),
+            rebuilds: self.shared.rebuilds.get(),
+            retrains: self.shared.retrains.get(),
+            errors: self.shared.errors.get(),
+            skips: self.shared.skips.get(),
+            bytes_written: self.shared.bytes_written.get(),
             last_error: self.shared.last_error.lock().clone(),
         }
     }

@@ -173,6 +173,7 @@ impl MicroNN {
     /// shifts by the running-mean update. One atomic transaction.
     pub fn flush_delta(&self) -> Result<FlushReport> {
         let start = std::time::Instant::now();
+        let span = self.maint_span("maintain_flush");
         let inner = &*self.inner;
         let mut txn = inner.db.begin_write()?;
         let Some(index) = inner.clustering(&txn)? else {
@@ -309,6 +310,7 @@ impl MicroNN {
         for (pid, clamped, appended) in drift_updates {
             inner.note_drift(pid, clamped, appended);
         }
+        self.maint_finish(span, flushed as u64);
 
         Ok(FlushReport {
             flushed,
@@ -385,6 +387,7 @@ impl MicroNN {
     /// drift counter. Errors on non-quantized catalogs.
     pub fn retrain_partition(&self, partition: i64) -> Result<RetrainReport> {
         let start = std::time::Instant::now();
+        let span = self.maint_span("maintain_retrain");
         let inner = &*self.inner;
         if !inner.quantized() {
             return Err(Error::Config(
@@ -422,6 +425,7 @@ impl MicroNN {
             .fetch_add(encoded as u64 + 1, std::sync::atomic::Ordering::Relaxed);
         txn.commit()?;
         inner.reset_drift(partition);
+        self.maint_finish(span, encoded as u64);
         Ok(RetrainReport {
             partition,
             encoded,

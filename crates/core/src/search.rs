@@ -31,6 +31,7 @@ use crate::db::{Inner, DELTA_PARTITION};
 use crate::error::{Error, Result};
 use crate::exec::{rerank_exact, scan_pool_k, FilterCtx, PartitionScanner, Queries, ScanMetrics};
 use crate::stats::{PlanUsed, QueryInfo};
+use crate::telemetry::{stage, QueryTrace};
 
 /// One search hit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +66,7 @@ pub(crate) fn scan_partitions(
     use_codec: bool,
     filter: Option<&FilterCtx<'_>>,
     metrics: &ScanMetrics,
+    time_filter: bool,
 ) -> Result<Vec<Neighbor>> {
     let scan_k = scan_pool_k(inner, k, use_codec);
     let scanner = PartitionScanner {
@@ -73,6 +75,7 @@ pub(crate) fn scan_partitions(
         filter,
         metrics,
         use_codec,
+        time_filter,
     };
     let queries = Queries::One(query);
     let heaps = inner.scan_pool.parallel_indexed(partitions.len(), |i| {
@@ -90,6 +93,7 @@ pub(crate) fn scan_partitions(
 
 /// ANN search (Algorithm 2): probe the `n` nearest partitions plus the
 /// delta store.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ann_search(
     inner: &Inner,
     r: &ReadTxn,
@@ -98,6 +102,7 @@ pub(crate) fn ann_search(
     probes: usize,
     filter: Option<&FilterCtx<'_>>,
     plan: PlanUsed,
+    trace: &mut QueryTrace,
 ) -> Result<SearchResponse> {
     if query.len() != inner.dim {
         return Err(Error::DimensionMismatch {
@@ -111,6 +116,7 @@ pub(crate) fn ann_search(
         None => Vec::new(),
     };
     partitions.push(DELTA_PARTITION);
+    trace.stage(stage::PROBE_SELECT);
     run_scan(
         inner,
         r,
@@ -120,6 +126,7 @@ pub(crate) fn ann_search(
         inner.quantized(),
         filter,
         plan,
+        trace,
     )
 }
 
@@ -132,6 +139,7 @@ pub(crate) fn exact_search(
     query: &[f32],
     k: usize,
     filter: Option<&FilterCtx<'_>>,
+    trace: &mut QueryTrace,
 ) -> Result<SearchResponse> {
     if query.len() != inner.dim {
         return Err(Error::DimensionMismatch {
@@ -144,6 +152,7 @@ pub(crate) fn exact_search(
         None => Vec::new(),
     };
     partitions.push(DELTA_PARTITION);
+    trace.stage(stage::PROBE_SELECT);
     run_scan(
         inner,
         r,
@@ -153,6 +162,7 @@ pub(crate) fn exact_search(
         false,
         filter,
         PlanUsed::Exact,
+        trace,
     )
 }
 
@@ -166,13 +176,37 @@ fn run_scan(
     use_codec: bool,
     filter: Option<&FilterCtx<'_>>,
     plan: PlanUsed,
+    trace: &mut QueryTrace,
 ) -> Result<SearchResponse> {
     let metrics = ScanMetrics::default();
-    let mut neighbors =
-        scan_partitions(inner, r, partitions, query, k, use_codec, filter, &metrics)?;
+    let time_filter = trace.detailed && filter.is_some();
+    let mut neighbors = scan_partitions(
+        inner,
+        r,
+        partitions,
+        query,
+        k,
+        use_codec,
+        filter,
+        &metrics,
+        time_filter,
+    )?;
+    trace.stage(stage::PARTITION_SCAN);
     if use_codec && inner.quantized() {
         neighbors = rerank_exact(inner, r, query, neighbors, k, &metrics)?;
+        trace.stage(stage::RERANK);
     }
+    // The filter share is nested inside the parallel partition scan;
+    // report it as its own stage without subtracting (wall-clock vs
+    // summed-across-workers differ anyway).
+    trace.stage_external(
+        stage::FILTER_JOIN,
+        std::time::Duration::from_nanos(metrics.filter_nanos()),
+    );
+    inner
+        .tel
+        .distance_computations
+        .add(metrics.distance_computations() as u64);
     let mut info = QueryInfo::new(plan);
     info.partitions_scanned = partitions.len();
     metrics.apply_to(&mut info);

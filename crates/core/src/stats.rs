@@ -49,8 +49,11 @@ pub struct QueryInfo {
     /// Candidate set size evaluated by a pre-filtering plan.
     pub candidates: usize,
     /// Vector-payload bytes read by the scan: `4·dim` per f32 row,
-    /// `dim` per SQ8 code row, plus `4·dim` per re-ranked candidate —
-    /// the Figure-5 "bytes scanned" axis.
+    /// `dim` per SQ8 code row, `16·dim` per scanned SQ4 interleaved
+    /// block (32 packed rows at `dim/2` bytes each, counted whole —
+    /// fastscan reads the block even for partially-dead slots), plus
+    /// `4·dim` per re-ranked candidate — the Figure-5 "bytes scanned"
+    /// axis. Asserted per codec by `tests/telemetry.rs`.
     pub bytes_scanned: usize,
     /// Candidates re-ranked against exact f32 vectors (quantized
     /// scans only).

@@ -135,6 +135,73 @@ fn workers_are_bit_identical(codec: VectorCodec) {
     }
 }
 
+/// Telemetry must be an observer, never a participant: the same index
+/// queried with full tracing armed (collecting sink + slow-query log
+/// at threshold 0) returns bit-identical results and identical
+/// execution counters to an untraced handle.
+fn tracing_is_transparent(codec: VectorCodec) {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("trace.mnn");
+    let ds = dataset(1500, 77);
+    build(&path, codec, &ds);
+
+    let plain = MicroNN::open(&path, config(codec, 4)).unwrap();
+    let mut traced_cfg = config(codec, 4);
+    traced_cfg.slow_query_ms = Some(0);
+    let traced = MicroNN::open(&path, traced_cfg).unwrap();
+    traced.set_trace_sink(Some(std::sync::Arc::new(micronn::CollectingSink::new())));
+
+    let filter = Expr::eq("g", Value::Integer(1));
+    for qi in 0..ds.spec.n_queries {
+        let q = ds.query(qi);
+        let a = plain.search(q, K).unwrap();
+        let b = traced.search(q, K).unwrap();
+        assert_bit_identical(&a.results, &b.results, "traced plain");
+        assert_eq!(a.info, b.info, "traced plain counters");
+        let req = SearchRequest::new(q.to_vec(), K)
+            .with_filter(filter.clone())
+            .with_plan(PlanPreference::ForcePostFilter);
+        let a = plain.search_with(&req).unwrap();
+        let b = traced.search_with(&req).unwrap();
+        assert_bit_identical(&a.results, &b.results, "traced post-filter");
+        assert_eq!(a.info, b.info, "traced post-filter counters");
+        let a = plain.exact(q, K, None).unwrap();
+        let b = traced.exact(q, K, None).unwrap();
+        assert_bit_identical(&a.results, &b.results, "traced exact");
+        assert_eq!(a.info, b.info, "traced exact counters");
+    }
+    let batch: Vec<Vec<f32>> = (0..ds.spec.n_queries)
+        .map(|qi| ds.query(qi).to_vec())
+        .collect();
+    let a = plain.batch_search(&batch, K, None).unwrap();
+    let b = traced.batch_search(&batch, K, None).unwrap();
+    assert_eq!(a.partitions_scanned, b.partitions_scanned);
+    assert_eq!(a.distance_computations, b.distance_computations);
+    assert_eq!(a.bytes_scanned, b.bytes_scanned);
+    for (qi, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+        assert_bit_identical(x, y, &format!("traced batch q{qi}"));
+    }
+    assert!(
+        !traced.slow_queries().is_empty(),
+        "threshold 0 must populate the slow log"
+    );
+}
+
+#[test]
+fn tracing_is_transparent_f32() {
+    tracing_is_transparent(VectorCodec::F32);
+}
+
+#[test]
+fn tracing_is_transparent_sq8() {
+    tracing_is_transparent(VectorCodec::Sq8);
+}
+
+#[test]
+fn tracing_is_transparent_sq4() {
+    tracing_is_transparent(VectorCodec::Sq4);
+}
+
 #[test]
 fn workers_1_and_8_bit_identical_f32() {
     workers_are_bit_identical(VectorCodec::F32);

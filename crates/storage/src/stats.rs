@@ -4,72 +4,106 @@
 //! Figure 5 (memory during query processing), Figure 6b (memory during
 //! index construction), and Figure 10d (database row/page changes of
 //! incremental vs full rebuild). All counters here are monotonically
-//! increasing atomics so they can be sampled cheaply from any thread
-//! and differenced around a measured region.
+//! increasing [`Counter`]s (relaxed atomics) so they can be sampled
+//! cheaply from any thread and differenced around a measured region.
+//!
+//! The counters are `Arc`-shared [`micronn_telemetry::Counter`]s so a
+//! store's traffic can be re-registered into a
+//! [`micronn_telemetry::Registry`] (see [`IoStats::register_into`])
+//! without double-counting: the registry and the store bump the same
+//! atomics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use micronn_telemetry::{Counter, Registry};
 
 /// Monotonic counters describing disk and cache traffic of a [`crate::Store`].
 #[derive(Default)]
 pub struct IoStats {
     /// Pages read from the main database file.
-    pub main_reads: AtomicU64,
+    pub main_reads: Arc<Counter>,
     /// Pages written to the main database file (checkpoints).
-    pub main_writes: AtomicU64,
+    pub main_writes: Arc<Counter>,
     /// Frames read from the WAL file.
-    pub wal_reads: AtomicU64,
+    pub wal_reads: Arc<Counter>,
     /// Frames appended to the WAL file.
-    pub wal_writes: AtomicU64,
+    pub wal_writes: Arc<Counter>,
     /// Buffer-pool hits.
-    pub pool_hits: AtomicU64,
+    pub pool_hits: Arc<Counter>,
     /// Buffer-pool misses (page had to be fetched from disk).
-    pub pool_misses: AtomicU64,
+    pub pool_misses: Arc<Counter>,
     /// Pages evicted from the buffer pool.
-    pub pool_evictions: AtomicU64,
+    pub pool_evictions: Arc<Counter>,
     /// Commits performed.
-    pub commits: AtomicU64,
+    pub commits: Arc<Counter>,
     /// Checkpoints performed.
-    pub checkpoints: AtomicU64,
+    pub checkpoints: Arc<Counter>,
     /// Pages newly allocated.
-    pub pages_allocated: AtomicU64,
+    pub pages_allocated: Arc<Counter>,
     /// Pages returned to the freelist.
-    pub pages_freed: AtomicU64,
+    pub pages_freed: Arc<Counter>,
     /// fsync calls issued.
-    pub syncs: AtomicU64,
+    pub syncs: Arc<Counter>,
     /// Pages loaded into the pool by the readahead worker.
-    pub prefetch_reads: AtomicU64,
+    pub prefetch_reads: Arc<Counter>,
     /// Readahead requests skipped because the page was already resident.
-    pub prefetch_skipped: AtomicU64,
+    pub prefetch_skipped: Arc<Counter>,
 }
 
 impl IoStats {
     #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(counter: &Counter) {
+        counter.inc();
     }
 
     #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn add(counter: &Counter, n: u64) {
+        counter.add(n);
     }
 
     /// Takes a point-in-time snapshot of all counters.
     pub fn snapshot(&self) -> StoreStats {
         StoreStats {
-            main_reads: self.main_reads.load(Ordering::Relaxed),
-            main_writes: self.main_writes.load(Ordering::Relaxed),
-            wal_reads: self.wal_reads.load(Ordering::Relaxed),
-            wal_writes: self.wal_writes.load(Ordering::Relaxed),
-            pool_hits: self.pool_hits.load(Ordering::Relaxed),
-            pool_misses: self.pool_misses.load(Ordering::Relaxed),
-            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            pages_allocated: self.pages_allocated.load(Ordering::Relaxed),
-            pages_freed: self.pages_freed.load(Ordering::Relaxed),
-            syncs: self.syncs.load(Ordering::Relaxed),
-            prefetch_reads: self.prefetch_reads.load(Ordering::Relaxed),
-            prefetch_skipped: self.prefetch_skipped.load(Ordering::Relaxed),
+            main_reads: self.main_reads.get(),
+            main_writes: self.main_writes.get(),
+            wal_reads: self.wal_reads.get(),
+            wal_writes: self.wal_writes.get(),
+            pool_hits: self.pool_hits.get(),
+            pool_misses: self.pool_misses.get(),
+            pool_evictions: self.pool_evictions.get(),
+            commits: self.commits.get(),
+            checkpoints: self.checkpoints.get(),
+            pages_allocated: self.pages_allocated.get(),
+            pages_freed: self.pages_freed.get(),
+            syncs: self.syncs.get(),
+            prefetch_reads: self.prefetch_reads.get(),
+            prefetch_skipped: self.prefetch_skipped.get(),
+        }
+    }
+
+    /// Registers every counter in `registry` under
+    /// `{prefix}{counter_name}` (e.g. `micronn_store_pool_hits`).
+    /// Registry snapshots then observe the store's live traffic — the
+    /// same atomics, not copies.
+    pub fn register_into(&self, registry: &Registry, prefix: &str) {
+        let entries: [(&str, &Arc<Counter>); 14] = [
+            ("main_reads", &self.main_reads),
+            ("main_writes", &self.main_writes),
+            ("wal_reads", &self.wal_reads),
+            ("wal_writes", &self.wal_writes),
+            ("pool_hits", &self.pool_hits),
+            ("pool_misses", &self.pool_misses),
+            ("pool_evictions", &self.pool_evictions),
+            ("commits", &self.commits),
+            ("checkpoints", &self.checkpoints),
+            ("pages_allocated", &self.pages_allocated),
+            ("pages_freed", &self.pages_freed),
+            ("syncs", &self.syncs),
+            ("prefetch_reads", &self.prefetch_reads),
+            ("prefetch_skipped", &self.prefetch_skipped),
+        ];
+        for (name, counter) in entries {
+            registry.register_counter(&format!("{prefix}{name}"), Arc::clone(counter));
         }
     }
 }
@@ -170,5 +204,18 @@ mod tests {
         assert_eq!(st.disk_writes(), 5);
         assert!((st.hit_ratio() - 0.9).abs() < 1e-12);
         assert_eq!(StoreStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn registry_sees_live_store_counters() {
+        let s = IoStats::default();
+        let r = Registry::new();
+        s.register_into(&r, "store_");
+        IoStats::bump(&s.commits);
+        IoStats::add(&s.wal_writes, 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("store_commits"), Some(1));
+        assert_eq!(snap.counter("store_wal_writes"), Some(3));
+        assert_eq!(snap.counter("store_main_reads"), Some(0));
     }
 }

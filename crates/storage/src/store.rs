@@ -50,6 +50,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use micronn_telemetry::{SinkCell, Span};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{Result, StorageError};
@@ -119,6 +120,12 @@ pub struct StoreOptions {
     /// [`StdVfs`] in production, [`crate::sim::SimVfs`] in the
     /// crash-injection harnesses.
     pub vfs: Arc<dyn Vfs>,
+    /// Mount point for span tracing: WAL group commits and checkpoints
+    /// record [`micronn_telemetry::Span`]s (duration, bytes, fsyncs)
+    /// when a sink is installed. Disabled (and overhead-free) by
+    /// default; the layer above typically shares one cell across the
+    /// store and the query executor.
+    pub trace: Arc<SinkCell>,
 }
 
 impl Default for StoreOptions {
@@ -130,6 +137,7 @@ impl Default for StoreOptions {
             spill_after_pages: 4096,
             prefetch_queue_pages: 256,
             vfs: StdVfs::handle(),
+            trace: Arc::new(SinkCell::new()),
         }
     }
 }
@@ -143,6 +151,7 @@ impl std::fmt::Debug for StoreOptions {
             .field("spill_after_pages", &self.spill_after_pages)
             .field("prefetch_queue_pages", &self.prefetch_queue_pages)
             .field("vfs", &self.vfs.name())
+            .field("trace", &self.trace.enabled())
             .finish()
     }
 }
@@ -421,6 +430,14 @@ impl Store {
         s
     }
 
+    /// The live counter block behind [`Store::stats`], for
+    /// re-registration into a [`micronn_telemetry::Registry`]
+    /// (see [`IoStats::register_into`]). Note `pool_evictions` is
+    /// tallied inside the pool and only folded in by [`Store::stats`].
+    pub fn io(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
     /// Bytes of page images resident in the buffer pool.
     pub fn resident_bytes(&self) -> usize {
         self.inner.pool.resident_bytes()
@@ -633,6 +650,7 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
             }
         }
     }
+    let trace_start = inner.opts.trace.enabled().then(std::time::Instant::now);
     let mut targets = inner.wal.index().latest_per_page(mx);
     // Ascending page order: better write locality, and — with the WAL
     // index map being unordered — a deterministic operation stream for
@@ -651,6 +669,20 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
         inner.wal.note_durable(mx);
     }
     IoStats::bump(&inner.stats.checkpoints);
+    if let Some(t0) = trace_start {
+        inner.opts.trace.record(Span {
+            name: "checkpoint",
+            duration: t0.elapsed(),
+            bytes: targets.len() as u64 * PAGE_SIZE as u64,
+            items: targets.len() as u64,
+            fsyncs: if matches!(inner.opts.sync, SyncMode::Off) {
+                0
+            } else {
+                1
+            },
+            detail: String::new(),
+        });
+    }
     Ok(true)
 }
 
@@ -908,6 +940,12 @@ impl WriteTxn {
             self.done = true;
             return Ok(());
         }
+        let trace_start = self
+            .inner
+            .opts
+            .trace
+            .enabled()
+            .then(std::time::Instant::now);
         // The header page rides along with every commit so reopen sees
         // consistent meta (page count, freelist, roots).
         let mut header = PageData::zeroed();
@@ -918,7 +956,8 @@ impl WriteTxn {
         pages.sort_by_key(|(id, _)| *id);
         let refs: Vec<(PageId, &PageData)> = pages.iter().map(|(id, p)| (*id, &**p)).collect();
         let commit_seq = self.inner.wal.append_commit(&refs, self.meta.page_count)?;
-        IoStats::add(&self.inner.stats.wal_writes, refs.len() as u64);
+        let frames = refs.len() as u64;
+        IoStats::add(&self.inner.stats.wal_writes, frames);
         IoStats::bump(&self.inner.stats.commits);
 
         // Warm the pool with the images we just wrote: the next reads
@@ -950,11 +989,26 @@ impl WriteTxn {
         let inner = Arc::clone(&self.inner);
         let sync_off = matches!(inner.opts.sync, SyncMode::Off);
         drop(self);
+        let mut fsyncs = 0u64;
         if !sync_off {
             let issued = inner.wal.sync_committed(commit_seq)?;
             if issued {
                 IoStats::bump(&inner.stats.syncs);
+                fsyncs = 1;
             }
+        }
+        if let Some(t0) = trace_start {
+            // The span covers append + publish + group-fsync wait;
+            // `fsyncs == 0` under SyncMode::Off or when a concurrent
+            // leader's sync covered this commit (group commit).
+            inner.opts.trace.record(Span {
+                name: "wal_group_commit",
+                duration: t0.elapsed(),
+                bytes: frames * PAGE_SIZE as u64,
+                items: frames,
+                fsyncs,
+                detail: String::new(),
+            });
         }
         Ok(())
     }

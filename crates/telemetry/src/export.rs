@@ -1,0 +1,163 @@
+//! Snapshot renderers: Prometheus text exposition format and JSON.
+//!
+//! Both are hand-rolled (the workspace carries no serialization
+//! dependency) and operate on [`RegistrySnapshot`], so exporting never
+//! blocks metric producers.
+
+use crate::metrics::{MetricSnapshot, RegistrySnapshot};
+
+/// Maps a registry name to a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Histograms emit cumulative `_bucket{le="…"}` lines for each
+    /// non-empty bucket (plus `+Inf`), then `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            let name = prom_name(name);
+            match metric {
+                MetricSnapshot::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricSnapshot::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (upper, count) in h.nonzero_buckets() {
+                        cum += count;
+                        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object with `counters`,
+    /// `gauges`, and `histograms` sections; histograms carry count,
+    /// sum, max, mean, and the standard quantile estimates.
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for (name, metric) in &self.metrics {
+            let key = json_escape(name);
+            match metric {
+                MetricSnapshot::Counter(v) => counters.push(format!("\"{key}\":{v}")),
+                MetricSnapshot::Gauge(v) => gauges.push(format!("\"{key}\":{v}")),
+                MetricSnapshot::Histogram(h) => hists.push(format!(
+                    "\"{key}\":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\
+                     \"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"p999\":{:.1}}}",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.p999()
+                )),
+            }
+        }
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+
+    #[test]
+    fn prometheus_output_is_line_format_clean() {
+        let r = Registry::new();
+        r.counter("micronn_queries_total").add(3);
+        r.gauge("micronn_resident_bytes").set(4096);
+        let h = r.histogram("micronn_query_latency_ns");
+        for v in [900u64, 1_000, 50_000, 2_000_000] {
+            h.record(v);
+        }
+        let text = r.snapshot().to_prometheus();
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+            let bare = name_part.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .enumerate()
+                    .all(|(i, c)| c.is_ascii_alphabetic()
+                        || c == '_'
+                        || c == ':'
+                        || (i > 0 && c.is_ascii_digit())),
+                "bad metric name in: {line}"
+            );
+            if name_part.contains("_bucket") {
+                bucket_lines += 1;
+            }
+        }
+        // 4 non-empty buckets + the +Inf line.
+        assert_eq!(bucket_lines, 5);
+        assert!(text.contains("micronn_queries_total 3"));
+        assert!(text.contains("le=\"+Inf\"} 4"));
+        assert!(text.contains("micronn_query_latency_ns_count 4"));
+    }
+
+    #[test]
+    fn json_output_has_all_sections() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.gauge("b").set(-2);
+        r.histogram("c_ns").record(128);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a_total\":1"));
+        assert!(json.contains("\"b\":-2"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50\":"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Unified telemetry for the MicroNN stack.
+//!
+//! The paper's entire evaluation (Figures 4–10) is built on latency,
+//! I/O, and memory measurement. This crate replaces the repo's
+//! patchwork of one-off atomics with one coherent layer:
+//!
+//! * **[`Registry`]** — a named collection of lock-free
+//!   [`Counter`]s, [`Gauge`]s, and [`Histogram`]s. Handles are
+//!   `Arc`-shared, so hot paths bump plain atomics; the registry lock
+//!   is only taken at get-or-create and snapshot time.
+//! * **[`Histogram`]** — fixed-bucket log-scale latency histogram
+//!   (8 sub-buckets per octave, ≤ 12.5 % relative bucket width) with
+//!   mergeable [`HistogramSnapshot`]s reporting p50/p90/p99/p999 and
+//!   an exact max.
+//! * **[`TraceSink`]** — span-style tracing behind a
+//!   zero-overhead-when-disabled mount point ([`SinkCell`]): query
+//!   stages, WAL group commits, checkpoints, and maintenance actions
+//!   each record a [`Span`] with duration, bytes, and fsync counts.
+//! * **[`SlowQueryLog`]** — a bounded ring buffer of
+//!   [`SlowQueryRecord`]s capturing the full stage breakdown of
+//!   queries over a configurable threshold.
+//! * **Exporters** — [`RegistrySnapshot::to_prometheus`] (text
+//!   exposition format) and [`RegistrySnapshot::to_json`].
+//!
+//! The crate is dependency-free (std only) so every layer of the
+//! stack — storage, core, benches — can use it without cycles.
+
+mod export;
+mod metrics;
+mod slowlog;
+mod trace;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, bucket_width, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricSnapshot, Registry, RegistrySnapshot, NUM_BUCKETS,
+};
+pub use slowlog::{SlowQueryLog, SlowQueryRecord};
+pub use trace::{CollectingSink, NullSink, SinkCell, Span, TraceSink};

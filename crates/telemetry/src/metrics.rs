@@ -1,0 +1,564 @@
+//! Lock-free counters, gauges, log-scale histograms, and the registry
+//! that names them.
+//!
+//! Histogram layout: values are bucketed on a base-2 logarithmic scale
+//! with `2^3 = 8` sub-buckets per octave. For a value `v ≥ 8` with
+//! most-significant bit `m`, the bucket index is
+//! `(m - 3)·8 + (v >> (m - 3))`; values below 8 get exact unit
+//! buckets. Bucket width is at most 12.5 % of the bucket's lower
+//! bound, so any quantile estimate is off by less than one bucket
+//! width from the exact order statistic. 496 buckets cover all of
+//! `u64` — at nanosecond resolution that is `0 ns` through ~584 years.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sub-bucket resolution: `2^SUBBITS` buckets per power of two.
+const SUBBITS: u32 = 3;
+
+/// Total number of histogram buckets covering the full `u64` range.
+pub const NUM_BUCKETS: usize = 496;
+
+/// Returns the bucket index a value lands in; see the module docs for
+/// the layout.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUBBITS) {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUBBITS;
+        ((shift as usize) << SUBBITS) + (v >> shift) as usize
+    }
+}
+
+/// Returns `(lower, upper)` bounds of bucket `i` (`lower` inclusive,
+/// `upper` exclusive; the last bucket saturates at `u64::MAX`).
+#[inline]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < NUM_BUCKETS);
+    if i < (1 << SUBBITS) {
+        (i as u64, i as u64 + 1)
+    } else {
+        let shift = (i >> SUBBITS) as u32 - 1;
+        let lo = (((1 << SUBBITS) + (i & ((1 << SUBBITS) - 1))) as u64) << shift;
+        (lo, lo.saturating_add(1u64 << shift))
+    }
+}
+
+/// Width of the bucket containing `v` — the quantile error bound at
+/// that magnitude.
+#[inline]
+pub fn bucket_width(v: u64) -> u64 {
+    let (lo, hi) = bucket_bounds(bucket_index(v));
+    hi - lo
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. resident bytes, live handles).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale histogram; see the module docs for the
+/// bucket layout. Recording is three relaxed atomic RMWs plus a
+/// `fetch_max`, so it is safe on any hot path.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot (not atomic across buckets, but
+    /// every recorded value is counted exactly once eventually).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]. Snapshots from different
+/// shards merge losslessly: bucket counts add, so a merged snapshot
+/// reports exactly the quantiles of the union of the inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values (wraps only after `u64` overflow).
+    pub sum: u64,
+    /// Largest recorded value, exact.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Adds `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // The recording side accumulates `sum` with a wrapping atomic
+        // fetch_add; wrap here too so merged == union holds bit-exactly
+        // even for pathological value ranges.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of all recorded values; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate of the `j`-th order statistic (0-indexed). The true
+    /// value lies in the same bucket, so the error is below one bucket
+    /// width.
+    fn order_stat(&self, j: u64) -> f64 {
+        debug_assert!(j < self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c > j {
+                let (lo, hi) = bucket_bounds(i);
+                let within = (j - cum) as f64 + 0.5;
+                return lo as f64 + (hi - lo) as f64 * within / c as f64;
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`, using the same
+    /// `rank = q·(n−1)` linear-interpolation convention as the bench
+    /// harness's exact `percentile` helper, so the two agree to within
+    /// one bucket width. Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let lo = rank.floor() as u64;
+        let hi = rank.ceil() as u64;
+        let a = self.order_stat(lo);
+        if hi == lo {
+            return a;
+        }
+        let b = self.order_stat(hi);
+        a + (b - a) * (rank - lo as f64)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Iterates non-empty buckets as `(upper_bound, count)` pairs, in
+    /// increasing bound order — the shape Prometheus bucket lines need.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(i).1, c))
+    }
+}
+
+enum MetricHandle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time copy of one registry entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named collection of metrics. Get-or-create returns `Arc` handles
+/// so hot paths never touch the registry lock again; two calls with
+/// the same name share storage.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, MetricHandle>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| MetricHandle::Counter(Arc::new(Counter::new())))
+        {
+            MetricHandle::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| MetricHandle::Gauge(Arc::new(Gauge::new())))
+        {
+            MetricHandle::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| MetricHandle::Histogram(Arc::new(Histogram::new())))
+        {
+            MetricHandle::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Registers an externally owned counter under `name`, replacing
+    /// any previous entry. This is how pre-existing counter blocks
+    /// (e.g. the storage engine's `IoStats`) surface in the registry
+    /// without double-counting: both sides share the same atomic.
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), MetricHandle::Counter(counter));
+    }
+
+    /// Takes a point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let m = self.metrics.lock().unwrap();
+        RegistrySnapshot {
+            metrics: m
+                .iter()
+                .map(|(name, h)| {
+                    let v = match h {
+                        MetricHandle::Counter(c) => MetricSnapshot::Counter(c.get()),
+                        MetricHandle::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                        MetricHandle::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.metrics.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`], ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Metric values keyed by registered name.
+    pub metrics: BTreeMap<String, MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricSnapshot::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name) {
+            Some(MetricSnapshot::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricSnapshot::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_contiguous_and_monotonic() {
+        let mut prev = 0usize;
+        for v in 0u64..100_000 {
+            let i = bucket_index(v);
+            assert!(i == prev || i == prev + 1, "gap at v={v}: {prev} -> {i}");
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v < hi, "v={v} not in [{lo},{hi}) (bucket {i})");
+            prev = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn boundary_buckets_microsecond_millisecond_second() {
+        // 1 µs, 1 ms, 1 s recorded as nanoseconds must land in the
+        // expected log-scale buckets, and the bounds must bracket the
+        // value tightly (≤ 12.5 % relative width).
+        for v in [1_000u64, 1_000_000, 1_000_000_000] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v < hi);
+            assert!((hi - lo) as f64 / lo as f64 <= 0.125 + 1e-12);
+        }
+        // Spot-check the derivation for 1 µs: msb=9, shift=6,
+        // index = 6·8 + (1000 >> 6) = 63, bounds [960, 1024).
+        assert_eq!(bucket_index(1_000), 63);
+        assert_eq!(bucket_bounds(63), (960, 1024));
+        // Exact powers of two start their own bucket.
+        assert_eq!(bucket_bounds(bucket_index(1 << 20)).0, 1 << 20);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_percentiles() {
+        let h = Histogram::new();
+        let mut vals: Vec<u64> = (0..1000u64).map(|i| i * i + 17).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max, *vals.last().unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = q * (vals.len() - 1) as f64;
+            let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+            let exact = vals[lo] as f64 + (vals[hi] as f64 - vals[lo] as f64) * (rank - lo as f64);
+            let est = snap.quantile(q);
+            let tol = bucket_width(est.max(exact) as u64) as f64;
+            assert!(
+                (est - exact).abs() <= tol,
+                "q={q}: est {est} vs exact {exact}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0.0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 7 + 3;
+            if v % 2 == 0 { &a } else { &b }.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn registry_shares_handles_and_snapshots() {
+        let r = Registry::new();
+        let c1 = r.counter("ops_total");
+        let c2 = r.counter("ops_total");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(r.snapshot().counter("ops_total"), Some(3));
+        r.gauge("resident").set(-4);
+        r.histogram("lat_ns").record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("resident"), Some(-4));
+        assert_eq!(snap.histogram("lat_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("lat_ns"), None);
+        // External registration shares the same atomic.
+        let ext = Arc::new(Counter::new());
+        ext.add(9);
+        r.register_counter("external", Arc::clone(&ext));
+        ext.inc();
+        assert_eq!(r.snapshot().counter("external"), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+}

@@ -1,0 +1,188 @@
+//! Span-style tracing behind a zero-overhead-when-disabled mount
+//! point.
+//!
+//! Instrumented code keeps an `Arc<SinkCell>` and guards every span
+//! construction on [`SinkCell::enabled`] — a single relaxed atomic
+//! load. With no sink installed (the default) the instrumented paths
+//! execute no timing calls and allocate nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// One completed unit of traced work: a query stage, a WAL group
+/// commit, a checkpoint, or a maintenance action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stable span name, e.g. `"partition_scan"`, `"wal_group_commit"`,
+    /// `"maintain_flush"`.
+    pub name: &'static str,
+    /// Wall-clock duration of the spanned region.
+    pub duration: Duration,
+    /// Bytes attributed to the span (payload scanned, pages written).
+    pub bytes: u64,
+    /// Item count attributed to the span (rows, pages, candidates).
+    pub items: u64,
+    /// fsync calls issued inside the span.
+    pub fsyncs: u64,
+    /// Free-form context (plan, partition id); empty when untraced.
+    pub detail: String,
+}
+
+impl Span {
+    /// A span with only a name and duration; counters start at zero.
+    pub fn new(name: &'static str, duration: Duration) -> Span {
+        Span {
+            name,
+            duration,
+            bytes: 0,
+            items: 0,
+            fsyncs: 0,
+            detail: String::new(),
+        }
+    }
+}
+
+/// Receiver for completed [`Span`]s. Implementations must be cheap
+/// and non-blocking — spans are recorded from query and commit paths.
+pub trait TraceSink: Send + Sync {
+    /// Whether the sink wants spans at all; instrumented code checks
+    /// this (through [`SinkCell::enabled`]) before timing anything.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one completed span.
+    fn record(&self, span: &Span);
+}
+
+/// A sink that discards everything and reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _span: &Span) {}
+}
+
+/// A sink that buffers every span in memory — the test and
+/// `micronnctl trace` workhorse.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    spans: Mutex<Vec<Span>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collector.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// Removes and returns everything collected so far.
+    pub fn take(&self) -> Vec<Span> {
+        std::mem::take(&mut self.spans.lock().unwrap())
+    }
+
+    /// Clones everything collected so far.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Number of spans collected so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&self, span: &Span) {
+        self.spans.lock().unwrap().push(span.clone());
+    }
+}
+
+/// Shared mount point for an optional [`TraceSink`].
+///
+/// The cell is cloned (via `Arc`) into every component that emits
+/// spans — the store options, the query executor, the maintenance
+/// ladder — so installing one sink makes the whole stack visible.
+/// The enabled flag is a dedicated atomic, so the disabled fast path
+/// never touches the `RwLock`.
+#[derive(Default)]
+pub struct SinkCell {
+    active: AtomicBool,
+    sink: RwLock<Option<Arc<dyn TraceSink>>>,
+}
+
+impl SinkCell {
+    /// Creates a cell with no sink installed (disabled).
+    pub fn new() -> SinkCell {
+        SinkCell::default()
+    }
+
+    /// Installs (or with `None`, removes) the sink.
+    pub fn set(&self, sink: Option<Arc<dyn TraceSink>>) {
+        let active = sink.as_ref().is_some_and(|s| s.enabled());
+        *self.sink.write().unwrap() = sink;
+        self.active.store(active, Ordering::Release);
+    }
+
+    /// Whether a live sink is installed. Instrumented code gates all
+    /// timing and span construction on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Forwards a span to the installed sink, if any.
+    pub fn record(&self, span: Span) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(sink) = self.sink.read().unwrap().as_ref() {
+            sink.record(&span);
+        }
+    }
+}
+
+impl std::fmt::Debug for SinkCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkCell")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_is_disabled_until_a_live_sink_is_installed() {
+        let cell = SinkCell::new();
+        assert!(!cell.enabled());
+        cell.record(Span::new("ignored", Duration::from_micros(1)));
+
+        let sink = Arc::new(CollectingSink::new());
+        cell.set(Some(sink.clone()));
+        assert!(cell.enabled());
+        cell.record(Span::new("kept", Duration::from_micros(2)));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.spans()[0].name, "kept");
+
+        cell.set(Some(Arc::new(NullSink)));
+        assert!(!cell.enabled(), "NullSink must not enable the cell");
+
+        cell.set(None);
+        assert!(!cell.enabled());
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for histogram merge and bucketing correctness
+//! (ISSUE 9 satellite): merged shard snapshots must report exactly
+//! the quantiles of a single histogram fed the union, and every value
+//! must land in the bucket whose bounds bracket it.
+
+use micronn_telemetry::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merged_shards_match_union(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..128),
+            1..6,
+        ),
+    ) {
+        // Per-shard histograms, merged...
+        let mut merged = HistogramSnapshot::empty();
+        for shard in &shards {
+            let h = Histogram::new();
+            for &v in shard {
+                h.record(v);
+            }
+            merged.merge(&h.snapshot());
+        }
+        // ...versus one histogram fed the union.
+        let union = Histogram::new();
+        for &v in shards.iter().flatten() {
+            union.record(v);
+        }
+        let union = union.snapshot();
+        // Bucket-wise addition makes this an exact equality, so every
+        // derived quantile agrees too.
+        prop_assert_eq!(&merged, &union);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), union.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bracketing_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v, "v={} below bucket {} lower bound {}", v, i, lo);
+        prop_assert!(v < hi || (v == u64::MAX && hi == u64::MAX),
+            "v={} not below bucket {} upper bound {}", v, i, hi);
+        // Quantile of a single-value histogram stays inside the bucket.
+        let h = Histogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        let q = snap.quantile(0.5);
+        prop_assert!(q >= lo as f64 && q <= hi as f64);
+        prop_assert_eq!(snap.max, v);
+    }
+}

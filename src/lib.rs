@@ -11,3 +11,4 @@ pub use micronn_datasets;
 pub use micronn_linalg;
 pub use micronn_rel;
 pub use micronn_storage;
+pub use micronn_telemetry;
