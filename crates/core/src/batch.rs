@@ -24,7 +24,9 @@ use std::collections::HashMap;
 
 use micronn_linalg::{merge_all, Neighbor, TopK};
 
-use crate::db::{MicroNN, DELTA_PARTITION};
+use micronn_storage::ReadTxn;
+
+use crate::db::{Inner, MicroNN, DELTA_PARTITION};
 use crate::error::{Error, Result};
 use crate::exec::{rerank_exact, scan_pool_k, PartitionScanner, Queries, ScanMetrics};
 use crate::search::SearchResult;
@@ -54,7 +56,22 @@ impl MicroNN {
         k: usize,
         probes: Option<usize>,
     ) -> Result<BatchResponse> {
-        let inner = &*self.inner;
+        let r = self.inner.db.begin_read();
+        batch_search_at(&self.inner, &r, queries, k, probes)
+    }
+}
+
+/// [`MicroNN::batch_search`] against a caller-pinned snapshot: the
+/// whole batch — probe selection, shared partition scans, re-rank —
+/// resolves every page at `r`'s commit seq.
+pub(crate) fn batch_search_at(
+    inner: &Inner,
+    r: &ReadTxn,
+    queries: &[Vec<f32>],
+    k: usize,
+    probes: Option<usize>,
+) -> Result<BatchResponse> {
+    {
         if queries.is_empty() {
             return Ok(BatchResponse {
                 results: vec![],
@@ -72,7 +89,6 @@ impl MicroNN {
             }
         }
         let mut trace = QueryTrace::new(inner.tel.detailed());
-        let r = inner.db.begin_read();
         let probes = probes.unwrap_or(inner.cfg.default_probes);
         let nq = queries.len();
         let dim = inner.dim;
@@ -89,7 +105,7 @@ impl MicroNN {
         // query order, keeping the grouping deterministic regardless
         // of worker count.
         let mut groups: HashMap<i64, Vec<u32>> = HashMap::new();
-        if let Some(index) = inner.clustering(&r)? {
+        if let Some(index) = inner.clustering(r)? {
             let index = &index;
             let queries_flat = &queries_flat;
             let probe_lists: Vec<Vec<i64>> = inner.scan_pool.parallel_indexed(nq, |qi| {
@@ -116,7 +132,7 @@ impl MicroNN {
         let metrics = ScanMetrics::default();
         let scanner = PartitionScanner {
             inner,
-            r: &r,
+            r,
             filter: None,
             metrics: &metrics,
             use_codec: true,
@@ -170,7 +186,6 @@ impl MicroNN {
             let pools = &pools;
             let queries_flat = &queries_flat;
             let metrics = &metrics;
-            let r = &r;
             merged = inner.scan_pool.parallel_indexed(nq, |qi| {
                 rerank_exact(
                     inner,
@@ -216,7 +231,9 @@ impl MicroNN {
             bytes_scanned: metrics.bytes_scanned(),
         })
     }
+}
 
+impl MicroNN {
     /// Naive baseline: the same batch processed one query at a time
     /// (used by the Figure 9 comparison).
     pub fn batch_search_sequential(

@@ -129,12 +129,18 @@ impl LoadedIndex {
 }
 
 pub(crate) struct CentroidCache {
+    /// Index epoch (`M_EPOCH`) the entry was loaded under.
     pub epoch: i64,
+    /// Commit seq of the snapshot the entry was loaded from. Publish
+    /// policy: only committed snapshots may publish, and an older
+    /// snapshot never clobbers a newer entry.
+    pub seq: u64,
     pub index: LoadedIndex,
 }
 
-/// Epoch-keyed per-partition quantization ranges (SQ8 catalogs).
-type QuantCache = Option<(i64, HashMap<i64, Arc<Sq8Params>>)>;
+/// Per-partition quantization ranges (SQ8 catalogs), keyed like
+/// [`CentroidCache`] on `(epoch, snapshot commit seq)`.
+type QuantCache = Option<(i64, u64, HashMap<i64, Arc<Sq8Params>>)>;
 
 pub(crate) struct Inner {
     pub db: Database,
@@ -143,9 +149,12 @@ pub(crate) struct Inner {
     pub metric: Metric,
     pub cfg: Config,
     pub centroid_cache: RwLock<Option<CentroidCache>>,
-    pub stats_cache: RwLock<Option<(i64, Arc<TableStats>)>>,
+    /// Attribute statistics keyed on the *commit seq* of the snapshot
+    /// they were loaded from — any committed write (upsert, delete,
+    /// flush) can change them, so the epoch alone is not a valid key.
+    pub stats_cache: RwLock<Option<(u64, Arc<TableStats>)>>,
     /// Per-partition quantization ranges: ranges change only under
-    /// maintenance, which bumps the epoch.
+    /// maintenance, which bumps the epoch in the same transaction.
     pub quant_cache: RwLock<QuantCache>,
     /// Persistent worker pool for parallel partition scans (Figure 3).
     /// Every query path fans out through its typed
@@ -998,11 +1007,26 @@ impl Inner {
     /// plus the partition id per centroid, and — once `k` crosses the
     /// configured threshold — the two-level centroid index. `None`
     /// before the first index build.
+    ///
+    /// Cache protocol (shared by [`Inner::partition_params`]): the
+    /// epoch is read *under the caller's snapshot*, and the cache is
+    /// used only when the caller is a committed read snapshot
+    /// ([`PageRead::committed_snapshot`] is `Some`) whose epoch matches
+    /// the entry's. Epochs are monotone and every centroid/range
+    /// change commits an epoch bump in the same transaction, so epoch
+    /// equality between two snapshots implies identical centroid
+    /// state. Write transactions never hit or publish the cache: a
+    /// mid-transaction writer may have already changed centroid rows
+    /// (before its epoch bump), and a rolled-back writer must not
+    /// poison readers with data that never committed.
     pub(crate) fn clustering<R: PageRead + ?Sized>(&self, r: &R) -> Result<Option<LoadedIndex>> {
         let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
-        if let Some(cache) = self.centroid_cache.read().as_ref() {
-            if cache.epoch == epoch {
-                return Ok(Some(cache.index.clone()));
+        let snap = r.committed_snapshot();
+        if snap.is_some() {
+            if let Some(cache) = self.centroid_cache.read().as_ref() {
+                if cache.epoch == epoch {
+                    return Ok(Some(cache.index.clone()));
+                }
             }
         }
         let mut partitions = Vec::new();
@@ -1041,10 +1065,18 @@ impl Inner {
             partitions: Arc::new(partitions),
             super_index,
         };
-        *self.centroid_cache.write() = Some(CentroidCache {
-            epoch,
-            index: index.clone(),
-        });
+        if let Some(s) = snap {
+            let mut guard = self.centroid_cache.write();
+            // A reader on an older snapshot must not clobber an entry
+            // published by a newer one.
+            if !guard.as_ref().is_some_and(|c| c.seq > s) {
+                *guard = Some(CentroidCache {
+                    epoch,
+                    seq: s,
+                    index: index.clone(),
+                });
+            }
+        }
         Ok(Some(index))
     }
 
@@ -1052,8 +1084,10 @@ impl Inner {
     /// partition (SQ8 catalogs; `None` for unquantized catalogs, the
     /// delta store, and never-encoded partitions). Ranges only change
     /// under maintenance — which bumps the epoch in the same
-    /// transaction — so the cache is epoch-keyed like the centroid
-    /// cache and stays consistent across snapshots.
+    /// transaction — so the cache follows the same
+    /// `(epoch, snapshot seq)` protocol as [`Inner::clustering`]:
+    /// committed snapshots with a matching epoch share one map, write
+    /// transactions bypass the cache entirely.
     pub(crate) fn partition_params<R: PageRead + ?Sized>(
         &self,
         r: &R,
@@ -1063,24 +1097,32 @@ impl Inner {
             return Ok(None);
         }
         let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
-        if let Some((e, map)) = self.quant_cache.read().as_ref() {
-            if *e == epoch {
-                if let Some(p) = map.get(&partition) {
-                    return Ok(Some(p.clone()));
+        let snap = r.committed_snapshot();
+        if snap.is_some() {
+            if let Some((e, _, map)) = self.quant_cache.read().as_ref() {
+                if *e == epoch {
+                    if let Some(p) = map.get(&partition) {
+                        return Ok(Some(p.clone()));
+                    }
                 }
             }
         }
         let loaded = crate::codec::load_params(r, &self.tables, partition, self.dim)?.map(Arc::new);
-        if let Some(p) = &loaded {
+        if let (Some(p), Some(s)) = (&loaded, snap) {
             let mut guard = self.quant_cache.write();
             match guard.as_mut() {
-                Some((e, map)) if *e == epoch => {
+                // Same epoch ⇒ same ranges (see `clustering`): merging
+                // into the shared map is sound from any matching
+                // committed snapshot; keep the newest seq as the key.
+                Some((e, seq, map)) if *e == epoch => {
                     map.insert(partition, p.clone());
+                    *seq = (*seq).max(s);
                 }
+                Some((_, seq, _)) if *seq > s => {} // newer entry wins
                 _ => {
                     let mut map = HashMap::new();
                     map.insert(partition, p.clone());
-                    *guard = Some((epoch, map));
+                    *guard = Some((epoch, s, map));
                 }
             }
         }
@@ -1088,15 +1130,29 @@ impl Inner {
     }
 
     /// Loads (or returns the cached) attribute statistics.
+    ///
+    /// Unlike centroids and quantization ranges, attribute statistics
+    /// change with *every* committed write (upserts and deletes touch
+    /// `attrs` without bumping the epoch), so the cache is keyed on
+    /// the snapshot's commit seq: a hit requires the reader to be
+    /// pinned at exactly the seq the stats were loaded from. Write
+    /// transactions always load fresh and never publish.
     pub(crate) fn table_stats<R: PageRead + ?Sized>(&self, r: &R) -> Result<Arc<TableStats>> {
-        let epoch = meta_int(r, &self.tables.meta, M_EPOCH)?;
-        if let Some((e, stats)) = self.stats_cache.read().as_ref() {
-            if *e == epoch {
-                return Ok(stats.clone());
+        let snap = r.committed_snapshot();
+        if let Some(s) = snap {
+            if let Some((seq, stats)) = self.stats_cache.read().as_ref() {
+                if *seq == s {
+                    return Ok(stats.clone());
+                }
             }
         }
         let stats = Arc::new(TableStats::load(r, &self.tables.attrs)?);
-        *self.stats_cache.write() = Some((epoch, stats.clone()));
+        if let Some(s) = snap {
+            let mut guard = self.stats_cache.write();
+            if !guard.as_ref().is_some_and(|(seq, _)| *seq > s) {
+                *guard = Some((s, stats.clone()));
+            }
+        }
         Ok(stats)
     }
 }
@@ -1211,6 +1267,116 @@ mod tests {
             ..Config::default()
         };
         assert!(MicroNN::open(&path, bad).is_err());
+    }
+
+    /// Writer-rollback poisoning regression: a write transaction must
+    /// neither hit nor publish the centroid/quant/stats caches — a
+    /// mid-transaction writer can see centroid rows from *before* its
+    /// own epoch bump, and a rolled-back writer's view never existed.
+    #[test]
+    fn write_txn_bypasses_all_caches() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(8)).unwrap();
+        let records: Vec<VectorRecord> = (0..60)
+            .map(|i| VectorRecord::new(i, vecf(i as u64, 8)).with_attr("location", "A"))
+            .collect();
+        db.upsert_batch(&records).unwrap();
+        db.rebuild().unwrap();
+        db.purge_caches();
+
+        let txn = db.inner.db.begin_write().unwrap();
+        assert!(db.inner.clustering(&txn).unwrap().is_some());
+        let _ = db.inner.table_stats(&txn).unwrap();
+        assert!(
+            db.inner.centroid_cache.read().is_none(),
+            "writer view must not publish the centroid cache"
+        );
+        assert!(
+            db.inner.stats_cache.read().is_none(),
+            "writer view must not publish the stats cache"
+        );
+        txn.rollback();
+
+        // A committed read snapshot does publish.
+        let r = db.inner.db.begin_read();
+        assert!(db.inner.clustering(&r).unwrap().is_some());
+        let cache = db.inner.centroid_cache.read();
+        let cache = cache.as_ref().expect("reader publishes the cache");
+        assert_eq!(Some(cache.seq), r.committed_snapshot());
+    }
+
+    /// Cache-invalidation race regression: a reader pinned *before* an
+    /// epoch bump misses the post-bump cache entry (its epoch differs)
+    /// and, after loading its own old view, must not clobber the entry
+    /// published by a newer snapshot.
+    #[test]
+    fn older_snapshot_does_not_clobber_newer_cache_entry() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(8)).unwrap();
+        let records: Vec<VectorRecord> = (0..60)
+            .map(|i| VectorRecord::new(i, vecf(i as u64, 8)))
+            .collect();
+        db.upsert_batch(&records).unwrap();
+        db.rebuild().unwrap();
+
+        let r_old = db.inner.db.begin_read(); // pinned before the bump
+        db.rebuild().unwrap(); // bumps the epoch
+        db.purge_caches();
+
+        let r_new = db.inner.db.begin_read();
+        assert!(db.inner.clustering(&r_new).unwrap().is_some());
+        let (epoch_new, seq_new) = {
+            let g = db.inner.centroid_cache.read();
+            let c = g.as_ref().unwrap();
+            (c.epoch, c.seq)
+        };
+        assert_eq!(Some(seq_new), r_new.committed_snapshot());
+
+        // The old reader still gets a working (old-epoch) index…
+        assert!(db.inner.clustering(&r_old).unwrap().is_some());
+        // …but the shared cache still belongs to the newer snapshot.
+        let g = db.inner.centroid_cache.read();
+        let c = g.as_ref().unwrap();
+        assert_eq!(
+            (c.epoch, c.seq),
+            (epoch_new, seq_new),
+            "older snapshot clobbered the newer cache entry"
+        );
+    }
+
+    /// Stats staleness regression (flush-then-search): attribute
+    /// statistics change with every committed write without an epoch
+    /// bump, so the cache is keyed on the exact commit seq — a
+    /// snapshot taken after new upserts must see the new counts, not a
+    /// stale cached copy.
+    #[test]
+    fn stats_cache_is_keyed_on_commit_seq() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = MicroNN::create(dir.path().join("x.mnn"), test_config(8)).unwrap();
+        let recs = |base: i64| -> Vec<VectorRecord> {
+            (base..base + 20)
+                .map(|i| VectorRecord::new(i, vecf(i as u64, 8)).with_attr("location", "A"))
+                .collect()
+        };
+        db.upsert_batch(&recs(0)).unwrap();
+
+        let r1 = db.inner.db.begin_read();
+        let s1 = db.inner.table_stats(&r1).unwrap();
+        assert_eq!(s1.row_count, 20);
+
+        db.upsert_batch(&recs(100)).unwrap(); // no epoch bump
+
+        let r2 = db.inner.db.begin_read();
+        let s2 = db.inner.table_stats(&r2).unwrap();
+        assert_eq!(s2.row_count, 40, "stale stats served after commit");
+
+        // The old snapshot still resolves its own (older) view, and
+        // doing so does not evict the newer entry.
+        assert_eq!(db.inner.table_stats(&r1).unwrap().row_count, 20);
+        let g = db.inner.stats_cache.read();
+        let (seq, stats) = g.as_ref().unwrap();
+        assert_eq!(Some(*seq), r2.committed_snapshot());
+        assert_eq!(stats.row_count, 40);
     }
 
     #[test]

@@ -92,76 +92,15 @@ impl MicroNN {
 
     /// Executes a full [`SearchRequest`] (ANN, hybrid, plan control).
     pub fn search_with(&self, req: &SearchRequest) -> Result<SearchResponse> {
-        let inner = &*self.inner;
-        let mut trace = QueryTrace::new(inner.tel.detailed());
-        let r = inner.db.begin_read();
-        let probes = req.probes.unwrap_or(inner.cfg.default_probes);
-        let resp = match &req.filter {
-            None => ann_search(
-                inner,
-                &r,
-                &req.query,
-                req.k,
-                probes,
-                None,
-                PlanUsed::Ann,
-                &mut trace,
-            )?,
-            Some(expr) => {
-                let plan = match req.plan {
-                    PlanPreference::ForcePreFilter => PlanUsed::PreFilter,
-                    PlanPreference::ForcePostFilter => PlanUsed::PostFilter,
-                    PlanPreference::Auto => choose_plan(inner, &r, expr, probes)?,
-                };
-                match plan {
-                    PlanUsed::PreFilter => pre_filter_search(inner, &r, req, expr, &mut trace)?,
-                    _ => {
-                        let compiled = expr
-                            .compile(inner.tables.attrs.schema())
-                            .map_err(Error::Rel)?;
-                        let ctx = FilterCtx {
-                            attrs: &inner.tables.attrs,
-                            compiled,
-                        };
-                        ann_search(
-                            inner,
-                            &r,
-                            &req.query,
-                            req.k,
-                            probes,
-                            Some(&ctx),
-                            PlanUsed::PostFilter,
-                            &mut trace,
-                        )?
-                    }
-                }
-            }
-        };
-        inner.tel.finish_query(&trace, &resp.info, req.k);
-        Ok(resp)
+        let r = self.inner.db.begin_read();
+        search_with_at(&self.inner, &r, req)
     }
 
     /// Exact (exhaustive) K-nearest-neighbour search, optionally
     /// filtered.
     pub fn exact(&self, query: &[f32], k: usize, filter: Option<&Expr>) -> Result<SearchResponse> {
-        let inner = &*self.inner;
-        let mut trace = QueryTrace::new(inner.tel.detailed());
-        let r = inner.db.begin_read();
-        let resp = match filter {
-            None => exact_search(inner, &r, query, k, None, &mut trace)?,
-            Some(expr) => {
-                let compiled = expr
-                    .compile(inner.tables.attrs.schema())
-                    .map_err(Error::Rel)?;
-                let ctx = FilterCtx {
-                    attrs: &inner.tables.attrs,
-                    compiled,
-                };
-                exact_search(inner, &r, query, k, Some(&ctx), &mut trace)?
-            }
-        };
-        inner.tel.finish_query(&trace, &resp.info, k);
-        Ok(resp)
+        let r = self.inner.db.begin_read();
+        exact_at(&self.inner, &r, query, k, filter)
     }
 
     /// The plan the optimizer would choose for `filter` at `probes`
@@ -190,6 +129,89 @@ impl MicroNN {
             filter,
         ))
     }
+}
+
+/// [`MicroNN::search_with`] against an explicit pinned snapshot: every
+/// page read, cache lookup, and plan decision resolves at `r`'s commit
+/// seq, so the query sees one consistent index no matter what commits
+/// underneath it. [`crate::Snapshot`] calls this with a long-lived
+/// read transaction.
+pub(crate) fn search_with_at(
+    inner: &Inner,
+    r: &ReadTxn,
+    req: &SearchRequest,
+) -> Result<SearchResponse> {
+    let mut trace = QueryTrace::new(inner.tel.detailed());
+    let probes = req.probes.unwrap_or(inner.cfg.default_probes);
+    let resp = match &req.filter {
+        None => ann_search(
+            inner,
+            r,
+            &req.query,
+            req.k,
+            probes,
+            None,
+            PlanUsed::Ann,
+            &mut trace,
+        )?,
+        Some(expr) => {
+            let plan = match req.plan {
+                PlanPreference::ForcePreFilter => PlanUsed::PreFilter,
+                PlanPreference::ForcePostFilter => PlanUsed::PostFilter,
+                PlanPreference::Auto => choose_plan(inner, r, expr, probes)?,
+            };
+            match plan {
+                PlanUsed::PreFilter => pre_filter_search(inner, r, req, expr, &mut trace)?,
+                _ => {
+                    let compiled = expr
+                        .compile(inner.tables.attrs.schema())
+                        .map_err(Error::Rel)?;
+                    let ctx = FilterCtx {
+                        attrs: &inner.tables.attrs,
+                        compiled,
+                    };
+                    ann_search(
+                        inner,
+                        r,
+                        &req.query,
+                        req.k,
+                        probes,
+                        Some(&ctx),
+                        PlanUsed::PostFilter,
+                        &mut trace,
+                    )?
+                }
+            }
+        }
+    };
+    inner.tel.finish_query(&trace, &resp.info, req.k);
+    Ok(resp)
+}
+
+/// [`MicroNN::exact`] against an explicit pinned snapshot.
+pub(crate) fn exact_at(
+    inner: &Inner,
+    r: &ReadTxn,
+    query: &[f32],
+    k: usize,
+    filter: Option<&Expr>,
+) -> Result<SearchResponse> {
+    let mut trace = QueryTrace::new(inner.tel.detailed());
+    let resp = match filter {
+        None => exact_search(inner, r, query, k, None, &mut trace)?,
+        Some(expr) => {
+            let compiled = expr
+                .compile(inner.tables.attrs.schema())
+                .map_err(Error::Rel)?;
+            let ctx = FilterCtx {
+                attrs: &inner.tables.attrs,
+                compiled,
+            };
+            exact_search(inner, r, query, k, Some(&ctx), &mut trace)?
+        }
+    };
+    inner.tel.finish_query(&trace, &resp.info, k);
+    Ok(resp)
 }
 
 /// The optimizer of §3.5.1.

@@ -39,8 +39,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use micronn_rel::blob_to_f32;
 
+use micronn_storage::ReadTxn;
+
 use crate::db::{
-    meta_int, MicroNN, DELTA_PARTITION, M_DELTA_COUNT, M_NEXT_PID, M_NEXT_VID, M_PARTITIONS,
+    meta_int, Inner, MicroNN, DELTA_PARTITION, M_DELTA_COUNT, M_NEXT_PID, M_NEXT_VID, M_PARTITIONS,
 };
 use crate::error::Result;
 
@@ -103,8 +105,17 @@ impl MicroNN {
     /// for the list). Returns the counters and violations; errors only
     /// on I/O or row-decoding failures that prevent the walk itself.
     pub fn verify_integrity(&self) -> Result<IntegrityReport> {
-        let inner = &*self.inner;
-        let r = inner.db.begin_read();
+        let r = self.inner.db.begin_read();
+        verify_integrity_at(&self.inner, &r)
+    }
+}
+
+/// [`MicroNN::verify_integrity`] against an explicit pinned snapshot
+/// ([`crate::Snapshot::verify_integrity`]): every table is walked at
+/// `r`'s commit seq, so fsck sees one frozen catalog even while
+/// writers and maintenance commit underneath.
+pub(crate) fn verify_integrity_at(inner: &Inner, r: &ReadTxn) -> Result<IntegrityReport> {
+    {
         let dim = inner.dim;
         let mut rep = IntegrityReport::default();
 

@@ -75,6 +75,7 @@ pub mod integrity;
 pub mod maintain;
 mod pool;
 pub mod search;
+pub mod snapshot;
 pub mod stats;
 pub(crate) mod telemetry;
 
@@ -92,6 +93,7 @@ pub use maintain::{
     MaintenanceReport, MaintenanceStatus, MergeReport, RetrainReport, SplitReport,
 };
 pub use search::{SearchResponse, SearchResult};
+pub use snapshot::Snapshot;
 pub use stats::{DbStats, PlanUsed, QueryInfo};
 
 // Re-export the vocabulary types callers need from the substrates.

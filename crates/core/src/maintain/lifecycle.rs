@@ -304,7 +304,7 @@ impl MicroNN {
         )?;
         set_meta_int(&mut txn, &inner.tables.meta, M_NEXT_PID, next_pid)?;
         set_meta_int(&mut txn, &inner.tables.meta, M_EPOCH, old_epoch + 1)?;
-        txn.commit()?;
+        let commit_seq = txn.commit()?;
         // The split re-encoded every touched partition under fresh
         // ranges: its drift counter starts over.
         inner.reset_drift(partition);
@@ -316,7 +316,13 @@ impl MicroNN {
             .filter(|&&c| c != keep)
             .map(|&c| (pid_of[c], centroids[c].clone()))
             .collect();
-        self.refresh_cache_after_split(old_epoch, partition, &centroids[keep], &new_centroids);
+        self.refresh_cache_after_split(
+            old_epoch,
+            commit_seq,
+            partition,
+            &centroids[keep],
+            &new_centroids,
+        );
         self.maint_finish(span, moved as u64);
 
         Ok(SplitReport {
@@ -506,6 +512,7 @@ impl MicroNN {
     fn refresh_cache_after_split(
         &self,
         old_epoch: i64,
+        commit_seq: u64,
         partition: i64,
         kept_centroid: &[f32],
         new_centroids: &[(i64, Vec<f32>)],
@@ -549,8 +556,12 @@ impl MicroNN {
             }
             Arc::new(si)
         });
+        // The patched view is exactly the committed state at the
+        // split's commit seq, which is newer than anything published
+        // so far — safe to install unconditionally.
         *guard = Some(CentroidCache {
             epoch: old_epoch + 1,
+            seq: commit_seq,
             index: LoadedIndex {
                 clustering,
                 partitions: Arc::new(partitions),

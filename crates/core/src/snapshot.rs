@@ -1,0 +1,105 @@
+//! Pinned read snapshots: a [`Snapshot`] freezes one committed view of
+//! the index and answers any number of queries against it.
+//!
+//! [`MicroNN::snapshot`] pins the current committed state (MVCC at the
+//! store layer: the commit seq is registered in the reader registry,
+//! which retains every page version the snapshot can see). Every query
+//! issued through the handle resolves pages, centroid/quantization
+//! caches, and planner statistics at that seq — concurrent upserts,
+//! deletes, flushes, splits, merges, and retrains are invisible until
+//! a fresh snapshot (or any plain [`MicroNN::search`], which pins its
+//! own snapshot per call) observes them.
+//!
+//! Snapshots are cheap (no page copying — old page versions are kept
+//! in the WAL/pool until the reader registry releases them) but pin
+//! WAL space: the checkpointer cannot reclaim log segments a live
+//! snapshot still reads. Drop the handle when done; dropping
+//! deregisters the reader and lets version GC advance.
+
+use micronn_rel::Expr;
+use micronn_storage::{PageRead, ReadTxn};
+
+use crate::db::MicroNN;
+use crate::error::Result;
+use crate::hybrid::{exact_at, search_with_at, SearchRequest};
+use crate::integrity::{verify_integrity_at, IntegrityReport};
+use crate::search::SearchResponse;
+
+/// One frozen, committed view of the index (see the [module
+/// docs](crate::snapshot)). Created by [`MicroNN::snapshot`]; holds a
+/// registered reader at the store layer until dropped.
+pub struct Snapshot {
+    db: MicroNN,
+    r: ReadTxn,
+}
+
+impl MicroNN {
+    /// Pins the current committed state and returns a handle that
+    /// answers queries against it, unaffected by concurrent writes and
+    /// maintenance.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            db: self.clone(),
+            r: self.inner.db.begin_read(),
+        }
+    }
+}
+
+impl Snapshot {
+    /// The commit sequence number this snapshot is pinned at. Two
+    /// snapshots with equal seqs see bit-identical data.
+    pub fn seq(&self) -> u64 {
+        self.r.committed_snapshot().unwrap_or(0)
+    }
+
+    /// [`MicroNN::search`] at this snapshot.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<SearchResponse> {
+        self.search_with(&SearchRequest::new(query.to_vec(), k))
+    }
+
+    /// [`MicroNN::search_with`] at this snapshot.
+    pub fn search_with(&self, req: &SearchRequest) -> Result<SearchResponse> {
+        search_with_at(&self.db.inner, &self.r, req)
+    }
+
+    /// [`MicroNN::batch_search`] at this snapshot: every shared
+    /// partition scan of the multi-query plan reads the same frozen
+    /// commit seq.
+    pub fn batch_search(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        probes: Option<usize>,
+    ) -> Result<crate::batch::BatchResponse> {
+        crate::batch::batch_search_at(&self.db.inner, &self.r, queries, k, probes)
+    }
+
+    /// [`MicroNN::exact`] at this snapshot.
+    pub fn exact(&self, query: &[f32], k: usize, filter: Option<&Expr>) -> Result<SearchResponse> {
+        exact_at(&self.db.inner, &self.r, query, k, filter)
+    }
+
+    /// [`MicroNN::verify_integrity`] at this snapshot: the fsck walk
+    /// sees one frozen catalog even while maintenance churns.
+    pub fn verify_integrity(&self) -> Result<IntegrityReport> {
+        verify_integrity_at(&self.db.inner, &self.r)
+    }
+
+    /// Number of vectors visible at this snapshot.
+    pub fn len(&self) -> Result<u64> {
+        Ok(self.db.inner.tables.vectors.row_count(&self.r)?)
+    }
+
+    /// True when no vectors are visible at this snapshot.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("seq", &self.seq())
+            .finish()
+    }
+}

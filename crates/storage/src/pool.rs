@@ -326,6 +326,51 @@ impl BufferPool {
         Self::compact(&mut inner);
     }
 
+    /// Snapshot-floor garbage collection: for each page, among cached
+    /// versions at or below `floor`, only the *newest* is reachable —
+    /// any snapshot `s >= floor` resolves the page to its newest
+    /// version `<= s`, which is at least that one — so every older
+    /// version at or below the floor is dropped. Versions above the
+    /// floor are never touched (a registered reader may still resolve
+    /// them), and a page with a single version keeps it. Returns the
+    /// number of entries dropped.
+    ///
+    /// Called by the store whenever the oldest registered reader
+    /// snapshot advances (epoch-based GC driven by the reader
+    /// registry) and after checkpoints.
+    pub fn gc_versions(&self, floor: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let mut newest_le_floor: HashMap<PageId, u64> = HashMap::new();
+        for &(page, version) in inner.map.keys() {
+            if version <= floor {
+                let slot = newest_le_floor.entry(page).or_insert(version);
+                *slot = (*slot).max(version);
+            }
+        }
+        let dead: Vec<(PoolKey, bool)> = inner
+            .map
+            .iter()
+            .filter(|((page, version), _)| {
+                newest_le_floor
+                    .get(page)
+                    .is_some_and(|&keep| *version < keep)
+            })
+            .map(|(k, e)| (*k, e.protected))
+            .collect();
+        let dropped = dead.len();
+        for (k, was_protected) in dead {
+            inner.map.remove(&k);
+            inner.bytes -= ENTRY_BYTES;
+            if was_protected {
+                inner.protected_bytes -= ENTRY_BYTES;
+            }
+        }
+        if dropped > 0 {
+            Self::compact(&mut inner);
+        }
+        dropped
+    }
+
     /// Bytes currently resident.
     pub fn resident_bytes(&self) -> usize {
         self.inner.lock().bytes
@@ -521,6 +566,41 @@ mod tests {
     }
 
     #[test]
+    fn gc_versions_keeps_newest_at_or_below_floor() {
+        let pool = BufferPool::new(16 * ENTRY_BYTES);
+        pool.insert((1, 0), page(1)); // base image, superseded
+        pool.insert((1, 3), page(2)); // superseded by v7
+        pool.insert((1, 7), page(3)); // newest <= floor: reachable
+        pool.insert((1, 12), page(4)); // above floor: reachable
+        pool.insert((2, 2), page(5)); // only version of page 2: kept
+        let dropped = pool.gc_versions(9);
+        assert_eq!(dropped, 2);
+        assert!(pool.get((1, 0)).is_none(), "superseded base dropped");
+        assert!(pool.get((1, 3)).is_none(), "superseded version dropped");
+        assert!(pool.get((1, 7)).is_some(), "newest <= floor kept");
+        assert!(pool.get((1, 12)).is_some(), "version above floor kept");
+        assert!(pool.get((2, 2)).is_some(), "sole version kept");
+    }
+
+    #[test]
+    fn gc_versions_cycles_keep_queue_bounded() {
+        let pool = BufferPool::new(64 * ENTRY_BYTES);
+        for cycle in 1..=200u64 {
+            for pg in 0..8u32 {
+                pool.insert((pg, cycle), page(pg as u8));
+            }
+            pool.gc_versions(cycle);
+        }
+        assert!(pool.len() <= 8, "one live version per page");
+        assert!(
+            pool.queue_len() <= pool.len() * 2 + 32,
+            "queue grew unboundedly: {} keys for {} resident pages",
+            pool.queue_len(),
+            pool.len()
+        );
+    }
+
+    #[test]
     fn reinsert_refreshes_without_double_accounting() {
         let pool = BufferPool::new(10 * ENTRY_BYTES);
         pool.insert((1, 0), page(1));
@@ -560,7 +640,13 @@ mod tests {
                             };
                             pool.insert_with((pg, ver), page(pg as u8), kind);
                         }
-                        8 => pool.trim_below(ver),
+                        8 => {
+                            if x % 2 == 0 {
+                                pool.trim_below(ver);
+                            } else {
+                                pool.gc_versions(ver);
+                            }
+                        }
                         _ => {
                             if i % 512 == 0 {
                                 pool.purge();

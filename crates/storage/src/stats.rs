@@ -48,6 +48,15 @@ pub struct IoStats {
     pub prefetch_reads: Arc<Counter>,
     /// Readahead requests skipped because the page was already resident.
     pub prefetch_skipped: Arc<Counter>,
+    /// Read transactions begun (snapshot pins).
+    pub reader_pins: Arc<Counter>,
+    /// Contended writer-lock acquisitions (another writer or checkpoint
+    /// held the lock). Readers never touch the writer lock, so this
+    /// staying flat while searches run proves the no-blocking contract.
+    pub writer_lock_waits: Arc<Counter>,
+    /// Cached page versions dropped by snapshot-floor garbage
+    /// collection (superseded versions no live reader can resolve).
+    pub version_gc_pages: Arc<Counter>,
 }
 
 impl IoStats {
@@ -78,6 +87,9 @@ impl IoStats {
             syncs: self.syncs.get(),
             prefetch_reads: self.prefetch_reads.get(),
             prefetch_skipped: self.prefetch_skipped.get(),
+            reader_pins: self.reader_pins.get(),
+            writer_lock_waits: self.writer_lock_waits.get(),
+            version_gc_pages: self.version_gc_pages.get(),
         }
     }
 
@@ -86,7 +98,7 @@ impl IoStats {
     /// Registry snapshots then observe the store's live traffic — the
     /// same atomics, not copies.
     pub fn register_into(&self, registry: &Registry, prefix: &str) {
-        let entries: [(&str, &Arc<Counter>); 14] = [
+        let entries: [(&str, &Arc<Counter>); 17] = [
             ("main_reads", &self.main_reads),
             ("main_writes", &self.main_writes),
             ("wal_reads", &self.wal_reads),
@@ -101,6 +113,9 @@ impl IoStats {
             ("syncs", &self.syncs),
             ("prefetch_reads", &self.prefetch_reads),
             ("prefetch_skipped", &self.prefetch_skipped),
+            ("reader_pins", &self.reader_pins),
+            ("writer_lock_waits", &self.writer_lock_waits),
+            ("version_gc_pages", &self.version_gc_pages),
         ];
         for (name, counter) in entries {
             registry.register_counter(&format!("{prefix}{name}"), Arc::clone(counter));
@@ -125,6 +140,9 @@ pub struct StoreStats {
     pub syncs: u64,
     pub prefetch_reads: u64,
     pub prefetch_skipped: u64,
+    pub reader_pins: u64,
+    pub writer_lock_waits: u64,
+    pub version_gc_pages: u64,
 }
 
 impl StoreStats {
@@ -165,6 +183,9 @@ impl StoreStats {
             syncs: self.syncs - earlier.syncs,
             prefetch_reads: self.prefetch_reads - earlier.prefetch_reads,
             prefetch_skipped: self.prefetch_skipped - earlier.prefetch_skipped,
+            reader_pins: self.reader_pins - earlier.reader_pins,
+            writer_lock_waits: self.writer_lock_waits - earlier.writer_lock_waits,
+            version_gc_pages: self.version_gc_pages - earlier.version_gc_pages,
         }
     }
 }

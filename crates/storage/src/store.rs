@@ -6,18 +6,30 @@
 //! deletes, and index rebuilds) and multiple readers across threads",
 //! each reader seeing a snapshot-isolated view (§2.1 requirement 2).
 //!
-//! ## Transaction model
+//! ## Transaction model (MVCC)
 //!
 //! * [`Store::begin_read`] captures the WAL's committed sequence number
-//!   as a snapshot. Page reads resolve to the newest WAL frame at or
-//!   below the snapshot, else the main file. Readers are registered so
-//!   checkpoints never overwrite state a reader still needs.
-//! * [`Store::begin_write`] takes the writer mutex (transactions are
-//!   fully serialized, as in the paper). Mutations are copy-on-write
+//!   as a snapshot, registering it in the reader registry *under the
+//!   committed-state lock* so no commit/checkpoint pair can slip
+//!   between capture and registration. Page reads resolve to the
+//!   newest WAL record at or below the snapshot, else the main file.
+//!   Deregistration lives in a drop guard ([`ReadTxn`]'s only
+//!   non-`Copy` field), so a panic or early return can never leak a
+//!   registration and pin the snapshot floor forever.
+//! * [`Store::begin_write`] allocates a transaction id and takes the
+//!   writer mutex (write transactions are fully serialized, as in the
+//!   paper); readers never touch that mutex, so searches and
+//!   maintenance never wait on each other. Mutations are copy-on-write
 //!   into a private dirty set; [`WriteTxn::commit`] appends the dirty
-//!   pages to the WAL as one atomic batch. Dropping the transaction
+//!   pages to the WAL as one `Begin`/`PagePut`.../`Commit` record run
+//!   and returns the commit sequence number. Dropping the transaction
 //!   without committing discards it (rollback).
-//! * A checkpoint folds committed frames into the main file when no
+//! * The buffer pool keys entries by `(page, version)`, so many
+//!   versions of one page coexist. When the oldest registered snapshot
+//!   advances (a reader guard drops), versions no current or future
+//!   snapshot can resolve are garbage collected
+//!   ([`crate::pool::BufferPool::gc_versions`]).
+//! * A checkpoint folds committed records into the main file when no
 //!   reader holds an older snapshot, bounding WAL growth.
 //!
 //! ## Durability
@@ -225,6 +237,9 @@ struct StoreInner {
     committed: RwLock<Committed>,
     /// Single-writer token; held for the lifetime of a [`WriteTxn`].
     writer: Arc<Mutex<()>>,
+    /// Write-transaction id allocator; ids are process-local and only
+    /// need to be unique, not dense.
+    next_txid: AtomicU64,
     /// Active reader snapshots: `snapshot -> count`.
     readers: Mutex<BTreeMap<u64, usize>>,
     /// For each page copied into the main file by a checkpoint, the WAL
@@ -267,6 +282,32 @@ pub trait PageRead {
     fn prefetch_pages(&self, _ids: &[PageId]) {}
     /// Root page stored in header slot `slot`.
     fn root(&self, slot: usize) -> PageId;
+    /// When this transaction's view is *exactly* the committed state at
+    /// some sequence number, that number; `None` for views that may
+    /// include uncommitted mutations (write transactions). Snapshot-
+    /// keyed caches above the store use this to decide whether a value
+    /// derived through this view may be published for other readers.
+    fn committed_snapshot(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<R: PageRead + ?Sized> PageRead for &R {
+    fn page(&self, id: PageId) -> Result<Arc<PageData>> {
+        (**self).page(id)
+    }
+    fn page_scan(&self, id: PageId) -> Result<Arc<PageData>> {
+        (**self).page_scan(id)
+    }
+    fn prefetch_pages(&self, ids: &[PageId]) {
+        (**self).prefetch_pages(ids)
+    }
+    fn root(&self, slot: usize) -> PageId {
+        (**self).root(slot)
+    }
+    fn committed_snapshot(&self) -> Option<u64> {
+        (**self).committed_snapshot()
+    }
 }
 
 /// An embedded, WAL-backed page store. Cheap to clone (shared handle).
@@ -364,6 +405,7 @@ impl Store {
                 stats: IoStats::default(),
                 committed: RwLock::new(Committed { seq, meta }),
                 writer: Arc::new(Mutex::new(())),
+                next_txid: AtomicU64::new(1),
                 readers: Mutex::new(BTreeMap::new()),
                 base_version: RwLock::new(HashMap::new()),
                 prefetch_tx,
@@ -376,16 +418,23 @@ impl Store {
         Store { inner }
     }
 
-    /// Begins a snapshot-isolated read transaction. Never blocks.
+    /// Begins a snapshot-isolated read transaction. Never blocks: the
+    /// snapshot is captured and registered while *holding* the
+    /// committed-state read lock, so a commit + checkpoint pair cannot
+    /// overwrite pages this snapshot resolves through the main file
+    /// before the registration lands.
     pub fn begin_read(&self) -> ReadTxn {
         let committed = self.inner.committed.read();
         let snapshot = committed.seq;
         let meta = committed.meta;
-        drop(committed);
         *self.inner.readers.lock().entry(snapshot).or_insert(0) += 1;
+        drop(committed);
+        IoStats::bump(&self.inner.stats.reader_pins);
         ReadTxn {
-            inner: Arc::clone(&self.inner),
-            snapshot,
+            guard: ReaderGuard {
+                inner: Arc::clone(&self.inner),
+                snapshot,
+            },
             meta,
         }
     }
@@ -394,10 +443,20 @@ impl Store {
     /// writer finishes. Reads within the transaction see the latest
     /// committed state plus the transaction's own writes.
     pub fn begin_write(&self) -> Result<WriteTxn> {
-        let guard = Mutex::lock_arc(&self.inner.writer);
-        // Defensive: discard unpublished frames a crashed/aborted
+        // Contended acquisitions are tallied: on the intended hot path
+        // only writers and checkpoints ever touch this mutex, so the
+        // counter staying flat proves readers never block a writer.
+        let guard = match Mutex::try_lock_arc(&self.inner.writer) {
+            Some(g) => g,
+            None => {
+                IoStats::bump(&self.inner.stats.writer_lock_waits);
+                Mutex::lock_arc(&self.inner.writer)
+            }
+        };
+        // Defensive: discard unpublished records a crashed/aborted
         // spilling transaction may have left behind.
         self.inner.wal.truncate_unpublished()?;
+        let txid = self.inner.next_txid.fetch_add(1, Ordering::Relaxed);
         let committed = self.inner.committed.read();
         let snapshot = committed.seq;
         let meta = committed.meta;
@@ -405,12 +464,31 @@ impl Store {
         Ok(WriteTxn {
             inner: Arc::clone(&self.inner),
             _guard: guard,
+            txid,
             snapshot,
             meta,
             dirty: HashMap::new(),
             spilled: HashMap::new(),
             done: false,
         })
+    }
+
+    /// Number of currently registered reader transactions. The stress
+    /// suites assert this drains to zero — a leaked registration would
+    /// pin the snapshot floor and block checkpoints forever.
+    pub fn active_readers(&self) -> usize {
+        self.inner.readers.lock().values().sum()
+    }
+
+    /// Oldest registered reader snapshot, if any reader is active.
+    pub fn oldest_reader_snapshot(&self) -> Option<u64> {
+        self.inner.readers.lock().keys().next().copied()
+    }
+
+    /// Latest committed sequence number (the snapshot a read
+    /// transaction beginning now would pin).
+    pub fn committed_seq(&self) -> u64 {
+        self.inner.committed.read().seq
     }
 
     /// Attempts a checkpoint: folds committed WAL frames into the main
@@ -507,12 +585,12 @@ fn resolve_page(
     // lives in the main file).
     let mut last_err = None;
     for attempt in 0..2 {
-        // Newest WAL frame at or below the snapshot wins. Frame index
+        // Newest WAL record at or below the snapshot wins. Image offset
         // and seq come from one index lookup so a concurrent reset
         // cannot slip between them.
         let wal_hit = inner.wal.index().find_versioned(id, snapshot);
         let (version, from_wal) = match wal_hit {
-            Some((frame, seq)) => (seq, Some(frame)),
+            Some((offset, seq)) => (seq, Some(offset)),
             None => {
                 let base = inner.base_version.read().get(&id).copied().unwrap_or(0);
                 (base, None)
@@ -526,9 +604,9 @@ fn resolve_page(
             IoStats::bump(&inner.stats.pool_misses);
         }
         let read = match from_wal {
-            Some(frame) => {
+            Some(offset) => {
                 IoStats::bump(&inner.stats.wal_reads);
-                inner.wal.read_frame(frame)
+                inner.wal.read_frame(offset)
             }
             None => {
                 IoStats::bump(&inner.stats.main_reads);
@@ -593,7 +671,7 @@ fn prefetch_one(inner: &StoreInner, id: PageId, snapshot: u64) {
     }
     let wal_hit = inner.wal.index().find_versioned(id, snapshot);
     let (version, from_wal) = match wal_hit {
-        Some((frame, seq)) => (seq, Some(frame)),
+        Some((offset, seq)) => (seq, Some(offset)),
         None => {
             let base = inner.base_version.read().get(&id).copied().unwrap_or(0);
             (base, None)
@@ -604,7 +682,7 @@ fn prefetch_one(inner: &StoreInner, id: PageId, snapshot: u64) {
         return;
     }
     let read = match from_wal {
-        Some(frame) => inner.wal.read_frame(frame),
+        Some(offset) => inner.wal.read_frame(offset),
         None => {
             let mut p = PageData::zeroed();
             inner
@@ -669,6 +747,9 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
         inner.wal.note_durable(mx);
     }
     IoStats::bump(&inner.stats.checkpoints);
+    // Every live snapshot is at or above the watermark now, so cached
+    // page versions superseded below it are unreachable: collect them.
+    gc_page_versions(inner, mx);
     if let Some(t0) = trace_start {
         inner.opts.trace.record(Span {
             name: "checkpoint",
@@ -686,18 +767,18 @@ fn checkpoint_locked(inner: &StoreInner) -> Result<bool> {
     Ok(true)
 }
 
-/// The mutating body of a checkpoint: copy frames into the main file,
-/// sync it, then truncate the WAL. Split out so the caller can wrap it
-/// in the checkpoint-generation seqlock on all exit paths.
-fn checkpoint_copy(inner: &StoreInner, targets: &[(PageId, u32, u64)]) -> Result<()> {
-    for &(page, frame, seq) in targets {
+/// The mutating body of a checkpoint: copy page images into the main
+/// file, sync it, then truncate the WAL. Split out so the caller can
+/// wrap it in the checkpoint-generation seqlock on all exit paths.
+fn checkpoint_copy(inner: &StoreInner, targets: &[(PageId, u64, u64)]) -> Result<()> {
+    for &(page, offset, seq) in targets {
         // Scan access: folding frames back must not perturb which
         // entries the pool considers hot.
         let data = match inner.pool.get_with((page, seq), Access::Scan) {
             Some(d) => d,
             None => {
                 IoStats::bump(&inner.stats.wal_reads);
-                Arc::new(inner.wal.read_frame(frame)?)
+                Arc::new(inner.wal.read_frame(offset)?)
             }
         };
         inner
@@ -726,19 +807,71 @@ fn checkpoint_copy(inner: &StoreInner, targets: &[(PageId, u32, u64)]) -> Result
 // Read transactions
 // ---------------------------------------------------------------------------
 
+/// Deregistration guard for one reader-registry entry. Created *before*
+/// any fallible work in [`Store::begin_read`] and dropped exactly once
+/// with the [`ReadTxn`], so no error or panic path can leave a stale
+/// registration pinning the snapshot floor (which would block
+/// checkpoints and version GC forever).
+struct ReaderGuard {
+    inner: Arc<StoreInner>,
+    snapshot: u64,
+}
+
+impl Drop for ReaderGuard {
+    fn drop(&mut self) {
+        let advanced = {
+            let mut readers = self.inner.readers.lock();
+            let was_oldest = readers.keys().next() == Some(&self.snapshot);
+            match readers.get_mut(&self.snapshot) {
+                Some(n) if *n > 1 => {
+                    *n -= 1;
+                    false
+                }
+                Some(_) => {
+                    readers.remove(&self.snapshot);
+                    was_oldest
+                }
+                None => false,
+            }
+        };
+        // The readers lock is released before touching anything else:
+        // `begin_read` acquires it while holding the committed lock,
+        // so holding both here in the opposite order could deadlock.
+        if advanced {
+            // The oldest snapshot moved up: page versions superseded at
+            // or below the new floor are unreachable by every current
+            // and future reader. Epoch-style GC, driven by the registry.
+            let committed = self.inner.committed.read().seq;
+            let oldest = self.inner.readers.lock().keys().next().copied();
+            let floor = oldest.unwrap_or(committed).min(committed);
+            gc_page_versions(&self.inner, floor);
+        }
+    }
+}
+
+/// Drops buffer-pool page versions below `floor` that a newer cached
+/// version supersedes. Safe at any floor ≤ every registered snapshot:
+/// the pool is a cache, so a too-aggressive floor could only cost a
+/// re-read, never correctness — but the floor passed here is exact.
+fn gc_page_versions(inner: &StoreInner, floor: u64) {
+    let dropped = inner.pool.gc_versions(floor);
+    if dropped > 0 {
+        IoStats::add(&inner.stats.version_gc_pages, dropped as u64);
+    }
+}
+
 /// A snapshot-isolated read transaction. `Sync`: one transaction can be
 /// shared across the worker threads of a parallel partition scan so all
 /// workers observe the same snapshot (Algorithm 2).
 pub struct ReadTxn {
-    inner: Arc<StoreInner>,
-    snapshot: u64,
+    guard: ReaderGuard,
     meta: Meta,
 }
 
 impl ReadTxn {
     /// The WAL sequence number this transaction reads at.
     pub fn snapshot(&self) -> u64 {
-        self.snapshot
+        self.guard.snapshot
     }
 
     /// Database page count visible to this snapshot.
@@ -752,22 +885,23 @@ impl PageRead for ReadTxn {
         if id >= self.meta.page_count {
             return Err(StorageError::PageOutOfBounds(id));
         }
-        resolve_page(&self.inner, id, self.snapshot, Access::Point)
+        resolve_page(&self.guard.inner, id, self.guard.snapshot, Access::Point)
     }
 
     fn page_scan(&self, id: PageId) -> Result<Arc<PageData>> {
         if id >= self.meta.page_count {
             return Err(StorageError::PageOutOfBounds(id));
         }
-        resolve_page(&self.inner, id, self.snapshot, Access::Scan)
+        resolve_page(&self.guard.inner, id, self.guard.snapshot, Access::Scan)
     }
 
     fn prefetch_pages(&self, ids: &[PageId]) {
-        let Some(tx) = &self.inner.prefetch_tx else {
+        let inner = &self.guard.inner;
+        let Some(tx) = &inner.prefetch_tx else {
             return;
         };
-        let limit = self.inner.opts.prefetch_queue_pages;
-        let backlog = self.inner.prefetch_backlog.load(Ordering::Relaxed);
+        let limit = inner.opts.prefetch_queue_pages;
+        let backlog = inner.prefetch_backlog.load(Ordering::Relaxed);
         if backlog >= limit {
             return; // best-effort: drop rather than queue unboundedly
         }
@@ -780,34 +914,26 @@ impl PageRead for ReadTxn {
         if pages.is_empty() {
             return;
         }
-        self.inner
+        inner
             .prefetch_backlog
             .fetch_add(pages.len(), Ordering::Relaxed);
         let n = pages.len();
         let batch = PrefetchBatch {
-            snapshot: self.snapshot,
+            snapshot: self.guard.snapshot,
             pages,
         };
         if tx.send(batch).is_err() {
             // Worker already gone (shutdown path): undo the accounting.
-            self.inner.prefetch_backlog.fetch_sub(n, Ordering::Relaxed);
+            inner.prefetch_backlog.fetch_sub(n, Ordering::Relaxed);
         }
     }
 
     fn root(&self, slot: usize) -> PageId {
         self.meta.roots[slot]
     }
-}
 
-impl Drop for ReadTxn {
-    fn drop(&mut self) {
-        let mut readers = self.inner.readers.lock();
-        if let Some(n) = readers.get_mut(&self.snapshot) {
-            *n -= 1;
-            if *n == 0 {
-                readers.remove(&self.snapshot);
-            }
-        }
+    fn committed_snapshot(&self) -> Option<u64> {
+        Some(self.guard.snapshot)
     }
 }
 
@@ -821,15 +947,27 @@ impl Drop for ReadTxn {
 pub struct WriteTxn {
     inner: Arc<StoreInner>,
     _guard: parking_lot::ArcMutexGuard<parking_lot::RawMutex, ()>,
+    /// Transaction id stamped into this transaction's WAL records.
+    txid: u64,
     snapshot: u64,
     meta: Meta,
     dirty: HashMap<PageId, Arc<PageData>>,
-    /// Pages spilled to unpublished WAL frames: `page -> frame index`.
-    spilled: HashMap<PageId, u32>,
+    /// Pages spilled to unpublished WAL records: `page -> image offset`.
+    spilled: HashMap<PageId, u64>,
     done: bool,
 }
 
 impl WriteTxn {
+    /// The id stamped into this transaction's WAL records.
+    pub fn txid(&self) -> u64 {
+        self.txid
+    }
+
+    /// The committed sequence number this transaction started from.
+    pub fn snapshot(&self) -> u64 {
+        self.snapshot
+    }
+
     /// Mutable access to a page, copying it into the dirty set on first
     /// touch.
     pub fn page_mut(&mut self, id: PageId) -> Result<&mut PageData> {
@@ -857,10 +995,10 @@ impl WriteTxn {
         let mut pages: Vec<(PageId, Arc<PageData>)> = self.dirty.drain().collect();
         pages.sort_by_key(|(id, _)| *id);
         let refs: Vec<(PageId, &PageData)> = pages.iter().map(|(id, p)| (*id, &**p)).collect();
-        let frames = self.inner.wal.spill(&refs)?;
+        let placed = self.inner.wal.spill(self.txid, &refs)?;
         IoStats::add(&self.inner.stats.wal_writes, refs.len() as u64);
-        for ((id, _), (frame, _seq)) in pages.iter().zip(frames) {
-            self.spilled.insert(*id, frame);
+        for ((id, _), (offset, _seq)) in pages.iter().zip(placed) {
+            self.spilled.insert(*id, offset);
         }
         Ok(())
     }
@@ -920,9 +1058,9 @@ impl WriteTxn {
         if let Some(p) = self.dirty.get(&id) {
             return Ok(Arc::clone(p));
         }
-        if let Some(&frame) = self.spilled.get(&id) {
+        if let Some(&offset) = self.spilled.get(&id) {
             IoStats::bump(&self.inner.stats.wal_reads);
-            return Ok(Arc::new(self.inner.wal.read_unpublished_frame(frame)?));
+            return Ok(Arc::new(self.inner.wal.read_unpublished_frame(offset)?));
         }
         if id >= self.meta.page_count {
             return Err(StorageError::PageOutOfBounds(id));
@@ -935,10 +1073,14 @@ impl WriteTxn {
     /// and up) before acknowledging. The writer lock is released before
     /// the fsync wait, so the next committer appends concurrently and
     /// shares a sync with this one instead of issuing its own.
-    pub fn commit(mut self) -> Result<()> {
+    ///
+    /// Returns the commit sequence number — the snapshot at which this
+    /// transaction's effects become visible. A transaction that dirtied
+    /// nothing commits as a no-op and returns its begin snapshot.
+    pub fn commit(mut self) -> Result<u64> {
         if self.dirty.is_empty() && self.spilled.is_empty() {
             self.done = true;
-            return Ok(());
+            return Ok(self.snapshot);
         }
         let trace_start = self
             .inner
@@ -955,16 +1097,19 @@ impl WriteTxn {
         let mut pages: Vec<(PageId, Arc<PageData>)> = self.dirty.drain().collect();
         pages.sort_by_key(|(id, _)| *id);
         let refs: Vec<(PageId, &PageData)> = pages.iter().map(|(id, p)| (*id, &**p)).collect();
-        let commit_seq = self.inner.wal.append_commit(&refs, self.meta.page_count)?;
+        let (commit_seq, placed) =
+            self.inner
+                .wal
+                .append_commit(self.txid, &refs, self.meta.page_count)?;
         let frames = refs.len() as u64;
         IoStats::add(&self.inner.stats.wal_writes, frames);
         IoStats::bump(&self.inner.stats.commits);
 
-        // Warm the pool with the images we just wrote: the next reads
-        // of these pages are near-certain.
-        let base_seq = commit_seq + 1 - pages.len() as u64;
-        for (i, (id, data)) in pages.into_iter().enumerate() {
-            self.inner.pool.insert((id, base_seq + i as u64), data);
+        // Warm the pool with the images we just wrote, keyed at each
+        // record's own seq: the next reads of these pages are
+        // near-certain.
+        for ((id, data), (_offset, seq)) in pages.into_iter().zip(placed) {
+            self.inner.pool.insert((id, seq), data);
         }
 
         {
@@ -1010,7 +1155,7 @@ impl WriteTxn {
                 detail: String::new(),
             });
         }
-        Ok(())
+        Ok(commit_seq)
     }
 
     /// Explicit rollback; equivalent to dropping the transaction.

@@ -1,36 +1,48 @@
-//! Page-image write-ahead log.
+//! Record-oriented write-ahead log: `Begin` / `PagePut` / `Commit`.
 //!
 //! This mirrors SQLite's WAL-mode design, which the paper names as the
-//! mechanism behind MicroNN's ACID semantics (§3.6): a commit appends
-//! full images of every dirty page to a side log, with the final frame
-//! of each transaction carrying a commit marker and the new database
-//! size. Readers never block writers and vice versa:
+//! mechanism behind MicroNN's ACID semantics (§3.6), extended with
+//! explicit transaction records so every byte in the log is owned by a
+//! transaction id:
+//!
+//! * `Begin(txid)` opens a transaction's run of records.
+//! * `PagePut(txid, page)` carries one full page image — the unit of
+//!   both logging and buffer-pool caching.
+//! * `Commit(txid, db_size)` seals the run; its sequence number is the
+//!   transaction's **commit sequence**, the snapshot LSN readers pin.
+//!
+//! Readers never block writers and vice versa:
 //!
 //! * A **reader** captures the sequence number of the last committed
-//!   frame when its transaction begins (its *snapshot*) and resolves
-//!   every page to the newest WAL frame at or below that snapshot,
+//!   record when its transaction begins (its *snapshot*) and resolves
+//!   every page to the newest `PagePut` at or below that snapshot,
 //!   falling back to the main database file.
-//! * The single **writer** appends frames and only then publishes them
+//! * The single **writer** appends records and only then publishes them
 //!   to the shared in-memory WAL index, so a torn append is invisible.
-//! * A **checkpoint** copies committed frames back into the main file
-//!   once no reader depends on an older snapshot, then truncates the log.
+//! * A **checkpoint** copies committed page images back into the main
+//!   file once no reader depends on an older snapshot, then truncates
+//!   the log.
 //!
-//! On open, the WAL is scanned front to back; frames are accepted while
-//! their checksums validate and only up to the last commit marker —
-//! this is crash recovery. All file I/O goes through the
-//! [`crate::vfs::Vfs`] layer, so the crash-injection backend
-//! ([`crate::sim::SimVfs`]) can interrupt any write or fsync and the
-//! recovery scan is exercised against torn frames, lost unsynced
-//! writes, and interrupted checkpoints — not just clean shutdowns.
+//! On open, the log is scanned front to back; records are accepted
+//! while their checksums validate, and a transaction's `PagePut`s
+//! become visible only when its `Commit` record is reached — this is
+//! crash recovery. A torn record, a checksum mismatch, or a record
+//! whose txid does not match the open `Begin` ends the scan, and the
+//! file is truncated back to the last `Commit`. All file I/O goes
+//! through the [`crate::vfs::Vfs`] layer, so the crash-injection
+//! backend ([`crate::sim::SimVfs`]) can interrupt any write or fsync
+//! and the recovery scan is exercised against torn records, lost
+//! unsynced writes, and interrupted checkpoints — not just clean
+//! shutdowns.
 //!
 //! # Group commit
 //!
 //! Durability is decoupled from publication. A committer appends and
-//! publishes its frames under the writer lock ([`Wal::append_commit`]),
+//! publishes its records under the writer lock ([`Wal::append_commit`]),
 //! then — with the lock released — waits for its sequence number to
 //! become durable ([`Wal::sync_committed`]). The first committer to
 //! arrive becomes the **leader**: it snapshots the published watermark
-//! and issues one fsync covering every frame appended so far.
+//! and issues one fsync covering every record appended so far.
 //! Committers that arrive while a sync is in flight wait for the next
 //! group sync instead of issuing their own, so N concurrent commits
 //! cost far fewer than N fsyncs. A commit is only acknowledged after
@@ -46,46 +58,76 @@ use crate::error::{Result, StorageError};
 use crate::page::{PageData, PageId, PAGE_SIZE};
 use crate::vfs::{OpenMode, Vfs, VfsFile};
 
-/// Magic prefix of a WAL file.
-const WAL_MAGIC: u64 = 0x4D4E_4E57_414C_3031; // "MNNWAL01"
+/// Magic prefix of a WAL file (format 2: record-oriented).
+const WAL_MAGIC: u64 = 0x4D4E_4E57_414C_3032; // "MNNWAL02"
 /// Size of the WAL file header.
 pub const WAL_HEADER: u64 = 16;
-/// Size of each frame header preceding its page image.
-pub const FRAME_HEADER: u64 = 24;
-/// Total on-disk footprint of one frame.
-pub const FRAME_SIZE: u64 = FRAME_HEADER + PAGE_SIZE as u64;
+/// Size of every record header. `PagePut` records are followed by one
+/// page image; `Begin` and `Commit` records are header-only.
+pub const RECORD_HEADER: u64 = 40;
+/// Total on-disk footprint of one `PagePut` record.
+pub const PAGE_RECORD_SIZE: u64 = RECORD_HEADER + PAGE_SIZE as u64;
 
-/// Metadata of one committed frame, kept in the in-memory WAL index.
+/// Record kinds, stored in the first header field.
+const KIND_BEGIN: u32 = 1;
+const KIND_PAGE_PUT: u32 = 2;
+const KIND_COMMIT: u32 = 3;
+
+/// Metadata of one committed `PagePut` record, kept in the in-memory
+/// WAL index.
 #[derive(Debug, Clone, Copy)]
 struct FrameMeta {
     page: PageId,
     /// Global monotonically increasing version; never reused, not even
     /// across checkpoints, so buffer-pool keys stay unambiguous.
     seq: u64,
+    /// Byte offset of the page image in the WAL file.
+    offset: u64,
 }
 
-/// In-memory index over the WAL file: which frames exist, which pages
-/// they hold, and where the committed watermark sits.
-#[derive(Debug, Default)]
+/// In-memory index over the WAL file: which page images exist, where
+/// they live, and where the committed watermark sits.
+#[derive(Debug)]
 pub struct WalIndex {
-    /// Committed frames in file order; frame `i` lives at byte offset
-    /// `WAL_HEADER + i * FRAME_SIZE`.
+    /// Committed `PagePut` records in file order.
     frames: Vec<FrameMeta>,
     /// Frame indexes per page, ascending (and therefore ascending in seq).
     by_page: HashMap<PageId, Vec<u32>>,
-    /// Sequence number of the newest committed frame; `0` = empty log.
+    /// Sequence number of the newest committed record; `0` = empty log.
     committed_seq: u64,
     /// Database size in pages after the newest commit; `0` = unknown
     /// (no commits in the log).
     db_size: u32,
+    /// Byte offset one past the last published `Commit` record.
+    published_end: u64,
+}
+
+impl Default for WalIndex {
+    fn default() -> Self {
+        WalIndex {
+            frames: Vec::new(),
+            by_page: HashMap::new(),
+            committed_seq: 0,
+            db_size: 0,
+            published_end: WAL_HEADER,
+        }
+    }
 }
 
 impl WalIndex {
-    /// Finds the newest frame for `page` visible at `snapshot`
-    /// (`seq <= snapshot`). Returns the frame's file index.
-    pub fn find(&self, page: PageId, snapshot: u64) -> Option<u32> {
+    /// Finds the newest image of `page` visible at `snapshot`
+    /// (`seq <= snapshot`). Returns the image's byte offset.
+    pub fn find(&self, page: PageId, snapshot: u64) -> Option<u64> {
+        self.find_versioned(page, snapshot).map(|(off, _)| off)
+    }
+
+    /// Like [`WalIndex::find`], but also returns the record's sequence
+    /// number from the same lookup — callers must not fetch the seq
+    /// through a second index acquisition, since a checkpoint reset
+    /// could empty the index in between.
+    pub fn find_versioned(&self, page: PageId, snapshot: u64) -> Option<(u64, u64)> {
         let list = self.by_page.get(&page)?;
-        // Frames per page are ascending in seq: binary search for the
+        // Records per page are ascending in seq: binary search for the
         // last one at or below the snapshot.
         let mut lo = 0usize;
         let mut hi = list.len();
@@ -100,17 +142,9 @@ impl WalIndex {
         if lo == 0 {
             None
         } else {
-            Some(list[lo - 1])
+            let m = self.frames[list[lo - 1] as usize];
+            Some((m.offset, m.seq))
         }
-    }
-
-    /// Like [`WalIndex::find`], but also returns the frame's sequence
-    /// number from the same lookup — callers must not fetch the seq
-    /// through a second index acquisition, since a checkpoint reset
-    /// could empty the index in between.
-    pub fn find_versioned(&self, page: PageId, snapshot: u64) -> Option<(u32, u64)> {
-        let fi = self.find(page, snapshot)?;
-        Some((fi, self.frames[fi as usize].seq))
     }
 
     /// Latest committed sequence number.
@@ -118,7 +152,7 @@ impl WalIndex {
         self.committed_seq
     }
 
-    /// Number of committed frames currently in the log.
+    /// Number of committed page images currently in the log.
     pub fn frame_count(&self) -> usize {
         self.frames.len()
     }
@@ -132,28 +166,34 @@ impl WalIndex {
         }
     }
 
-    /// For checkpointing: the newest frame index per page among frames
-    /// with `seq <= upto`, plus the seq that produced it.
-    pub fn latest_per_page(&self, upto: u64) -> Vec<(PageId, u32, u64)> {
+    /// For checkpointing: the newest image per page among records with
+    /// `seq <= upto`, as `(page, image offset, seq)`.
+    pub fn latest_per_page(&self, upto: u64) -> Vec<(PageId, u64, u64)> {
         let mut out = Vec::with_capacity(self.by_page.len());
         for (&page, list) in &self.by_page {
-            let mut best: Option<(u32, u64)> = None;
             for &fi in list.iter().rev() {
-                let seq = self.frames[fi as usize].seq;
-                if seq <= upto {
-                    best = Some((fi, seq));
+                let m = self.frames[fi as usize];
+                if m.seq <= upto {
+                    out.push((page, m.offset, m.seq));
                     break;
                 }
-            }
-            if let Some((fi, seq)) = best {
-                out.push((page, fi, seq));
             }
         }
         out
     }
 }
 
-/// The write-ahead log: an append-only file plus the in-memory
+/// Unpublished tail state: the physical end of the file (which may
+/// extend past the published index with spilled records) and the txid
+/// whose `Begin` record opens the unpublished run, if any.
+struct PendingTail {
+    /// Byte offset one past the last appended record.
+    end: u64,
+    /// Transaction whose `Begin` is already in the unpublished region.
+    begun: Option<u64>,
+}
+
+/// The write-ahead log: an append-only record file plus the in-memory
 /// [`WalIndex`]. All mutating operations are called with the store's
 /// writer lock held; reads are lock-free on the file (pread). The one
 /// exception is [`Wal::sync_committed`], which runs *outside* the
@@ -163,11 +203,11 @@ pub struct Wal {
     path: PathBuf,
     index: parking_lot::RwLock<WalIndex>,
     /// Next sequence number to assign; strictly increasing for the
-    /// lifetime of the process (seeded past recovered frames on open).
+    /// lifetime of the process (seeded past recovered records on open).
     next_seq: parking_lot::Mutex<u64>,
-    /// Number of frames physically in the file, including appended but
-    /// not yet published (spilled) frames. Always `>= index.frames.len()`.
-    pending_tail: parking_lot::Mutex<u64>,
+    /// Physical tail of the file, including appended but not yet
+    /// published (spilled) records. `end >= index.published_end`.
+    pending_tail: parking_lot::Mutex<PendingTail>,
     /// Group-commit state: the durable watermark and the leader flag.
     /// Uses `std::sync` because waiters need a condition variable.
     group: GroupCommit,
@@ -201,7 +241,7 @@ impl GroupCommit {
 /// Outcome of opening a WAL file.
 pub struct WalOpen {
     pub wal: Wal,
-    /// Number of torn/uncommitted trailing frames discarded by recovery.
+    /// Number of torn/uncommitted page records discarded by recovery.
     pub discarded_frames: u64,
 }
 
@@ -224,14 +264,17 @@ impl Wal {
             path: path.to_owned(),
             index: parking_lot::RwLock::new(WalIndex::default()),
             next_seq: parking_lot::Mutex::new(1),
-            pending_tail: parking_lot::Mutex::new(0),
+            pending_tail: parking_lot::Mutex::new(PendingTail {
+                end: WAL_HEADER,
+                begun: None,
+            }),
             group: GroupCommit::new(0),
         })
     }
 
-    /// Opens an existing WAL, replaying committed frames into the index
-    /// (crash recovery). Creates the file if missing (`sync_header` as
-    /// in [`Wal::create`]).
+    /// Opens an existing WAL, replaying committed transactions into the
+    /// index (crash recovery). Creates the file if missing
+    /// (`sync_header` as in [`Wal::create`]).
     pub fn open(vfs: &dyn Vfs, path: &Path, sync_header: bool) -> Result<WalOpen> {
         if !vfs.exists(path) {
             return Ok(WalOpen {
@@ -263,41 +306,88 @@ impl Wal {
         }
 
         let mut index = WalIndex::default();
+        // PagePuts of the transaction currently being scanned; becomes
+        // visible only when its Commit record is reached.
         let mut pending: Vec<FrameMeta> = Vec::new();
-        let total_frames = (len - WAL_HEADER) / FRAME_SIZE;
-        let mut committed_upto = 0u64; // frame count accepted
+        let mut open_txid: Option<u64> = None;
+        let mut committed_end = WAL_HEADER;
         let mut max_seq = 0u64;
-        let mut fh = [0u8; FRAME_HEADER as usize];
+        let mut parsed_pages = 0u64;
+        let mut published_pages = 0u64;
+        let mut rh = [0u8; RECORD_HEADER as usize];
         let mut img = vec![0u8; PAGE_SIZE];
-        for i in 0..total_frames {
-            let off = WAL_HEADER + i * FRAME_SIZE;
-            file.read_exact_at(&mut fh, off)?;
-            file.read_exact_at(&mut img, off + FRAME_HEADER)?;
-            let page = u32::from_le_bytes(fh[0..4].try_into().unwrap());
-            let db_size = u32::from_le_bytes(fh[4..8].try_into().unwrap());
-            let seq = u64::from_le_bytes(fh[8..16].try_into().unwrap());
-            let stored_ck = u64::from_le_bytes(fh[16..24].try_into().unwrap());
-            let ck = frame_checksum(page, db_size, seq, &img);
-            if ck != stored_ck {
-                break; // torn frame: stop recovery here
+        let mut pos = WAL_HEADER;
+        loop {
+            if pos + RECORD_HEADER > len {
+                break; // torn record header
             }
-            pending.push(FrameMeta { page, seq });
-            max_seq = max_seq.max(seq);
-            if db_size != 0 {
-                // Commit marker: publish everything pending.
-                for m in pending.drain(..) {
-                    let fi = index.frames.len() as u32;
-                    index.by_page.entry(m.page).or_default().push(fi);
-                    index.frames.push(m);
+            file.read_exact_at(&mut rh, pos)?;
+            let kind = u32::from_le_bytes(rh[0..4].try_into().unwrap());
+            let page = u32::from_le_bytes(rh[4..8].try_into().unwrap());
+            let db_size = u32::from_le_bytes(rh[8..12].try_into().unwrap());
+            let txid = u64::from_le_bytes(rh[16..24].try_into().unwrap());
+            let seq = u64::from_le_bytes(rh[24..32].try_into().unwrap());
+            let stored_ck = u64::from_le_bytes(rh[32..40].try_into().unwrap());
+            let body: &[u8] = match kind {
+                KIND_PAGE_PUT => {
+                    if pos + PAGE_RECORD_SIZE > len {
+                        parsed_pages += 1; // torn page image: discarded
+                        break;
+                    }
+                    file.read_exact_at(&mut img, pos + RECORD_HEADER)?;
+                    &img
                 }
-                index.committed_seq = max_seq;
-                index.db_size = db_size;
-                committed_upto = i + 1;
+                KIND_BEGIN | KIND_COMMIT => &[],
+                _ => break, // unknown kind: torn/garbage tail
+            };
+            if record_checksum(kind, page, db_size, txid, seq, body) != stored_ck {
+                if kind == KIND_PAGE_PUT {
+                    parsed_pages += 1; // corrupt page record: discarded
+                }
+                break; // torn record: stop recovery here
+            }
+            max_seq = max_seq.max(seq);
+            match kind {
+                KIND_BEGIN => {
+                    pending.clear();
+                    open_txid = Some(txid);
+                    pos += RECORD_HEADER;
+                }
+                KIND_PAGE_PUT => {
+                    if open_txid != Some(txid) {
+                        break; // record outside its transaction: torn
+                    }
+                    parsed_pages += 1;
+                    pending.push(FrameMeta {
+                        page,
+                        seq,
+                        offset: pos + RECORD_HEADER,
+                    });
+                    pos += PAGE_RECORD_SIZE;
+                }
+                _ => {
+                    // Commit: publish the pending run atomically.
+                    if open_txid != Some(txid) {
+                        break;
+                    }
+                    for m in pending.drain(..) {
+                        let fi = index.frames.len() as u32;
+                        index.by_page.entry(m.page).or_default().push(fi);
+                        index.frames.push(m);
+                        published_pages += 1;
+                    }
+                    index.committed_seq = seq;
+                    index.db_size = db_size;
+                    open_txid = None;
+                    pos += RECORD_HEADER;
+                    committed_end = pos;
+                }
             }
         }
-        let discarded = total_frames - committed_upto;
-        // Truncate any torn tail so future appends are contiguous.
-        file.set_len(WAL_HEADER + committed_upto * FRAME_SIZE)?;
+        let discarded = parsed_pages - published_pages;
+        // Truncate any torn/uncommitted tail so appends stay contiguous.
+        file.set_len(committed_end)?;
+        index.published_end = committed_end;
         let next = max_seq.max(index.committed_seq) + 1;
         // Everything recovery accepted is on disk by definition; seed
         // the durable watermark there so only new commits fsync.
@@ -308,39 +398,54 @@ impl Wal {
                 path: path.to_owned(),
                 index: parking_lot::RwLock::new(index),
                 next_seq: parking_lot::Mutex::new(next),
-                pending_tail: parking_lot::Mutex::new(committed_upto),
+                pending_tail: parking_lot::Mutex::new(PendingTail {
+                    end: committed_end,
+                    begun: None,
+                }),
                 group: GroupCommit::new(synced),
             },
             discarded_frames: discarded,
         })
     }
 
-    /// Appends one transaction's dirty pages as a frame batch ending in
-    /// a commit marker, then publishes them (plus any frames the
-    /// transaction spilled earlier via [`Wal::spill`]) to the index.
-    /// Returns the new committed sequence number. `db_size` is the
-    /// database page count after this commit. Called with the writer
-    /// lock held. Durability is separate: call [`Wal::sync_committed`]
-    /// (after releasing the writer lock) before acking.
-    pub fn append_commit(&self, pages: &[(PageId, &PageData)], db_size: u32) -> Result<u64> {
+    /// Appends one transaction's remaining dirty pages as `PagePut`
+    /// records followed by a `Commit` record (preceded by a `Begin`
+    /// unless [`Wal::spill`] already wrote one for `txid`), then
+    /// publishes the whole run — including earlier spilled records — to
+    /// the index. Returns the commit sequence number and each page's
+    /// `(image offset, seq)`. Called with the writer lock held.
+    /// Durability is separate: call [`Wal::sync_committed`] (after
+    /// releasing the writer lock) before acking.
+    pub fn append_commit(
+        &self,
+        txid: u64,
+        pages: &[(PageId, &PageData)],
+        db_size: u32,
+    ) -> Result<(u64, Vec<(u64, u64)>)> {
         assert!(!pages.is_empty(), "empty commits are elided by the store");
-        let appended = self.append_frames(pages, db_size)?;
-        let commit_seq = appended.last().expect("non-empty").1;
+        let (placed, commit_seq) = self.append_records(txid, pages, Some(db_size))?;
+        let commit_seq = commit_seq.expect("commit record was appended");
         self.publish(db_size, commit_seq)?;
-        Ok(commit_seq)
+        Ok((commit_seq, placed))
     }
 
     /// Convenience: [`Wal::append_commit`] followed, when `sync` is
     /// set, by [`Wal::sync_committed`].
-    pub fn commit(&self, pages: &[(PageId, &PageData)], db_size: u32, sync: bool) -> Result<u64> {
-        let commit_seq = self.append_commit(pages, db_size)?;
+    pub fn commit(
+        &self,
+        txid: u64,
+        pages: &[(PageId, &PageData)],
+        db_size: u32,
+        sync: bool,
+    ) -> Result<u64> {
+        let (commit_seq, _) = self.append_commit(txid, pages, db_size)?;
         if sync {
             self.sync_committed(commit_seq)?;
         }
         Ok(commit_seq)
     }
 
-    /// Blocks until every frame up to `upto` is durable, issuing at
+    /// Blocks until every record up to `upto` is durable, issuing at
     /// most one fsync per *group* of waiting committers: the first
     /// arrival leads and syncs the whole published log; later arrivals
     /// wait for that sync (or the next) to cover them. Returns whether
@@ -361,7 +466,7 @@ impl Wal {
             st.leader_active = true;
             drop(st);
             // Snapshot the published watermark after taking leadership:
-            // the fsync below makes every frame appended before this
+            // the fsync below makes every record appended before this
             // point durable, so the whole group is covered at once.
             let target = self.index.read().committed_seq();
             let res = self.file.sync();
@@ -380,7 +485,7 @@ impl Wal {
     }
 
     /// Advances the durable watermark without an fsync of the WAL —
-    /// used when a synced checkpoint has already carried frames up to
+    /// used when a synced checkpoint has already carried records up to
     /// `seq` into the main file, making a WAL fsync for them redundant.
     pub fn note_durable(&self, seq: u64) {
         let mut st = self.group.state.lock().expect("group lock poisoned");
@@ -390,104 +495,133 @@ impl Wal {
         }
     }
 
-    /// Appends frames *without* a commit marker and without publishing:
-    /// the cache-spill path for transactions larger than memory (e.g. a
-    /// full index rebuild). Spilled frames are invisible to readers and
-    /// discarded by crash recovery until a later [`Wal::commit`]
-    /// publishes everything. Returns `(frame_index, seq)` per page.
-    /// Called with the writer lock held.
-    pub fn spill(&self, pages: &[(PageId, &PageData)]) -> Result<Vec<(u32, u64)>> {
-        self.append_frames(pages, 0)
+    /// Appends `PagePut` records *without* a `Commit` and without
+    /// publishing: the cache-spill path for transactions larger than
+    /// memory (e.g. a full index rebuild). The transaction's `Begin`
+    /// record is written ahead of the first spilled batch. Spilled
+    /// records are invisible to readers and discarded by crash recovery
+    /// until a later [`Wal::append_commit`] publishes everything.
+    /// Returns `(image offset, seq)` per page. Called with the writer
+    /// lock held.
+    pub fn spill(&self, txid: u64, pages: &[(PageId, &PageData)]) -> Result<Vec<(u64, u64)>> {
+        let (placed, _) = self.append_records(txid, pages, None)?;
+        Ok(placed)
     }
 
-    /// Reads a spilled (not yet published) frame back. Only the writer
-    /// that spilled it knows the frame index, so this needs no locks.
-    pub fn read_unpublished_frame(&self, frame_index: u32) -> Result<PageData> {
-        self.read_frame(frame_index)
+    /// Reads a spilled (not yet published) page image back. Only the
+    /// writer that spilled it knows the offset, so this needs no locks.
+    pub fn read_unpublished_frame(&self, image_offset: u64) -> Result<PageData> {
+        self.read_frame(image_offset)
     }
 
-    /// Discards all unpublished frames (rollback of a spilling
+    /// Discards all unpublished records (rollback of a spilling
     /// transaction): truncates the file back to the published tail.
     /// Called with the writer lock held.
     pub fn truncate_unpublished(&self) -> Result<()> {
-        let published = self.index.read().frames.len() as u64;
+        let published_end = self.index.read().published_end;
         let mut tail = self.pending_tail.lock();
-        if *tail > published {
-            self.file.set_len(WAL_HEADER + published * FRAME_SIZE)?;
-            *tail = published;
+        if tail.end > published_end {
+            self.file.set_len(published_end)?;
+            tail.end = published_end;
         }
+        tail.begun = None;
         Ok(())
     }
 
-    fn append_frames(
+    /// Appends a run of records for `txid`: a lazy `Begin` (first
+    /// append of this transaction since the last publish/rollback),
+    /// one `PagePut` per page, and — when `commit_db_size` is set — a
+    /// trailing `Commit`. Returns each page's `(image offset, seq)`
+    /// plus the commit seq, if any. One pwrite: a torn append is a pure
+    /// prefix, which recovery handles.
+    #[allow(clippy::type_complexity)]
+    fn append_records(
         &self,
+        txid: u64,
         pages: &[(PageId, &PageData)],
-        db_size_on_last: u32,
-    ) -> Result<Vec<(u32, u64)>> {
-        let (start_index, base_seq) = {
+        commit_db_size: Option<u32>,
+    ) -> Result<(Vec<(u64, u64)>, Option<u64>)> {
+        let (start_off, base_seq, need_begin) = {
             let mut tail = self.pending_tail.lock();
+            let need_begin = tail.begun != Some(txid);
+            let records =
+                pages.len() as u64 + u64::from(need_begin) + u64::from(commit_db_size.is_some());
+            let bytes = pages.len() as u64 * PAGE_RECORD_SIZE
+                + (records - pages.len() as u64) * RECORD_HEADER;
             let mut ns = self.next_seq.lock();
             let base = *ns;
-            *ns += pages.len() as u64;
-            let start = *tail;
-            *tail += pages.len() as u64;
-            (start, base)
+            *ns += records;
+            let start = tail.end;
+            tail.end += bytes;
+            tail.begun = Some(txid);
+            (start, base, need_begin)
         };
-        // Serialize all frames into one buffer: a single pwrite keeps
-        // latency low and makes torn writes a pure prefix.
-        let mut buf = Vec::with_capacity(pages.len() * FRAME_SIZE as usize);
+        let mut buf = Vec::with_capacity(
+            pages.len() * PAGE_RECORD_SIZE as usize + 2 * RECORD_HEADER as usize,
+        );
+        let mut seq = base_seq;
         let mut out = Vec::with_capacity(pages.len());
-        for (i, (page, data)) in pages.iter().enumerate() {
-            let is_last = i + 1 == pages.len();
-            let commit_size = if is_last { db_size_on_last } else { 0 };
-            let seq = base_seq + i as u64;
-            let ck = frame_checksum(*page, commit_size, seq, &data[..]);
-            buf.extend_from_slice(&page.to_le_bytes());
-            buf.extend_from_slice(&commit_size.to_le_bytes());
-            buf.extend_from_slice(&seq.to_le_bytes());
-            buf.extend_from_slice(&ck.to_le_bytes());
-            buf.extend_from_slice(&data[..]);
-            out.push(((start_index + i as u64) as u32, seq));
+        if need_begin {
+            push_record(&mut buf, KIND_BEGIN, 0, 0, txid, seq, &[]);
+            seq += 1;
         }
-        let off = WAL_HEADER + start_index * FRAME_SIZE;
-        self.file.write_all_at(&buf, off)?;
-        Ok(out)
+        for (page, data) in pages {
+            let image_off = start_off + buf.len() as u64 + RECORD_HEADER;
+            push_record(&mut buf, KIND_PAGE_PUT, *page, 0, txid, seq, &data[..]);
+            out.push((image_off, seq));
+            seq += 1;
+        }
+        let commit_seq = commit_db_size.map(|db_size| {
+            push_record(&mut buf, KIND_COMMIT, 0, db_size, txid, seq, &[]);
+            seq
+        });
+        self.file.write_all_at(&buf, start_off)?;
+        Ok((out, commit_seq))
     }
 
-    /// Publishes every appended-but-unpublished frame up to the current
-    /// pending tail: readers beginning after this see the new snapshot.
+    /// Publishes every appended-but-unpublished record up to the
+    /// current pending tail: readers beginning after this see the new
+    /// snapshot.
     fn publish(&self, db_size: u32, commit_seq: u64) -> Result<()> {
-        let tail = *self.pending_tail.lock();
+        let mut tail = self.pending_tail.lock();
+        let end = tail.end;
+        tail.begun = None;
         let mut index = self.index.write();
-        let published = index.frames.len() as u64;
-        for fi in published..tail {
-            // Re-read the frame header to learn page + seq; cheaper to
-            // track in memory, but commit is not the hot path and this
-            // keeps spill bookkeeping entirely inside the WAL.
-            let mut fh = [0u8; FRAME_HEADER as usize];
-            self.file
-                .read_exact_at(&mut fh, WAL_HEADER + fi * FRAME_SIZE)?;
-            let page = u32::from_le_bytes(fh[0..4].try_into().unwrap());
-            let seq = u64::from_le_bytes(fh[8..16].try_into().unwrap());
-            index.by_page.entry(page).or_default().push(fi as u32);
-            index.frames.push(FrameMeta { page, seq });
+        let mut pos = index.published_end;
+        let mut rh = [0u8; RECORD_HEADER as usize];
+        while pos < end {
+            // Re-read the record header to learn kind/page/seq; cheaper
+            // to track in memory, but commit is not the hot path and
+            // this keeps spill bookkeeping entirely inside the WAL.
+            self.file.read_exact_at(&mut rh, pos)?;
+            let kind = u32::from_le_bytes(rh[0..4].try_into().unwrap());
+            let page = u32::from_le_bytes(rh[4..8].try_into().unwrap());
+            let seq = u64::from_le_bytes(rh[24..32].try_into().unwrap());
+            if kind == KIND_PAGE_PUT {
+                let fi = index.frames.len() as u32;
+                index.by_page.entry(page).or_default().push(fi);
+                index.frames.push(FrameMeta {
+                    page,
+                    seq,
+                    offset: pos + RECORD_HEADER,
+                });
+                pos += PAGE_RECORD_SIZE;
+            } else {
+                pos += RECORD_HEADER;
+            }
         }
         index.committed_seq = commit_seq;
         index.db_size = db_size;
+        index.published_end = end;
         Ok(())
     }
 
-    /// Reads the page image of frame `frame_index`.
-    pub fn read_frame(&self, frame_index: u32) -> Result<PageData> {
-        let off = WAL_HEADER + frame_index as u64 * FRAME_SIZE + FRAME_HEADER;
+    /// Reads the page image at `image_offset` (from
+    /// [`WalIndex::find_versioned`] / [`WalIndex::latest_per_page`]).
+    pub fn read_frame(&self, image_offset: u64) -> Result<PageData> {
         let mut page = PageData::zeroed();
-        self.file.read_exact_at(&mut page[..], off)?;
+        self.file.read_exact_at(&mut page[..], image_offset)?;
         Ok(page)
-    }
-
-    /// Seq of the frame at `frame_index` (for buffer-pool versioning).
-    pub fn frame_seq(&self, frame_index: u32) -> u64 {
-        self.index.read().frames[frame_index as usize].seq
     }
 
     /// Shared read access to the index.
@@ -496,14 +630,16 @@ impl Wal {
     }
 
     /// Truncates the log back to an empty state after a checkpoint has
-    /// copied all frames into the main file. Called with the writer
-    /// lock held and no readers below the checkpointed snapshot.
+    /// copied all page images into the main file. Called with the
+    /// writer lock held and no readers below the checkpointed snapshot.
     pub fn reset(&self, sync: bool) -> Result<()> {
         self.file.set_len(WAL_HEADER)?;
         if sync {
             self.file.sync()?;
         }
-        *self.pending_tail.lock() = 0;
+        let mut tail = self.pending_tail.lock();
+        tail.end = WAL_HEADER;
+        tail.begun = None;
         let mut index = self.index.write();
         let committed = index.committed_seq;
         let db_size = index.db_size;
@@ -521,14 +657,38 @@ impl Wal {
     }
 }
 
-/// Checksum covering the frame header fields and the page image.
-fn frame_checksum(page: PageId, db_size: u32, seq: u64, img: &[u8]) -> u64 {
-    let mut hdr = [0u8; 16];
-    hdr[0..4].copy_from_slice(&page.to_le_bytes());
-    hdr[4..8].copy_from_slice(&db_size.to_le_bytes());
-    hdr[8..16].copy_from_slice(&seq.to_le_bytes());
+/// Serializes one record (header + optional page image) into `buf`.
+fn push_record(
+    buf: &mut Vec<u8>,
+    kind: u32,
+    page: PageId,
+    db_size: u32,
+    txid: u64,
+    seq: u64,
+    body: &[u8],
+) {
+    let ck = record_checksum(kind, page, db_size, txid, seq, body);
+    buf.extend_from_slice(&kind.to_le_bytes());
+    buf.extend_from_slice(&page.to_le_bytes());
+    buf.extend_from_slice(&db_size.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    buf.extend_from_slice(&txid.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&ck.to_le_bytes());
+    buf.extend_from_slice(body);
+}
+
+/// Checksum covering the record header fields and the page image
+/// (empty for `Begin`/`Commit` records).
+fn record_checksum(kind: u32, page: PageId, db_size: u32, txid: u64, seq: u64, body: &[u8]) -> u64 {
+    let mut hdr = [0u8; 28];
+    hdr[0..4].copy_from_slice(&kind.to_le_bytes());
+    hdr[4..8].copy_from_slice(&page.to_le_bytes());
+    hdr[8..12].copy_from_slice(&db_size.to_le_bytes());
+    hdr[12..20].copy_from_slice(&txid.to_le_bytes());
+    hdr[20..28].copy_from_slice(&seq.to_le_bytes());
     let h = fnv1a(0, &hdr);
-    fnv1a(h, img)
+    fnv1a(h, body)
 }
 
 #[cfg(test)]
@@ -556,10 +716,11 @@ mod tests {
         let wal = create(&dir.path().join("w.wal"));
         let p1 = page_filled(1);
         let p2 = page_filled(2);
-        let seq = wal.commit(&[(5, &p1), (9, &p2)], 10, false).unwrap();
-        assert_eq!(seq, 2);
+        let seq = wal.commit(1, &[(5, &p1), (9, &p2)], 10, false).unwrap();
+        // Begin + two PagePuts + Commit consume four seqs.
+        assert_eq!(seq, 4);
         let idx = wal.index();
-        assert_eq!(idx.committed_seq(), 2);
+        assert_eq!(idx.committed_seq(), 4);
         assert_eq!(idx.db_size(), Some(10));
         let f5 = idx.find(5, seq).unwrap();
         let f9 = idx.find(9, seq).unwrap();
@@ -569,13 +730,13 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_sees_only_older_frames() {
+    fn snapshot_sees_only_older_records() {
         let dir = tempfile::tempdir().unwrap();
         let wal = create(&dir.path().join("w.wal"));
         let old = page_filled(1);
         let new = page_filled(2);
-        let snap1 = wal.commit(&[(5, &old)], 10, false).unwrap();
-        let snap2 = wal.commit(&[(5, &new)], 10, false).unwrap();
+        let snap1 = wal.commit(1, &[(5, &old)], 10, false).unwrap();
+        let snap2 = wal.commit(2, &[(5, &new)], 10, false).unwrap();
         let idx = wal.index();
         let f_old = idx.find(5, snap1).unwrap();
         let f_new = idx.find(5, snap2).unwrap();
@@ -588,13 +749,13 @@ mod tests {
     }
 
     #[test]
-    fn recovery_replays_committed_frames() {
+    fn recovery_replays_committed_transactions() {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("w.wal");
         {
             let wal = create(&path);
-            wal.commit(&[(1, &page_filled(7))], 3, true).unwrap();
-            wal.commit(&[(2, &page_filled(8)), (1, &page_filled(9))], 3, true)
+            wal.commit(1, &[(1, &page_filled(7))], 3, true).unwrap();
+            wal.commit(2, &[(2, &page_filled(8)), (1, &page_filled(9))], 3, true)
                 .unwrap();
             // Dropped without checkpoint: simulates a crash.
         }
@@ -615,14 +776,20 @@ mod tests {
         let path = dir.path().join("w.wal");
         {
             let wal = create(&path);
-            wal.commit(&[(1, &page_filled(7))], 3, true).unwrap();
-            wal.commit(&[(2, &page_filled(8))], 3, true).unwrap();
+            wal.commit(1, &[(1, &page_filled(7))], 3, true).unwrap();
+            wal.commit(2, &[(2, &page_filled(8))], 3, true).unwrap();
         }
-        // Corrupt the second frame's payload byte -> checksum fails.
+        // Corrupt the second transaction's page image -> checksum fails.
         {
             use std::os::unix::fs::FileExt;
             let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
-            let off = WAL_HEADER + FRAME_SIZE + FRAME_HEADER + 100;
+            // First txn: Begin + PagePut + Commit; second txn's image
+            // sits one Begin + one record header past that.
+            let off = WAL_HEADER
+                + (RECORD_HEADER + PAGE_RECORD_SIZE + RECORD_HEADER) // txn 1
+                + RECORD_HEADER // txn 2 Begin
+                + RECORD_HEADER // txn 2 PagePut header
+                + 100;
             f.write_all_at(&[0xFF], off).unwrap();
         }
         let opened = reopen(&path);
@@ -634,46 +801,106 @@ mod tests {
     }
 
     #[test]
-    fn recovery_discards_uncommitted_prefix_frames() {
-        // Frames written without a trailing commit marker must be
-        // invisible after recovery: simulate by writing a valid frame
-        // with db_size = 0 directly.
+    fn recovery_discards_uncommitted_spill() {
+        // A Begin + PagePuts with no trailing Commit (a spilling
+        // transaction that crashed) must be invisible after recovery.
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("w.wal");
         {
             let wal = create(&path);
-            wal.commit(&[(1, &page_filled(7))], 3, true).unwrap();
-            // Hand-append a non-commit frame.
-            let img = page_filled(9);
-            let ck = frame_checksum(4, 0, 99, &img[..]);
-            let mut buf = Vec::new();
-            buf.extend_from_slice(&4u32.to_le_bytes());
-            buf.extend_from_slice(&0u32.to_le_bytes());
-            buf.extend_from_slice(&99u64.to_le_bytes());
-            buf.extend_from_slice(&ck.to_le_bytes());
-            buf.extend_from_slice(&img[..]);
-            wal.file
-                .write_all_at(&buf, WAL_HEADER + FRAME_SIZE)
+            wal.commit(1, &[(1, &page_filled(7))], 3, true).unwrap();
+            wal.spill(2, &[(4, &page_filled(9)), (5, &page_filled(10))])
                 .unwrap();
         }
         let opened = reopen(&path);
+        assert_eq!(opened.discarded_frames, 2);
+        let idx = opened.wal.index();
+        assert_eq!(idx.frame_count(), 1);
+        assert!(idx.find(4, u64::MAX).is_none());
+        assert!(idx.find(1, idx.committed_seq()).is_some());
+    }
+
+    #[test]
+    fn spill_then_commit_publishes_atomically() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("w.wal");
+        let wal = create(&path);
+        wal.spill(7, &[(4, &page_filled(9))]).unwrap();
+        assert_eq!(wal.index().frame_count(), 0, "spill is unpublished");
+        let (seq, placed) = wal.append_commit(7, &[(5, &page_filled(10))], 6).unwrap();
+        assert_eq!(placed.len(), 1);
+        let idx = wal.index();
+        assert_eq!(idx.frame_count(), 2, "spilled + committed published");
+        assert_eq!(idx.committed_seq(), seq);
+        let f4 = idx.find(4, seq).unwrap();
+        drop(idx);
+        assert_eq!(wal.read_frame(f4).unwrap()[0], 9);
+        // Recovery agrees: the whole transaction is visible.
+        drop(wal);
+        let opened = reopen(&path);
+        assert_eq!(opened.discarded_frames, 0);
+        assert_eq!(opened.wal.index().frame_count(), 2);
+    }
+
+    #[test]
+    fn corrupted_commit_record_hides_whole_transaction() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("w.wal");
+        {
+            let wal = create(&path);
+            wal.commit(1, &[(1, &page_filled(7))], 3, true).unwrap();
+            wal.commit(2, &[(2, &page_filled(8))], 3, true).unwrap();
+        }
+        // Flip the stored checksum of the final Commit record (the last
+        // 8 bytes of the file).
+        {
+            use std::os::unix::fs::FileExt;
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            let len = std::fs::metadata(&path).unwrap().len();
+            let mut ck = [0u8; 8];
+            f.read_exact_at(&mut ck, len - 8).unwrap();
+            ck.iter_mut().for_each(|b| *b ^= 0xA5);
+            f.write_all_at(&ck, len - 8).unwrap();
+        }
+        let opened = reopen(&path);
         assert_eq!(opened.discarded_frames, 1);
-        assert_eq!(opened.wal.index().frame_count(), 1);
+        let idx = opened.wal.index();
+        assert_eq!(idx.frame_count(), 1);
+        assert!(idx.find(2, u64::MAX).is_none(), "uncommitted txn hidden");
+    }
+
+    #[test]
+    fn truncate_unpublished_discards_spill() {
+        let dir = tempfile::tempdir().unwrap();
+        let wal = create(&dir.path().join("w.wal"));
+        let c1 = wal.commit(1, &[(1, &page_filled(7))], 3, false).unwrap();
+        wal.spill(2, &[(4, &page_filled(9))]).unwrap();
+        wal.truncate_unpublished().unwrap();
+        assert_eq!(wal.index().frame_count(), 1);
+        // The next transaction writes a fresh Begin and commits fine.
+        let c2 = wal.commit(3, &[(5, &page_filled(1))], 6, false).unwrap();
+        assert!(c2 > c1);
+        let opened = reopen(wal.path());
+        assert_eq!(opened.wal.index().frame_count(), 2);
     }
 
     #[test]
     fn reset_preserves_watermark() {
         let dir = tempfile::tempdir().unwrap();
         let wal = create(&dir.path().join("w.wal"));
-        let snap = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
+        let snap = wal.commit(1, &[(1, &page_filled(1))], 2, false).unwrap();
         wal.reset(false).unwrap();
         let idx = wal.index();
         assert_eq!(idx.frame_count(), 0);
         assert_eq!(idx.committed_seq(), snap);
-        assert!(idx.find(1, snap).is_none(), "frames gone after reset");
+        assert!(idx.find(1, snap).is_none(), "records gone after reset");
         drop(idx);
         // Sequence numbers keep increasing after a reset.
-        let snap2 = wal.commit(&[(1, &page_filled(2))], 2, false).unwrap();
+        let snap2 = wal.commit(2, &[(1, &page_filled(2))], 2, false).unwrap();
         assert!(snap2 > snap);
     }
 
@@ -681,7 +908,7 @@ mod tests {
     fn sync_committed_is_idempotent_past_watermark() {
         let dir = tempfile::tempdir().unwrap();
         let wal = create(&dir.path().join("w.wal"));
-        let seq = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
+        let seq = wal.commit(1, &[(1, &page_filled(1))], 2, false).unwrap();
         assert!(wal.sync_committed(seq).unwrap(), "first caller syncs");
         assert!(
             !wal.sync_committed(seq).unwrap(),
@@ -693,7 +920,7 @@ mod tests {
     fn note_durable_satisfies_waiters_without_fsync() {
         let dir = tempfile::tempdir().unwrap();
         let wal = create(&dir.path().join("w.wal"));
-        let seq = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
+        let seq = wal.commit(1, &[(1, &page_filled(1))], 2, false).unwrap();
         // A synced checkpoint would advance the watermark like this.
         wal.note_durable(seq);
         assert!(!wal.sync_committed(seq).unwrap());
@@ -703,12 +930,13 @@ mod tests {
     fn latest_per_page_respects_upto() {
         let dir = tempfile::tempdir().unwrap();
         let wal = create(&dir.path().join("w.wal"));
-        let s1 = wal.commit(&[(1, &page_filled(1))], 2, false).unwrap();
-        let _s2 = wal.commit(&[(1, &page_filled(2))], 2, false).unwrap();
+        let s1 = wal.commit(1, &[(1, &page_filled(1))], 2, false).unwrap();
+        let _s2 = wal.commit(2, &[(1, &page_filled(2))], 2, false).unwrap();
         let idx = wal.index();
         let upto_s1 = idx.latest_per_page(s1);
         assert_eq!(upto_s1.len(), 1);
-        assert_eq!(upto_s1[0].2, s1);
+        // The page record's seq is below the commit record's seq.
+        assert!(upto_s1[0].2 < s1);
         let all = idx.latest_per_page(u64::MAX);
         assert_eq!(all.len(), 1);
         assert!(all[0].2 > s1);

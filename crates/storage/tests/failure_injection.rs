@@ -8,7 +8,6 @@
 use std::fs::OpenOptions;
 use std::os::unix::fs::FileExt;
 
-use micronn_storage::wal::{FRAME_SIZE, WAL_HEADER};
 use micronn_storage::{
     BTree, CrashPlan, PageRead, PowerCut, SimVfs, Store, StoreOptions, SyncMode, PAGE_SIZE,
 };
@@ -105,10 +104,10 @@ fn corrupted_wal_byte_stops_recovery_at_prior_commit() {
 
 #[test]
 fn corrupted_final_commit_frame_checksum_truncates_to_prior_commit() {
-    // Regression: the final frame of the log carries the last commit's
-    // marker. Corrupting its *stored checksum field* (not the payload)
-    // must make recovery drop exactly that commit and truncate the
-    // torn tail — never error the open.
+    // Regression: the final record of the log is the last transaction's
+    // Commit marker. Corrupting its *stored checksum field* (not the
+    // page payload) must make recovery drop exactly that transaction
+    // and truncate the torn tail — never error the open.
     let dir = tempfile::tempdir().unwrap();
     let path = build_and_crash(dir.path(), 5);
     let wal = {
@@ -117,10 +116,11 @@ fn corrupted_final_commit_frame_checksum_truncates_to_prior_commit() {
         std::path::PathBuf::from(os)
     };
     let len = std::fs::metadata(&wal).unwrap().len();
-    let frames = (len - WAL_HEADER) / FRAME_SIZE;
-    assert!(frames >= 2);
-    // Frame header layout: page(4) db_size(4) seq(8) checksum(8).
-    let ck_off = WAL_HEADER + (frames - 1) * FRAME_SIZE + 16;
+    // Record header layout ends with the checksum as its final 8
+    // bytes, and a Commit record is header-only, so the stored
+    // checksum of the last Commit occupies the last 8 bytes of
+    // the file.
+    let ck_off = len - 8;
     let f = OpenOptions::new()
         .read(true)
         .write(true)

@@ -88,6 +88,25 @@ impl<T> Mutex<T> {
             _raw: PhantomData,
         }
     }
+
+    /// Non-blocking variant of [`Mutex::lock_arc`] (parking_lot's
+    /// `try_lock_arc`): returns `None` if the lock is currently held.
+    pub fn try_lock_arc(this: &Arc<Mutex<T>>) -> Option<ArcMutexGuard<RawMutex, T>> {
+        let arc = Arc::clone(this);
+        let guard = match arc.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        // SAFETY: same lifetime erasure as `lock_arc` — the Arc held
+        // by the guard keeps the mutex alive past the borrow scope.
+        let guard: std::sync::MutexGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        Some(ArcMutexGuard {
+            guard: ManuallyDrop::new(guard),
+            _arc: arc,
+            _raw: PhantomData,
+        })
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {
@@ -249,8 +268,14 @@ mod tests {
         };
         assert_eq!(*guard, 7);
         assert!(m.try_lock().is_none(), "arc guard must hold the lock");
+        assert!(
+            Mutex::try_lock_arc(&m).is_none(),
+            "try_lock_arc must not block or double-lock"
+        );
         drop(guard);
         assert!(m.try_lock().is_some());
+        let owned = Mutex::try_lock_arc(&m).expect("uncontended try_lock_arc succeeds");
+        assert_eq!(*owned, 7);
     }
 
     #[test]
